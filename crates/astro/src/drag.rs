@@ -1,0 +1,224 @@
+//! Atmospheric drag: density model, orbital decay, de-orbit lifetime, and
+//! station-keeping budgets.
+//!
+//! Drag is the other half of the sustainability story: it sets the
+//! propellant each satellite spends holding its altitude, how fast dead
+//! satellites de-orbit (debris risk vs self-cleaning), and thus part of
+//! the launch-mass ledger in `ssplane-core::sustainability`.
+
+use crate::constants::{EARTH_MU, EARTH_RADIUS_KM};
+use crate::error::{AstroError, Result};
+
+/// Piecewise-exponential atmosphere (Vallado table 8-4, abbreviated to
+/// the LEO bands this workspace designs in): `(base altitude km, nominal
+/// density kg/m³, scale height km)`.
+const ATMOSPHERE_TABLE: &[(f64, f64, f64)] = &[
+    (150.0, 2.070e-9, 22.523),
+    (200.0, 2.789e-10, 37.105),
+    (250.0, 7.248e-11, 45.546),
+    (300.0, 2.418e-11, 53.628),
+    (350.0, 9.518e-12, 53.298),
+    (400.0, 3.725e-12, 58.515),
+    (450.0, 1.585e-12, 60.828),
+    (500.0, 6.967e-13, 63.822),
+    (600.0, 1.454e-13, 71.835),
+    (700.0, 3.614e-14, 88.667),
+    (800.0, 1.170e-14, 124.64),
+    (900.0, 5.245e-15, 181.05),
+    (1000.0, 3.019e-15, 268.00),
+];
+
+/// Atmospheric mass density \[kg/m³\] at `altitude_km`, scaled by a
+/// solar-activity factor (≈0.5 at deep minimum to ≈2+ at strong maximum;
+/// pass 1.0 for mean conditions).
+///
+/// # Errors
+/// Returns [`AstroError::InfeasibleGeometry`] below 150 km (re-entry
+/// interface — the model is not meaningful there).
+pub fn atmospheric_density(altitude_km: f64, activity_factor: f64) -> Result<f64> {
+    if altitude_km < 150.0 {
+        return Err(AstroError::InfeasibleGeometry {
+            what: "density model valid only above 150 km",
+        });
+    }
+    let row = ATMOSPHERE_TABLE
+        .iter()
+        .rev()
+        .find(|&&(h0, _, _)| altitude_km >= h0)
+        .copied()
+        .unwrap_or(ATMOSPHERE_TABLE[0]);
+    let (h0, rho0, scale) = row;
+    Ok(rho0 * (-(altitude_km - h0) / scale).exp() * activity_factor.max(0.0))
+}
+
+/// Ballistic coefficient bundle: `Cd · A / m` \[m²/kg\].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BallisticCoefficient(pub f64);
+
+impl Default for BallisticCoefficient {
+    /// Starlink-class flat-panel satellite: Cd ≈ 2.2, A/m ≈ 0.01 m²/kg.
+    fn default() -> Self {
+        BallisticCoefficient(0.022)
+    }
+}
+
+/// Circular-orbit decay rate \[km per day\] from drag at `altitude_km`.
+///
+/// `da/dt = −ρ · v · a · B` per unit time with v the circular speed —
+/// the standard secular result for circular orbits.
+///
+/// # Errors
+/// See [`atmospheric_density`].
+pub fn decay_rate_km_per_day(
+    altitude_km: f64,
+    bc: BallisticCoefficient,
+    activity_factor: f64,
+) -> Result<f64> {
+    let rho = atmospheric_density(altitude_km, activity_factor)?; // kg/m³
+    let a_m = (EARTH_RADIUS_KM + altitude_km) * 1e3; // m
+    let v = (EARTH_MU * 1e9 / a_m).sqrt(); // m/s
+    // da/dt = -rho * v * a * B  [m/s] -> km/day
+    Ok(rho * v * a_m * bc.0 * 86_400.0 / 1e3)
+}
+
+/// Estimated uncontrolled de-orbit lifetime \[years\] from `altitude_km`
+/// down to the 180 km re-entry interface, integrating the decay rate in
+/// 1 km steps.
+///
+/// # Errors
+/// See [`atmospheric_density`].
+pub fn deorbit_lifetime_years(
+    altitude_km: f64,
+    bc: BallisticCoefficient,
+    activity_factor: f64,
+) -> Result<f64> {
+    let mut h = altitude_km;
+    let mut days = 0.0;
+    while h > 180.0 {
+        let rate = decay_rate_km_per_day(h.max(150.0), bc, activity_factor)?;
+        if rate <= 0.0 {
+            return Err(AstroError::InfeasibleGeometry { what: "non-positive decay rate" });
+        }
+        let step = 1.0f64.min(h - 180.0).max(1e-3);
+        days += step / rate;
+        h -= step;
+        if days > 1e9 {
+            break; // > 2.7 Myr: effectively never; stop integrating
+        }
+    }
+    Ok(days / 365.25)
+}
+
+/// Station-keeping Δv \[m/s per year\] to hold a circular orbit against
+/// drag: the per-orbit drag impulse `π·ρ·a·v·B` times orbits per year.
+///
+/// # Errors
+/// See [`atmospheric_density`].
+pub fn stationkeeping_dv_m_s_per_year(
+    altitude_km: f64,
+    bc: BallisticCoefficient,
+    activity_factor: f64,
+) -> Result<f64> {
+    let rho = atmospheric_density(altitude_km, activity_factor)?;
+    let a_m = (EARTH_RADIUS_KM + altitude_km) * 1e3;
+    let v = (EARTH_MU * 1e9 / a_m).sqrt();
+    let dv_per_orbit = core::f64::consts::PI * rho * a_m * v * bc.0;
+    let period_s = core::f64::consts::TAU * (a_m.powi(3) / (EARTH_MU * 1e9)).sqrt();
+    Ok(dv_per_orbit * (365.25 * 86_400.0 / period_s))
+}
+
+/// Propellant mass fraction per year for the station-keeping budget,
+/// via the rocket equation with specific impulse `isp_s` (e.g. ~1500 s
+/// for the Hall/ion thrusters LEO constellations fly).
+///
+/// # Errors
+/// Rejects non-positive Isp; propagates density-model errors.
+pub fn propellant_fraction_per_year(
+    altitude_km: f64,
+    bc: BallisticCoefficient,
+    activity_factor: f64,
+    isp_s: f64,
+) -> Result<f64> {
+    if isp_s <= 0.0 {
+        return Err(AstroError::InvalidElement {
+            name: "isp_s",
+            value: isp_s,
+            constraint: "positive",
+        });
+    }
+    let dv = stationkeeping_dv_m_s_per_year(altitude_km, bc, activity_factor)?;
+    Ok(1.0 - (-dv / (isp_s * 9.80665)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_reference_values() {
+        // Table anchors reproduce exactly at the base altitudes.
+        let d = atmospheric_density(500.0, 1.0).unwrap();
+        assert!((d - 6.967e-13).abs() / 6.967e-13 < 1e-9);
+        // Interpolation decreases between anchors.
+        let d550 = atmospheric_density(550.0, 1.0).unwrap();
+        let d600 = atmospheric_density(600.0, 1.0).unwrap();
+        assert!(d > d550 && d550 > d600);
+        // Activity scaling is linear.
+        assert!((atmospheric_density(560.0, 2.0).unwrap()
+            - 2.0 * atmospheric_density(560.0, 1.0).unwrap())
+        .abs()
+            < 1e-20);
+        // Below the interface: rejected.
+        assert!(atmospheric_density(100.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn density_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for h in (150..1400).step_by(25) {
+            let d = atmospheric_density(h as f64, 1.0).unwrap();
+            assert!(d < prev, "density not decreasing at {h} km");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn starlink_class_stationkeeping_budget() {
+        // Published Starlink-class budgets: a few m/s per year at ~550 km.
+        let dv = stationkeeping_dv_m_s_per_year(560.0, Default::default(), 1.0).unwrap();
+        assert!((0.5..20.0).contains(&dv), "dv = {dv} m/s/yr");
+        // Higher orbit, lower budget.
+        let dv_high = stationkeeping_dv_m_s_per_year(1200.0, Default::default(), 1.0).unwrap();
+        assert!(dv_high < 0.1 * dv);
+        // Solar max roughly doubles it.
+        let dv_max = stationkeeping_dv_m_s_per_year(560.0, Default::default(), 2.0).unwrap();
+        assert!((dv_max / dv - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deorbit_lifetimes_by_altitude() {
+        let bc = BallisticCoefficient::default();
+        // ~400 km: months-to-years (ISS resupply regime).
+        let low = deorbit_lifetime_years(400.0, bc, 1.0).unwrap();
+        assert!((0.1..8.0).contains(&low), "400 km lifetime {low} yr");
+        // ~560 km: years-to-decades (the paper's design altitude is
+        // self-cleaning on decadal scales).
+        let mid = deorbit_lifetime_years(560.0, bc, 1.0).unwrap();
+        assert!((1.0..80.0).contains(&mid), "560 km lifetime {mid} yr");
+        // ~1200 km: centuries+ (the debris-risk regime the paper's
+        // refs [8, 15] warn about).
+        let high = deorbit_lifetime_years(1200.0, bc, 1.0).unwrap();
+        assert!(high > 100.0, "1200 km lifetime {high} yr");
+        assert!(low < mid && mid < high);
+    }
+
+    #[test]
+    fn propellant_fraction_small_and_monotone() {
+        let f = propellant_fraction_per_year(560.0, Default::default(), 1.0, 1500.0).unwrap();
+        assert!((1e-6..0.01).contains(&f), "fraction = {f}");
+        // Lower Isp costs more propellant.
+        let f_chem = propellant_fraction_per_year(560.0, Default::default(), 1.0, 220.0).unwrap();
+        assert!(f_chem > f);
+        assert!(propellant_fraction_per_year(560.0, Default::default(), 1.0, 0.0).is_err());
+    }
+}

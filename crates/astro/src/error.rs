@@ -1,0 +1,76 @@
+//! Error types for the astrodynamics substrate.
+
+use core::fmt;
+
+/// Result alias with [`AstroError`].
+pub type Result<T> = core::result::Result<T, AstroError>;
+
+/// Errors produced by orbit design and propagation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstroError {
+    /// An orbital element was outside its physical domain
+    /// (e.g. eccentricity < 0, semi-major axis below the Earth surface).
+    InvalidElement {
+        /// Which element was invalid.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// The solver that failed.
+        what: &'static str,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// No solution exists for the requested design parameters
+    /// (e.g. a sun-synchronous orbit above the altitude where the required
+    /// inclination exceeds 180°, or a repeat ground track outside the
+    /// requested altitude window).
+    NoSolution {
+        /// Description of the infeasible request.
+        what: &'static str,
+    },
+    /// The requested geometry is infeasible
+    /// (e.g. minimum elevation so high the coverage cap is empty).
+    InfeasibleGeometry {
+        /// Description of the infeasible geometry.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for AstroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstroError::InvalidElement { name, value, constraint } => {
+                write!(f, "invalid orbital element {name} = {value}: must satisfy {constraint}")
+            }
+            AstroError::NoConvergence { what, iterations } => {
+                write!(f, "{what} failed to converge after {iterations} iterations")
+            }
+            AstroError::NoSolution { what } => write!(f, "no solution: {what}"),
+            AstroError::InfeasibleGeometry { what } => write!(f, "infeasible geometry: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AstroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = AstroError::InvalidElement { name: "e", value: -0.1, constraint: "0 <= e < 1" };
+        assert!(e.to_string().contains("invalid orbital element e"));
+        let e = AstroError::NoConvergence { what: "Kepler solver", iterations: 50 };
+        assert!(e.to_string().contains("50 iterations"));
+        let e = AstroError::NoSolution { what: "SSO above 5974 km" };
+        assert!(e.to_string().contains("no solution"));
+        let e = AstroError::InfeasibleGeometry { what: "empty cap" };
+        assert!(e.to_string().contains("infeasible"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 1 pipeline: RGT enumeration + coverage
+//! analysis + Walker sizing across the 500–2000 km window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ssplane_bench::figures::fig1;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_full_sweep", |b| {
+        b.iter(|| {
+            let data = fig1::data(black_box(fig1::Params::default())).unwrap();
+            black_box(data.rgts.len() + data.walker.len())
+        })
+    });
+    c.bench_function("fig1_rgt_enumeration_only", |b| {
+        b.iter(|| {
+            let orbits = ssplane_astro::rgt::enumerate_rgt_orbits(
+                black_box(500.0),
+                2000.0,
+                4,
+                1.134, // 65°
+            );
+            black_box(orbits.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig1
+}
+criterion_main!(benches);

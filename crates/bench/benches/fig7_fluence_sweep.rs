@@ -1,0 +1,45 @@
+//! Criterion bench for the Fig. 7 pipeline: daily fluence integration
+//! along orbits through the belt model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_radiation::fluence::daily_fluence;
+use ssplane_radiation::RadiationEnvironment;
+use ssplane_astro::time::Epoch;
+
+fn bench_fluence(c: &mut Criterion) {
+    let env = RadiationEnvironment::default();
+    let epoch = Epoch::from_calendar(2013, 6, 1, 0, 0, 0.0);
+    let el = OrbitalElements::circular(560.0, 65f64.to_radians(), 0.0, 0.0).unwrap();
+
+    c.bench_function("daily_fluence_560km_60s_step", |b| {
+        b.iter(|| black_box(daily_fluence(&env, black_box(&el), epoch, 60.0).unwrap()))
+    });
+
+    c.bench_function("flux_eval_single_point", |b| {
+        let r = ssplane_astro::linalg::Vec3::new(6938.0, 0.0, 0.0);
+        b.iter(|| black_box(env.flux_eci(black_box(r), epoch).unwrap()))
+    });
+
+    c.bench_function("fig7_sweep_5_inclinations", |b| {
+        b.iter(|| {
+            let sweep = ssplane_radiation::fluence::fluence_vs_inclination(
+                &env,
+                560.0,
+                black_box(&[50.0, 65.0, 80.0, 90.0, 97.64]),
+                epoch,
+                120.0,
+            )
+            .unwrap();
+            black_box(sweep.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fluence
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for the Fig. 9 pipeline: the greedy SS-plane designer
+//! and the multi-shell Walker baseline on the realistic demand grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ssplane_bench::figures::{default_demand_model, default_grid};
+use ssplane_core::designer::{design_ss_constellation, DesignConfig};
+use ssplane_core::walker_baseline::{design_walker_constellation, WalkerBaselineConfig};
+
+fn bench_designers(c: &mut Criterion) {
+    let model = default_demand_model();
+    let grid = default_grid(&model);
+    let demand = grid.scaled(200.0 / grid.total());
+
+    c.bench_function("ss_greedy_design_B200", |b| {
+        b.iter(|| {
+            let cons =
+                design_ss_constellation(black_box(&demand), DesignConfig::default()).unwrap();
+            black_box(cons.total_sats())
+        })
+    });
+
+    c.bench_function("walker_baseline_design_B200", |b| {
+        b.iter(|| {
+            let cons = design_walker_constellation(
+                black_box(&demand),
+                WalkerBaselineConfig::default(),
+            )
+            .unwrap();
+            black_box(cons.total_sats())
+        })
+    });
+
+    c.bench_function("demand_grid_build_36x24", |b| {
+        b.iter(|| {
+            let g = ssplane_demand::grid::LatTodGrid::from_model(black_box(&model), 36, 24)
+                .unwrap();
+            black_box(g.total())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Each iteration runs a full constellation design; keep sampling light.
+    config = Criterion::default().sample_size(10);
+    targets = bench_designers
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the substrate hot paths: Kepler solving, J2
+//! propagation, frame conversion, coverage geometry, and plane-footprint
+//! computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ssplane_astro::kepler::{solve_kepler, OrbitalElements};
+use ssplane_astro::propagate::J2Propagator;
+use ssplane_astro::sunsync::sun_synchronous_orbit;
+use ssplane_astro::time::Epoch;
+use ssplane_core::ssplane::SsPlane;
+use ssplane_demand::grid::LatTodGrid;
+
+fn bench_pipelines(c: &mut Criterion) {
+    c.bench_function("kepler_solve_e02", |b| {
+        b.iter(|| black_box(solve_kepler(black_box(2.1), 0.2).unwrap()))
+    });
+
+    let el = OrbitalElements::circular(560.0, 1.7, 0.3, 0.1).unwrap();
+    let prop = J2Propagator::new(Epoch::J2000, el).unwrap();
+    c.bench_function("j2_propagate_state", |b| {
+        let t = Epoch::J2000 + 12_345.0;
+        b.iter(|| black_box(prop.state_at(black_box(t)).unwrap()))
+    });
+
+    c.bench_function("gmst", |b| {
+        let t = Epoch::J2000 + 98_765.0;
+        b.iter(|| black_box(black_box(t).gmst()))
+    });
+
+    let orbit = sun_synchronous_orbit(560.0).unwrap();
+    let grid = LatTodGrid::from_values(36, 24, vec![1.0; 36 * 24]).unwrap();
+    c.bench_function("ss_plane_covered_cells_36x24", |b| {
+        let plane = SsPlane { orbit: orbit.with_ltan(10.0), n_sats: 50 };
+        b.iter(|| black_box(plane.covered_cells(black_box(&grid), 0.109).len()))
+    });
+
+    c.bench_function("walker_sizing", |b| {
+        b.iter(|| {
+            black_box(
+                ssplane_astro::coverage::size_walker_delta(black_box(0.1266), 1.134).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Figure 1: minimum satellites to cover a single repeat ground track
+//! (uniform / non-uniform) vs a Walker-delta constellation, by altitude.
+
+use crate::render;
+use ssplane_core::error::Result;
+use ssplane_core::rgt_analysis::{fig1_data, Fig1Data};
+
+/// Parameters of the Fig. 1 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Lower altitude bound \[km\].
+    pub min_alt_km: f64,
+    /// Upper altitude bound \[km\].
+    pub max_alt_km: f64,
+    /// Maximum repeat-cycle length \[nodal days\].
+    pub max_days: u32,
+    /// Orbit inclination \[rad\].
+    pub inclination: f64,
+    /// Minimum elevation \[deg\].
+    pub min_elevation_deg: f64,
+    /// Walker curve sampling step \[km\].
+    pub walker_step_km: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            min_alt_km: 500.0,
+            max_alt_km: 2000.0,
+            max_days: 4,
+            inclination: super::comparison_inclination(),
+            min_elevation_deg: ssplane_astro::coverage::DEFAULT_MIN_ELEVATION_DEG,
+            walker_step_km: 100.0,
+        }
+    }
+}
+
+/// Computes the Fig. 1 dataset.
+///
+/// # Errors
+/// Propagates coverage-geometry domain errors.
+pub fn data(params: Params) -> Result<Fig1Data> {
+    fig1_data(
+        params.min_alt_km,
+        params.max_alt_km,
+        params.max_days,
+        params.inclination,
+        params.min_elevation_deg,
+        params.walker_step_km,
+    )
+}
+
+/// Renders the dataset as the three series of the figure.
+pub fn render(data: &Fig1Data) -> String {
+    let mut rows = Vec::new();
+    for r in &data.rgts {
+        rows.push(vec![
+            format!("{:.0}", r.orbit.altitude_km),
+            format!("RGT ({})", if r.effectively_uniform { "unif." } else { "non-unif." }),
+            format!("{}:{}", r.orbit.revs, r.orbit.days),
+            r.sats_required.to_string(),
+        ]);
+    }
+    for w in &data.walker {
+        rows.push(vec![
+            format!("{:.0}", w.altitude_km),
+            "Walker (total)".to_string(),
+            "-".to_string(),
+            w.sats_required.to_string(),
+        ]);
+    }
+    rows.sort_by(|a, b| {
+        a[0].parse::<f64>()
+            .unwrap_or(0.0)
+            .partial_cmp(&b[0].parse::<f64>().unwrap_or(0.0))
+            .expect("finite")
+    });
+    render::table(&["altitude_km", "series", "revs:days", "satellites"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_reproduce_headline() {
+        let d = data(Params::default()).unwrap();
+        assert!(d.non_uniform().count() == 3);
+        assert!(!d.walker.is_empty());
+        let text = render(&d);
+        assert!(text.contains("Walker (total)"));
+        assert!(text.contains("non-unif."));
+        assert!(text.contains("13:1"));
+    }
+}

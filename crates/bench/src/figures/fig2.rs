@@ -1,0 +1,110 @@
+//! Figure 2: example repeat ground track (65°, ~560 km) and the surface
+//! region covered by a single satellite following it.
+
+use crate::render;
+use ssplane_astro::error::Result;
+use ssplane_astro::coverage::{coverage_half_angle, sats_per_plane_half_overlap, street_half_width};
+use ssplane_astro::ground_track::GroundTrack;
+use ssplane_astro::propagate::nodal_period_s;
+use ssplane_astro::rgt::rgt_orbit;
+use ssplane_astro::time::Epoch;
+
+/// Parameters for the Fig. 2 track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Revolutions per repeat cycle.
+    pub revs: u32,
+    /// Nodal days per cycle.
+    pub days: u32,
+    /// Inclination \[rad\].
+    pub inclination: f64,
+    /// Minimum elevation \[deg\] for the swath.
+    pub min_elevation_deg: f64,
+    /// Track sampling step \[s\].
+    pub step_s: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            revs: 15,
+            days: 1,
+            inclination: super::comparison_inclination(),
+            min_elevation_deg: ssplane_astro::coverage::DEFAULT_MIN_ELEVATION_DEG,
+            step_s: 30.0,
+        }
+    }
+}
+
+/// The Fig. 2 dataset: the sampled closed track plus swath geometry.
+#[derive(Debug, Clone)]
+pub struct Fig2Data {
+    /// Altitude of the RGT \[km\].
+    pub altitude_km: f64,
+    /// Sampled sub-satellite points (lat°, lon°).
+    pub track_deg: Vec<(f64, f64)>,
+    /// Swath half-width \[deg\] of the half-overlap street.
+    pub swath_half_deg: f64,
+    /// Fraction of the Earth's surface inside the swath.
+    pub covered_fraction: f64,
+}
+
+/// Computes the Fig. 2 dataset.
+///
+/// # Errors
+/// Propagates RGT-solver or propagation failure.
+pub fn data(params: Params) -> Result<Fig2Data> {
+    let orbit = rgt_orbit(params.revs, params.days, params.inclination)?;
+    let el = orbit.reference_elements();
+    // One full repeat cycle = `revs` nodal revolutions.
+    let cycle_s = params.revs as f64 * nodal_period_s(&el);
+    let track = GroundTrack::sample(Epoch::J2000, &el, cycle_s, params.step_s)?;
+    let theta = coverage_half_angle(orbit.altitude_km, params.min_elevation_deg.to_radians())?;
+    let swath = street_half_width(theta, sats_per_plane_half_overlap(theta))?;
+    let covered_fraction = track.swath_area_fraction(swath, 60, 120);
+    Ok(Fig2Data {
+        altitude_km: orbit.altitude_km,
+        track_deg: track
+            .samples
+            .iter()
+            .map(|s| (s.point.lat_deg(), s.point.lon_deg()))
+            .collect(),
+        swath_half_deg: swath.to_degrees(),
+        covered_fraction,
+    })
+}
+
+/// Renders a down-sampled track plus summary.
+pub fn render(d: &Fig2Data) -> String {
+    let mut out = format!(
+        "# RGT altitude {:.1} km, swath half-width {:.2} deg, surface fraction covered {:.3}\n",
+        d.altitude_km, d.swath_half_deg, d.covered_fraction
+    );
+    let rows: Vec<Vec<String>> = d
+        .track_deg
+        .iter()
+        .step_by(10)
+        .map(|&(lat, lon)| vec![render::fnum(lat), render::fnum(lon)])
+        .collect();
+    out.push_str(&render::csv(&["lat_deg", "lon_deg"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_properties() {
+        let d = data(Params::default()).unwrap();
+        assert!((450.0..650.0).contains(&d.altitude_km), "altitude {}", d.altitude_km);
+        assert!(d.track_deg.len() > 1000);
+        // Latitudes bounded by inclination.
+        for &(lat, _) in &d.track_deg {
+            assert!(lat.abs() <= 65.5);
+        }
+        // A single-satellite swath covers a sizable but partial fraction.
+        assert!(d.covered_fraction > 0.2 && d.covered_fraction < 0.95, "{}", d.covered_fraction);
+        assert!(render(&d).contains("lat_deg"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 3: maximum population density per 0.5° latitude bin.
+
+use crate::render;
+
+/// The Fig. 3 dataset: `(latitude°, max persons/km²)` per bin.
+pub type Fig3Data = Vec<(f64, f64)>;
+
+/// Computes the Fig. 3 profile from the default synthetic population.
+pub fn data() -> Fig3Data {
+    super::default_demand_model().population.max_density_per_latitude()
+}
+
+/// Renders as CSV.
+pub fn render(d: &Fig3Data) -> String {
+    let rows: Vec<Vec<String>> =
+        d.iter().map(|&(lat, dens)| vec![render::fnum(lat), render::fnum(dens)]).collect();
+    render::csv(&["lat_deg", "max_density_per_km2"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape() {
+        let d = data();
+        assert_eq!(d.len(), 360); // 0.5° bins
+        let peak = d.iter().cloned().fold((0.0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
+        // Peak ~6000 at intermediate northern latitude.
+        assert!((4000.0..6200.0).contains(&peak.1), "peak {}", peak.1);
+        assert!((10.0..45.0).contains(&peak.0), "peak lat {}", peak.0);
+        // Poles empty.
+        assert!(d[0].1 < 1.0 && d[359].1 < 100.0);
+        assert!(render(&d).starts_with("lat_deg"));
+    }
+}

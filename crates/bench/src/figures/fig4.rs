@@ -1,0 +1,40 @@
+//! Figure 4: bandwidth demand (% of site median) vs local time of day —
+//! median and 95th percentile over synthetic telemetry sites.
+
+use crate::render;
+use ssplane_demand::diurnal::{simulate_sites, DiurnalStats, SiteSimConfig};
+
+/// Parameters for the site simulation (defaults mirror the paper's
+/// dataset: 283 sites, one year).
+pub type Params = SiteSimConfig;
+
+/// Computes the Fig. 4 percentile curves.
+pub fn data(params: Params) -> DiurnalStats {
+    simulate_sites(&ssplane_demand::DiurnalModel::default(), params)
+}
+
+/// Renders as CSV.
+pub fn render(d: &DiurnalStats) -> String {
+    let rows: Vec<Vec<String>> = d
+        .hours
+        .iter()
+        .zip(d.median_percent.iter().zip(&d.p95_percent))
+        .map(|(&h, (&m, &p))| vec![render::fnum(h), render::fnum(m), render::fnum(p)])
+        .collect();
+    render::csv(&["hour", "median_pct", "p95_pct"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_quick() {
+        let d = data(Params { n_sites: 40, n_days: 40, bins: 24, seed: 7 });
+        assert_eq!(d.hours.len(), 24);
+        let peak = d.median_percent.iter().cloned().fold(0.0, f64::max);
+        let trough = d.median_percent.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(peak > 150.0 && trough < 80.0, "peak {peak} trough {trough}");
+        assert!(render(&d).contains("p95_pct"));
+    }
+}

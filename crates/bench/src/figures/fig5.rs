@@ -1,0 +1,79 @@
+//! Figure 5: the spatiotemporal demand model viewed from above the North
+//! Pole with the Sun at the top, at hours 0/6/12/18 UTC.
+
+use crate::render;
+use ssplane_demand::error::Result;
+
+/// Parameters of the polar snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Latitude rings from pole to equator.
+    pub rings: usize,
+    /// Local-time sectors around the clock.
+    pub sectors: usize,
+    /// UTC hours to snapshot.
+    pub hours: [f64; 4],
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { rings: 18, sectors: 48, hours: [0.0, 6.0, 12.0, 18.0] }
+    }
+}
+
+/// The Fig. 5 dataset: per snapshot hour, a polar demand grid.
+pub type Fig5Data = Vec<(f64, Vec<Vec<f64>>)>;
+
+/// Computes the four polar snapshots.
+///
+/// # Errors
+/// Propagates grid-construction failure.
+pub fn data(params: Params) -> Result<Fig5Data> {
+    let model = super::default_demand_model();
+    params
+        .hours
+        .iter()
+        .map(|&h| Ok((h, model.polar_snapshot(h, params.rings, params.sectors)?)))
+        .collect()
+}
+
+/// Renders as long-form CSV (hour, ring, sector, demand).
+pub fn render(d: &Fig5Data) -> String {
+    let mut rows = Vec::new();
+    for (hour, grid) in d {
+        for (ring, sectors) in grid.iter().enumerate() {
+            for (sector, &v) in sectors.iter().enumerate() {
+                rows.push(vec![
+                    render::fnum(*hour),
+                    ring.to_string(),
+                    sector.to_string(),
+                    render::fnum(v),
+                ]);
+            }
+        }
+    }
+    render::csv(&["utc_hour", "ring", "sector", "demand"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_snapshots_with_structure() {
+        let d = data(Params { rings: 6, sectors: 12, hours: [0.0, 6.0, 12.0, 18.0] }).unwrap();
+        assert_eq!(d.len(), 4);
+        for (_, grid) in &d {
+            assert_eq!(grid.len(), 6);
+            assert_eq!(grid[0].len(), 12);
+        }
+        // Total demand in the sun frame is similar across UTC hours
+        // (stationarity) within longitude-sampling noise.
+        let totals: Vec<f64> =
+            d.iter().map(|(_, g)| g.iter().flatten().sum::<f64>()).collect();
+        let max = totals.iter().cloned().fold(0.0, f64::max);
+        let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max < 25.0 * min.max(1e-9), "totals {totals:?}");
+        assert!(render(&d).contains("utc_hour"));
+    }
+}

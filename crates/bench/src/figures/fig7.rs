@@ -1,0 +1,75 @@
+//! Figure 7: estimated daily radiation fluence for 560 km orbits as a
+//! function of inclination (a: electrons, b: protons).
+
+use crate::render;
+use ssplane_radiation::error::Result;
+use ssplane_radiation::fluence::{fluence_vs_inclination, DailyFluence};
+use ssplane_radiation::RadiationEnvironment;
+
+/// Parameters of the inclination sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Altitude \[km\].
+    pub altitude_km: f64,
+    /// Inclinations \[deg\].
+    pub inclinations_deg: Vec<f64>,
+    /// Integration step \[s\].
+    pub step_s: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            altitude_km: 560.0,
+            inclinations_deg: (0..=20).map(|k| 50.0 + 2.5 * k as f64).collect(),
+            step_s: 30.0,
+        }
+    }
+}
+
+/// Computes the fluence-vs-inclination sweep.
+///
+/// # Errors
+/// Propagates fluence-integration failure.
+pub fn data(params: Params) -> Result<Vec<(f64, DailyFluence)>> {
+    fluence_vs_inclination(
+        &RadiationEnvironment::default(),
+        params.altitude_km,
+        &params.inclinations_deg,
+        super::design_epoch(),
+        params.step_s,
+    )
+}
+
+/// Renders as CSV with electron and proton columns.
+pub fn render(d: &[(f64, DailyFluence)]) -> String {
+    let rows: Vec<Vec<String>> = d
+        .iter()
+        .map(|&(inc, f)| vec![render::fnum(inc), render::fnum(f.electron), render::fnum(f.proton)])
+        .collect();
+    render::csv(&["inclination_deg", "electron_fluence", "proton_fluence"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_quick() {
+        let d = data(Params {
+            inclinations_deg: vec![50.0, 65.0, 80.0, 97.64],
+            step_s: 120.0,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(d.len(), 4);
+        // Electrons peak at moderate inclination; SSO below 65°.
+        let e: Vec<f64> = d.iter().map(|(_, f)| f.electron).collect();
+        assert!(e[1] > e[0], "65 > 50");
+        assert!(e[1] > e[3], "65 > SSO");
+        // Protons decrease with inclination over this range.
+        let p: Vec<f64> = d.iter().map(|(_, f)| f.proton).collect();
+        assert!(p[0] > p[3], "protons 50 > SSO");
+        assert!(render(&d).contains("proton_fluence"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 8: the sun-relative demand grid — bandwidth demand as a
+//! function of local time of day and latitude, normalized to a unit peak.
+
+use crate::render;
+use ssplane_demand::grid::LatTodGrid;
+
+/// Computes the Fig. 8 grid at the paper's resolution.
+pub fn data() -> LatTodGrid {
+    let model = super::default_demand_model();
+    super::default_grid(&model)
+}
+
+/// Renders as long-form CSV (percent of peak, as the paper's colorbar).
+pub fn render(grid: &LatTodGrid) -> String {
+    let mut rows = Vec::new();
+    for (i, j, v) in grid.cells() {
+        rows.push(vec![
+            render::fnum(grid.lat_center_deg(i)),
+            render::fnum(grid.tod_center_h(j)),
+            render::fnum(100.0 * v),
+        ]);
+    }
+    render::csv(&["lat_deg", "local_time_h", "demand_pct"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_grid_structure() {
+        let g = data();
+        assert!((g.peak() - 1.0).abs() < 1e-12);
+        let (i, j) = g.argmax().unwrap();
+        let lat = g.lat_center_deg(i);
+        let hour = g.tod_center_h(j);
+        assert!((5.0..50.0).contains(&lat), "peak lat {lat}");
+        assert!((10.0..22.0).contains(&hour), "peak hour {hour}");
+        assert!(render(&g).contains("demand_pct"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 9: satellites required to satisfy the spatiotemporal demand of
+//! Fig. 8, as a function of the **total** bandwidth demand (in multiples
+//! of one satellite's capacity), for the SS-plane design vs the
+//! multi-shell Walker-delta baseline.
+
+use crate::render;
+use ssplane_core::designer::DesignConfig;
+use ssplane_core::error::Result;
+use ssplane_core::evaluate::{fig9_sweep, Fig9Row};
+use ssplane_core::walker_baseline::WalkerBaselineConfig;
+
+/// Parameters of the Fig. 9 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Total-demand multipliers B (satellite capacities).
+    pub totals: Vec<f64>,
+    /// SS designer configuration.
+    pub ss: DesignConfig,
+    /// Walker baseline configuration.
+    pub wd: WalkerBaselineConfig,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            totals: vec![10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0],
+            ss: DesignConfig::default(),
+            wd: WalkerBaselineConfig::default(),
+        }
+    }
+}
+
+/// One rendered row: the design outcome at a total-demand level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9Point {
+    /// Total bandwidth demand B \[satellite capacities\].
+    pub total_demand: f64,
+    /// The underlying design row.
+    pub row: Fig9Row,
+}
+
+/// Runs the sweep. The demand grid is normalized so its **total** equals
+/// each requested B (Fig. 9's x-axis: "total bandwidth demand measured in
+/// multiples of a single satellite's bandwidth capacity").
+///
+/// # Errors
+/// Propagates designer failure.
+pub fn data(params: Params) -> Result<Vec<Fig9Point>> {
+    let model = super::default_demand_model();
+    let grid = super::default_grid(&model);
+    let grid_total = grid.total();
+    let multipliers: Vec<f64> = params.totals.iter().map(|b| b / grid_total).collect();
+    let rows = fig9_sweep(&grid, &multipliers, params.ss, &params.wd)?;
+    Ok(params
+        .totals
+        .iter()
+        .zip(rows)
+        .map(|(&b, row)| Fig9Point { total_demand: b, row })
+        .collect())
+}
+
+/// Renders the two series.
+pub fn render(d: &[Fig9Point]) -> String {
+    let rows: Vec<Vec<String>> = d
+        .iter()
+        .map(|p| {
+            vec![
+                render::fnum(p.total_demand),
+                p.row.ss_sats.to_string(),
+                p.row.ss_planes.to_string(),
+                p.row.wd_sats.to_string(),
+                p.row.wd_shells.to_string(),
+                format!("{:.2}", p.row.wd_sats as f64 / p.row.ss_sats.max(1) as f64),
+            ]
+        })
+        .collect();
+    render::table(
+        &["total_demand_B", "SS_sats", "SS_planes", "WD_sats", "WD_shells", "WD/SS"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_quick_sweep() {
+        let d = data(Params { totals: vec![10.0, 500.0], ..Default::default() }).unwrap();
+        assert_eq!(d.len(), 2);
+        for p in &d {
+            assert!(p.row.ss_sats < p.row.wd_sats, "SS must beat WD at B={}", p.total_demand);
+        }
+        assert!(d[1].row.ss_sats >= d[0].row.ss_sats);
+        assert!(render(&d).contains("WD/SS"));
+    }
+}

@@ -1,0 +1,73 @@
+//! One module per figure of the paper's evaluation.
+//!
+//! Shared defaults live here: the synthetic demand model (Fig. 3/4/5/8),
+//! the demand grid resolution the designers consume, the radiation
+//! environment, and the reference epochs. Every module exposes
+//! `data(params)` returning a typed series and `render(&data)` producing
+//! the text the `repro` binary prints.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use ssplane_astro::time::Epoch;
+use ssplane_demand::grid::LatTodGrid;
+use ssplane_demand::DemandModel;
+use ssplane_radiation::RadiationEnvironment;
+
+/// Inclination of the paper's Walker/RGT comparisons \[rad\] (65°).
+pub fn comparison_inclination() -> f64 {
+    65f64.to_radians()
+}
+
+/// Reference design epoch: mid solar cycle 24 (stable activity).
+pub fn design_epoch() -> Epoch {
+    Epoch::from_calendar(2013, 6, 1, 0, 0, 0.0)
+}
+
+/// The default synthetic demand model (seeded; see ssplane-demand).
+///
+/// # Panics
+/// Never for the default configuration (non-zero grid dimensions).
+pub fn default_demand_model() -> DemandModel {
+    DemandModel::synthetic_default().expect("default demand configuration is valid")
+}
+
+/// The sun-relative demand grid at the paper's Fig. 8 resolution
+/// (5° × 1 h).
+///
+/// # Panics
+/// Never for valid models (non-zero dimensions are hardcoded).
+pub fn default_grid(model: &DemandModel) -> LatTodGrid {
+    LatTodGrid::from_model(model, 36, 24).expect("grid dimensions are non-zero")
+}
+
+/// The default radiation environment (offset tilted dipole + cycle 24).
+pub fn default_environment() -> RadiationEnvironment {
+    RadiationEnvironment::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_construct() {
+        let model = default_demand_model();
+        let grid = default_grid(&model);
+        assert_eq!(grid.lat_bins(), 36);
+        assert_eq!(grid.tod_bins(), 24);
+        assert!((default_environment().solar.period_days - 4018.0).abs() < 1.0);
+        assert!(comparison_inclination() > 1.1);
+        assert!(design_epoch().julian_date() > 2_456_000.0);
+    }
+}

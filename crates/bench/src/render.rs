@@ -1,0 +1,78 @@
+//! Plain-text rendering helpers for the `repro` harness: aligned series
+//! tables and CSV output.
+
+/// Renders a table: header row plus rows of columns, space-aligned.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("{:>w$} ", h, w = widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:>w$} ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV with a header.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float compactly (engineering-friendly).
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e5 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.fract().abs() < 1e-9 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(&["a", "bbb"], &[vec!["10".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("bbb"));
+        assert!(lines[1].trim_start().starts_with("10"));
+    }
+
+    #[test]
+    fn csv_format() {
+        let c = csv(&["x", "y"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]]);
+        assert_eq!(c, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(42.0), "42");
+        assert!(fnum(1.23456e9).contains('e'));
+        assert!(fnum(0.5).starts_with("0.5"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Quick probe of the Fig. 9 sweep on the realistic synthetic demand grid.
+
+use ssplane_core::designer::DesignConfig;
+use ssplane_core::evaluate::fig9_sweep;
+use ssplane_core::walker_baseline::WalkerBaselineConfig;
+use ssplane_demand::grid::LatTodGrid;
+use ssplane_demand::DemandModel;
+
+fn main() {
+    let model = DemandModel::synthetic_default().unwrap();
+    let grid = LatTodGrid::from_model(&model, 36, 24).unwrap();
+    println!("grid peak {} total {:.1}", grid.peak(), grid.total());
+    // Fig. 9 caption: B is the TOTAL demand in satellite capacities.
+    let multipliers: Vec<f64> = [10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0]
+        .iter()
+        .map(|b| b / grid.total())
+        .collect();
+    let rows = fig9_sweep(
+        &grid,
+        &multipliers,
+        DesignConfig::default(),
+        &WalkerBaselineConfig::default(),
+    )
+    .unwrap();
+    println!("{:>8} {:>9} {:>9} {:>9} {:>9} {:>7}", "B", "SS sats", "planes", "WD sats", "shells", "WD/SS");
+    for r in rows {
+        println!(
+            "{:>8.0} {:>9} {:>9} {:>9} {:>9} {:>7.2}",
+            r.multiplier * grid.total(),
+            r.ss_sats,
+            r.ss_planes,
+            r.wd_sats,
+            r.wd_shells,
+            r.wd_sats as f64 / r.ss_sats.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for constellation design.
+
+use core::fmt;
+
+/// Result alias with [`CoreError`].
+pub type Result<T> = core::result::Result<T, CoreError>;
+
+/// Errors produced by the constellation designers and evaluators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An astrodynamics routine failed.
+    Astro(ssplane_astro::AstroError),
+    /// A demand-model routine failed.
+    Demand(ssplane_demand::DemandError),
+    /// A radiation routine failed.
+    Radiation(ssplane_radiation::RadiationError),
+    /// The design loop hit its plane budget before satisfying demand —
+    /// either the budget is too small or the demand is infeasible for the
+    /// configured geometry.
+    PlaneBudgetExhausted {
+        /// Planes placed before giving up.
+        placed: usize,
+        /// Demand still outstanding (sum over cells).
+        residual_demand: f64,
+    },
+    /// A configuration parameter was out of its domain.
+    BadConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Astro(e) => write!(f, "astrodynamics error: {e}"),
+            CoreError::Demand(e) => write!(f, "demand model error: {e}"),
+            CoreError::Radiation(e) => write!(f, "radiation model error: {e}"),
+            CoreError::PlaneBudgetExhausted { placed, residual_demand } => write!(
+                f,
+                "design did not converge: {placed} planes placed, {residual_demand:.2} demand left"
+            ),
+            CoreError::BadConfig { name, constraint } => {
+                write!(f, "bad configuration {name}: must satisfy {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Astro(e) => Some(e),
+            CoreError::Demand(e) => Some(e),
+            CoreError::Radiation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ssplane_astro::AstroError> for CoreError {
+    fn from(e: ssplane_astro::AstroError) -> Self {
+        CoreError::Astro(e)
+    }
+}
+
+impl From<ssplane_demand::DemandError> for CoreError {
+    fn from(e: ssplane_demand::DemandError) -> Self {
+        CoreError::Demand(e)
+    }
+}
+
+impl From<ssplane_radiation::RadiationError> for CoreError {
+    fn from(e: ssplane_radiation::RadiationError) -> Self {
+        CoreError::Radiation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CoreError = ssplane_astro::AstroError::NoSolution { what: "x" }.into();
+        assert!(e.to_string().contains("astrodynamics"));
+        assert!(e.source().is_some());
+        let e = CoreError::PlaneBudgetExhausted { placed: 10, residual_demand: 3.5 };
+        assert!(e.to_string().contains("10 planes"));
+        assert!(e.source().is_none());
+        let e: CoreError = ssplane_demand::DemandError::EmptyGrid { dimension: "lat" }.into();
+        assert!(e.to_string().contains("demand"));
+        let e: CoreError =
+            ssplane_radiation::RadiationError::BelowSurface { radius_km: 1.0 }.into();
+        assert!(e.to_string().contains("radiation"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the constellation designers.
+
+use proptest::prelude::*;
+use ssplane_astro::sunsync::sun_synchronous_orbit;
+use ssplane_core::designer::{design_ss_constellation, DesignConfig};
+use ssplane_core::ssplane::{planes_through, SsPlane};
+use ssplane_core::walker_baseline::coverage_kernel;
+use ssplane_demand::grid::LatTodGrid;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn covered_cells_valid_and_monotone_in_swath(
+        ltan in 0.0f64..24.0,
+        swath in 0.03f64..0.2,
+    ) {
+        let orbit = sun_synchronous_orbit(560.0).unwrap();
+        let plane = SsPlane { orbit: orbit.with_ltan(ltan), n_sats: 10 };
+        let grid = LatTodGrid::from_values(36, 24, vec![0.0; 36 * 24]).unwrap();
+        let narrow = plane.covered_cells(&grid, swath);
+        let wide = plane.covered_cells(&grid, swath + 0.05);
+        prop_assert!(!narrow.is_empty());
+        for &(i, j) in &narrow {
+            prop_assert!(i < 36 && j < 24);
+        }
+        // Monotonicity: widening the swath never loses cells.
+        for c in &narrow {
+            prop_assert!(wide.contains(c), "cell {c:?} lost when widening");
+        }
+    }
+
+    #[test]
+    fn planes_through_cover_their_target(
+        lat_frac in -0.95f64..0.95,
+        tod in 0.0f64..24.0,
+    ) {
+        let orbit = sun_synchronous_orbit(560.0).unwrap();
+        let lat = lat_frac * orbit.max_latitude();
+        let planes = planes_through(orbit, lat, tod, 10).unwrap();
+        for plane in planes {
+            // The target point is on the track: its nearest track point is
+            // within a tiny angular distance.
+            let best = plane
+                .track_points(2048)
+                .into_iter()
+                .map(|p| {
+                    let dl = p.lat - lat;
+                    let mut dh = (p.local_time_h - tod).abs();
+                    if dh > 12.0 { dh = 24.0 - dh; }
+                    let dt = dh / 24.0 * core::f64::consts::TAU * lat.cos();
+                    (dl * dl + dt * dt).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(best < 0.02, "track misses target by {best} rad");
+        }
+    }
+
+    #[test]
+    fn greedy_satisfies_any_small_demand(
+        cells in proptest::collection::vec((4usize..32, 0usize..24, 0.1f64..3.0), 1..6),
+    ) {
+        let mut v = vec![0.0; 36 * 24];
+        for &(i, j, d) in &cells {
+            v[i * 24 + j] = d;
+        }
+        let grid = LatTodGrid::from_values(36, 24, v).unwrap();
+        let c = design_ss_constellation(
+            &grid,
+            DesignConfig { max_planes: 2000, ..Default::default() },
+        )
+        .unwrap();
+        // Termination with a sane plane count: at most ceil(total) + cells.
+        let bound = grid.total().ceil() as usize + cells.len() * 2 + 2;
+        prop_assert!(c.planes.len() <= bound, "{} planes for bound {}", c.planes.len(), bound);
+        prop_assert_eq!(c.unserved_demand, 0.0);
+    }
+
+    #[test]
+    fn kernel_bounded_and_zero_beyond_reach(
+        lat in -1.5f64..1.5,
+        inc in 0.1f64..3.0,
+        theta in 0.05f64..0.3,
+    ) {
+        let k = coverage_kernel(lat, inc, theta);
+        prop_assert!(k >= 0.0 && k.is_finite());
+        // A single satellite covers at most the cap fraction enhanced by
+        // dwell: bound loosely by 1.
+        prop_assert!(k <= 1.0, "kernel {k}");
+        let i_eff = inc.min(core::f64::consts::PI - inc);
+        if lat.abs() > i_eff + theta {
+            prop_assert_eq!(k, 0.0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the demand substrate.
+
+use core::fmt;
+
+/// Result alias with [`DemandError`].
+pub type Result<T> = core::result::Result<T, DemandError>;
+
+/// Errors produced by demand-model construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DemandError {
+    /// A grid was requested with a zero-sized dimension.
+    EmptyGrid {
+        /// Which dimension was empty.
+        dimension: &'static str,
+    },
+    /// A query parameter was out of its domain.
+    OutOfDomain {
+        /// Parameter name.
+        name: &'static str,
+        /// Expected domain description.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for DemandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandError::EmptyGrid { dimension } => {
+                write!(f, "grid dimension {dimension} must be non-zero")
+            }
+            DemandError::OutOfDomain { name, expected } => {
+                write!(f, "parameter {name} out of domain: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DemandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DemandError::EmptyGrid { dimension: "lat" }.to_string().contains("lat"));
+        assert!(DemandError::OutOfDomain { name: "hour", expected: "[0,24)" }
+            .to_string()
+            .contains("hour"));
+    }
+}

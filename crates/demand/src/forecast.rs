@@ -1,0 +1,151 @@
+//! Demand forecasting — the §5(4) control-plane primitive.
+//!
+//! The paper's research agenda asks for control planes "periodically
+//! updated with bandwidth forecasts". Because the demand this workspace
+//! models is dominated by deterministic diurnal seasonality, a small
+//! harmonic regression captures most of it; this module fits one and
+//! reports forecast quality, giving the `lsn` layer a realistic predicted
+//! load to schedule against.
+
+use crate::error::{DemandError, Result};
+
+/// A fitted harmonic (Fourier) day-periodic model:
+/// `ŷ(h) = c₀ + Σₖ aₖ cos(2πkh/24) + bₖ sin(2πkh/24)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarmonicForecaster {
+    /// Mean term.
+    pub c0: f64,
+    /// Cosine coefficients per harmonic (k = 1..).
+    pub a: Vec<f64>,
+    /// Sine coefficients per harmonic.
+    pub b: Vec<f64>,
+}
+
+impl HarmonicForecaster {
+    /// Fits `harmonics` day-periodic harmonics to hourly samples
+    /// `(hour-of-day, value)` by direct Fourier projection (exact least
+    /// squares when hours are uniformly sampled).
+    ///
+    /// # Errors
+    /// Rejects empty inputs and zero harmonics.
+    pub fn fit(samples: &[(f64, f64)], harmonics: usize) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(DemandError::EmptyGrid { dimension: "samples" });
+        }
+        if harmonics == 0 {
+            return Err(DemandError::OutOfDomain { name: "harmonics", expected: ">= 1" });
+        }
+        let n = samples.len() as f64;
+        let c0 = samples.iter().map(|&(_, v)| v).sum::<f64>() / n;
+        let mut a = Vec::with_capacity(harmonics);
+        let mut b = Vec::with_capacity(harmonics);
+        for k in 1..=harmonics {
+            let w = core::f64::consts::TAU * k as f64 / 24.0;
+            let ak = 2.0 / n * samples.iter().map(|&(h, v)| (v - c0) * (w * h).cos()).sum::<f64>();
+            let bk = 2.0 / n * samples.iter().map(|&(h, v)| (v - c0) * (w * h).sin()).sum::<f64>();
+            a.push(ak);
+            b.push(bk);
+        }
+        Ok(HarmonicForecaster { c0, a, b })
+    }
+
+    /// Predicted value at hour-of-day `h`.
+    pub fn predict(&self, h: f64) -> f64 {
+        let mut y = self.c0;
+        for (k, (&ak, &bk)) in self.a.iter().zip(&self.b).enumerate() {
+            let w = core::f64::consts::TAU * (k + 1) as f64 / 24.0;
+            y += ak * (w * h).cos() + bk * (w * h).sin();
+        }
+        y
+    }
+
+    /// Mean absolute percentage error against held-out samples
+    /// (values ≤ `floor` are skipped to avoid division blowups).
+    pub fn mape(&self, samples: &[(f64, f64)], floor: f64) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for &(h, v) in samples {
+            if v.abs() <= floor {
+                continue;
+            }
+            acc += ((self.predict(h) - v) / v).abs();
+            n += 1;
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            acc / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::DiurnalModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn diurnal_samples(days: usize, noise: f64, seed: u64) -> Vec<(f64, f64)> {
+        let model = DiurnalModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for _ in 0..days {
+            for hour in 0..24 {
+                let h = hour as f64 + 0.5;
+                let v = model.relative_load(h) * (1.0 + noise * (rng.gen::<f64>() - 0.5));
+                out.push((h, v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fits_pure_harmonic_exactly() {
+        let samples: Vec<(f64, f64)> = (0..240)
+            .map(|k| {
+                let h = k as f64 / 10.0;
+                (h, 5.0 + 2.0 * (core::f64::consts::TAU * h / 24.0).cos())
+            })
+            .collect();
+        let f = HarmonicForecaster::fit(&samples, 2).unwrap();
+        assert!((f.c0 - 5.0).abs() < 1e-9);
+        assert!((f.a[0] - 2.0).abs() < 1e-9);
+        assert!(f.b[0].abs() < 1e-9);
+        assert!(f.a[1].abs() < 1e-9, "no spurious second harmonic");
+        for &(h, v) in &samples {
+            assert!((f.predict(h) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forecasts_diurnal_demand_well() {
+        // Train on 20 noisy days, test on 10 held-out days.
+        let train = diurnal_samples(20, 0.2, 1);
+        let test = diurnal_samples(10, 0.2, 2);
+        let f = HarmonicForecaster::fit(&train, 3).unwrap();
+        let mape = f.mape(&test, 1e-6);
+        assert!(mape < 0.15, "held-out MAPE = {mape}");
+        // The fitted curve tracks the true peak/trough ordering.
+        assert!(f.predict(15.5) > 2.0 * f.predict(3.5));
+    }
+
+    #[test]
+    fn more_harmonics_fit_no_worse_in_sample(){
+        let train = diurnal_samples(10, 0.05, 3);
+        let f1 = HarmonicForecaster::fit(&train, 1).unwrap();
+        let f3 = HarmonicForecaster::fit(&train, 3).unwrap();
+        let m1 = f1.mape(&train, 1e-6);
+        let m3 = f3.mape(&train, 1e-6);
+        assert!(m3 <= m1 + 0.02, "m1 {m1} vs m3 {m3}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(HarmonicForecaster::fit(&[], 2).is_err());
+        assert!(HarmonicForecaster::fit(&[(0.0, 1.0)], 0).is_err());
+        // Degenerate MAPE: all below floor.
+        let f = HarmonicForecaster::fit(&[(0.0, 1.0), (12.0, 1.0)], 1).unwrap();
+        assert!(f.mape(&[(0.0, 0.0)], 1e-6).is_nan());
+    }
+}

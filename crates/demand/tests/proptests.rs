@@ -1,0 +1,72 @@
+//! Property-based tests for the demand substrate.
+
+use proptest::prelude::*;
+use ssplane_astro::frames::SunRelativePoint;
+use ssplane_demand::diurnal::DiurnalModel;
+use ssplane_demand::grid::LatTodGrid;
+use ssplane_demand::population::latitude_envelope;
+
+proptest! {
+    #[test]
+    fn diurnal_weight_in_unit_interval(hour in -100.0f64..100.0) {
+        let m = DiurnalModel::default();
+        let w = m.weight(hour);
+        prop_assert!(w > 0.0 && w <= 1.0 + 1e-12);
+        // 24h periodicity.
+        prop_assert!((w - m.weight(hour + 24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_median_consistency(hour in 0.0f64..24.0) {
+        let m = DiurnalModel::default();
+        // median_percent = 100 * relative_load by definition.
+        prop_assert!((m.median_percent(hour) - 100.0 * m.relative_load(hour)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_nonnegative_and_bounded(lat in -90.0f64..90.0) {
+        let e = latitude_envelope(lat);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= 6000.0 + 1e-6);
+    }
+
+    #[test]
+    fn grid_scaling_linear(mult in 0.0f64..1000.0) {
+        let g = LatTodGrid::from_values(6, 8, (0..48).map(|k| k as f64 / 7.0).collect()).unwrap();
+        let s = g.scaled(mult);
+        prop_assert!((s.peak() - g.peak() * mult).abs() < 1e-9 * (1.0 + mult));
+        prop_assert!((s.total() - g.total() * mult).abs() < 1e-6 * (1.0 + mult));
+    }
+
+    #[test]
+    fn cell_of_always_in_bounds(lat in -1.570f64..1.570, tod in -48.0f64..48.0) {
+        let g = LatTodGrid::from_values(36, 24, vec![0.0; 36 * 24]).unwrap();
+        let (i, j) = g.cell_of(SunRelativePoint { lat, local_time_h: tod });
+        prop_assert!(i < 36);
+        prop_assert!(j < 24);
+    }
+
+    #[test]
+    fn cell_of_center_round_trip(i in 0usize..36, j in 0usize..24) {
+        let g = LatTodGrid::from_values(36, 24, vec![0.0; 36 * 24]).unwrap();
+        let p = SunRelativePoint {
+            lat: g.lat_center_deg(i).to_radians(),
+            local_time_h: g.tod_center_h(j),
+        };
+        prop_assert_eq!(g.cell_of(p), (i, j));
+    }
+
+    #[test]
+    fn argmax_is_max(values in proptest::collection::vec(0.0f64..10.0, 24)) {
+        let g = LatTodGrid::from_values(4, 6, values.clone()).unwrap();
+        if let Some((i, j)) = g.argmax() {
+            let m = g.value(i, j);
+            for (_, _, v) in g.cells() {
+                prop_assert!(v <= m);
+            }
+            prop_assert!(m > 0.0);
+        } else {
+            prop_assert!(values.iter().all(|&v| v <= 0.0));
+        }
+    }
+}

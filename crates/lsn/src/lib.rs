@@ -1,0 +1,38 @@
+//! # ssplane-lsn
+//!
+//! LEO satellite networking on SS-plane constellations — the paper's §5
+//! research agenda ("Implications for networking") made executable:
+//!
+//! * [`topology`] — inter-satellite-link (ISL) topologies: the classic
+//!   +grid (intra-plane ring + cross-plane neighbors) with line-of-sight
+//!   and range feasibility checks (§5(1): *time-aware satellite network
+//!   topologies*).
+//! * [`routing`] — snapshot and time-expanded shortest-delay routing with
+//!   handoff accounting (§5(1): *precomputed time-aware paths*).
+//! * [`traffic`] — flow-level traffic assignment driven by the
+//!   sun-relative demand model, reporting link utilization and latency
+//!   stretch (§5(1): *bandwidth allocation exploiting the regularity of
+//!   human activity*).
+//! * [`failures`] — radiation-driven failure processes: per-satellite
+//!   hazard proportional to accumulated fluence (§3.2's mechanism).
+//! * [`spares`] — spare provisioning policies (per-plane hot spares vs a
+//!   shared on-demand pool), the paper's "2–10 spares per plane" practice.
+//! * [`survivability`] — a discrete-event simulation tying it together:
+//!   failures, replacements, and capacity availability over mission time
+//!   (§5(2): *lighter-weight fault tolerance for low-radiation
+//!   constellations*).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod failures;
+pub mod routing;
+pub mod schedule;
+pub mod spares;
+pub mod survivability;
+pub mod topology;
+pub mod traffic;
+
+pub use error::{LsnError, Result};
+pub use topology::{Constellation, SatId, Topology};

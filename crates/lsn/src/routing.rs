@@ -1,0 +1,381 @@
+//! Snapshot and time-expanded routing over ISL topologies.
+//!
+//! §5(1) of the paper: SS-plane constellations make coverage patterns
+//! *predictable*, so routes can be precomputed per time slot. This module
+//! provides shortest-propagation-delay routing on topology snapshots, a
+//! time-expanded router that tracks path changes (handoffs) across slots,
+//! and ground-terminal attachment.
+
+use crate::error::{LsnError, Result};
+use crate::topology::{Constellation, GridTopologyConfig, SatId, Topology};
+use ssplane_astro::constants::EARTH_RADIUS_KM;
+use ssplane_astro::coverage::elevation_at_central_angle;
+use ssplane_astro::frames::ecef_to_eci;
+use ssplane_astro::geo::GeoPoint;
+use ssplane_astro::time::Epoch;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Speed of light \[km/s\].
+pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;
+
+/// A route through the constellation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Satellites traversed, in order.
+    pub hops: Vec<SatId>,
+    /// End-to-end propagation delay \[ms\] including up/down links.
+    pub delay_ms: f64,
+    /// Total path length \[km\] including up/down links.
+    pub length_km: f64,
+}
+
+/// Dijkstra state.
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-length path (km) between two satellites on a topology
+/// snapshot. Returns hop list and length.
+///
+/// # Errors
+/// [`LsnError::UnknownNode`] for unknown endpoints, [`LsnError::NoRoute`]
+/// if disconnected.
+pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec<SatId>, f64)> {
+    let src = topology
+        .index_of(from)
+        .ok_or(LsnError::UnknownNode { plane: from.plane, slot: from.slot })?;
+    let dst = topology
+        .index_of(to)
+        .ok_or(LsnError::UnknownNode { plane: to.plane, slot: to.slot })?;
+    let n = topology.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: src });
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        if node == dst {
+            break;
+        }
+        if d > dist[node] {
+            continue;
+        }
+        for &(v, w) in topology.neighbors(node) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = node;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    if dist[dst].is_infinite() {
+        return Err(LsnError::NoRoute);
+    }
+    let mut hops = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        hops.push(cur);
+    }
+    hops.reverse();
+    Ok((
+        hops.into_iter().map(|i| topology.id_of(i).expect("valid index")).collect(),
+        dist[dst],
+    ))
+}
+
+/// The satellite best serving a ground point at epoch `t`: the one with
+/// the highest elevation above `min_elevation` \[rad\], if any.
+///
+/// # Errors
+/// Propagates position evaluation failure.
+pub fn serving_satellite(
+    constellation: &Constellation,
+    ground: GeoPoint,
+    t: Epoch,
+    min_elevation: f64,
+) -> Result<Option<(SatId, f64)>> {
+    let g_ecef = ground.to_unit_vector() * EARTH_RADIUS_KM;
+    let g_eci = ecef_to_eci(t, g_ecef);
+    let mut best: Option<(SatId, f64)> = None;
+    for id in constellation.ids() {
+        let r = constellation.position(id, t)?;
+        let central = g_eci.angle_to(r);
+        let altitude = r.norm() - EARTH_RADIUS_KM;
+        let elev = elevation_at_central_angle(altitude, central.max(1e-9));
+        if elev >= min_elevation && best.map_or(true, |(_, be)| elev > be) {
+            best = Some((id, elev));
+        }
+    }
+    Ok(best)
+}
+
+/// Routes ground-to-ground traffic at epoch `t`: uplink to the best
+/// serving satellite at each end, shortest ISL path between them.
+///
+/// # Errors
+/// [`LsnError::NoRoute`] if either terminal has no serving satellite or
+/// the satellites are disconnected.
+pub fn route_ground_to_ground(
+    constellation: &Constellation,
+    topology: &Topology,
+    src: GeoPoint,
+    dst: GeoPoint,
+    t: Epoch,
+    min_elevation: f64,
+) -> Result<Route> {
+    let (s_sat, _) = serving_satellite(constellation, src, t, min_elevation)?
+        .ok_or(LsnError::NoRoute)?;
+    let (d_sat, _) = serving_satellite(constellation, dst, t, min_elevation)?
+        .ok_or(LsnError::NoRoute)?;
+    let (hops, isl_km) = if s_sat == d_sat {
+        (vec![s_sat], 0.0)
+    } else {
+        shortest_path(topology, s_sat, d_sat)?
+    };
+    let up = (constellation.position(s_sat, t)?
+        - ecef_to_eci(t, src.to_unit_vector() * EARTH_RADIUS_KM))
+    .norm();
+    let down = (constellation.position(d_sat, t)?
+        - ecef_to_eci(t, dst.to_unit_vector() * EARTH_RADIUS_KM))
+    .norm();
+    let length_km = isl_km + up + down;
+    Ok(Route { hops, delay_ms: length_km / SPEED_OF_LIGHT_KM_S * 1e3, length_km })
+}
+
+/// A time-expanded routing result: one route per time slot plus handoff
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct TimeExpandedRoutes {
+    /// Slot epochs.
+    pub epochs: Vec<Epoch>,
+    /// Route per slot (None when unreachable in that slot).
+    pub routes: Vec<Option<Route>>,
+}
+
+impl TimeExpandedRoutes {
+    /// Number of slots where the pair was routable.
+    pub fn reachable_slots(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of *handoffs*: slot transitions where the serving pair
+    /// (first/last hop) changed between consecutive reachable slots.
+    pub fn handoffs(&self) -> usize {
+        let mut count = 0;
+        let mut prev: Option<(SatId, SatId)> = None;
+        for r in self.routes.iter().flatten() {
+            let ends = (
+                *r.hops.first().expect("route has hops"),
+                *r.hops.last().expect("route has hops"),
+            );
+            if let Some(p) = prev {
+                if p != ends {
+                    count += 1;
+                }
+            }
+            prev = Some(ends);
+        }
+        count
+    }
+
+    /// Mean delay over reachable slots \[ms\] (NaN if never reachable).
+    pub fn mean_delay_ms(&self) -> f64 {
+        let delays: Vec<f64> = self.routes.iter().flatten().map(|r| r.delay_ms).collect();
+        delays.iter().sum::<f64>() / delays.len() as f64
+    }
+}
+
+/// Routes a ground pair over `n_slots` slots spaced `slot_s` seconds,
+/// rebuilding the topology snapshot each slot (the paper's "precomputed
+/// time-aware paths and schedules").
+///
+/// # Errors
+/// Propagates topology-construction failure; per-slot unreachability is
+/// recorded as `None` rather than an error.
+#[allow(clippy::too_many_arguments)] // a routing request is inherently 8-dimensional
+pub fn route_over_time(
+    constellation: &Constellation,
+    src: GeoPoint,
+    dst: GeoPoint,
+    start: Epoch,
+    n_slots: usize,
+    slot_s: f64,
+    min_elevation: f64,
+    topo_config: GridTopologyConfig,
+) -> Result<TimeExpandedRoutes> {
+    let mut epochs = Vec::with_capacity(n_slots);
+    let mut routes = Vec::with_capacity(n_slots);
+    for k in 0..n_slots {
+        let t = start + k as f64 * slot_s;
+        epochs.push(t);
+        let topology = Topology::plus_grid(constellation, t, topo_config)?;
+        match route_ground_to_ground(constellation, &topology, src, dst, t, min_elevation) {
+            Ok(r) => routes.push(Some(r)),
+            Err(LsnError::NoRoute) => routes.push(None),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(TimeExpandedRoutes { epochs, routes })
+}
+
+/// Great-circle lower bound on ground-to-ground delay \[ms\] (through an
+/// idealized terrestrial fiber at c).
+pub fn great_circle_delay_ms(src: GeoPoint, dst: GeoPoint) -> f64 {
+    src.distance_km(&dst) / SPEED_OF_LIGHT_KM_S * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssplane_astro::kepler::OrbitalElements;
+    use ssplane_astro::sunsync::sun_synchronous_orbit;
+
+    fn constellation(planes: usize, slots: usize) -> Constellation {
+        let epoch = Epoch::J2000;
+        let orbit = sun_synchronous_orbit(560.0).unwrap();
+        let element_planes: Vec<Vec<OrbitalElements>> = (0..planes)
+            .map(|p| orbit.with_ltan(8.0 + p as f64).plane_elements(epoch, slots).unwrap())
+            .collect();
+        Constellation::new(epoch, element_planes).unwrap()
+    }
+
+    #[test]
+    fn shortest_path_adjacent_and_self() {
+        let c = constellation(3, 12);
+        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let a = SatId { plane: 0, slot: 0 };
+        let b = SatId { plane: 0, slot: 1 };
+        let (hops, km) = shortest_path(&topo, a, b).unwrap();
+        assert_eq!(hops, vec![a, b]);
+        assert!(km > 100.0 && km < 5000.0);
+        let (hops, km) = shortest_path(&topo, a, a).unwrap();
+        assert_eq!(hops, vec![a]);
+        assert_eq!(km, 0.0);
+    }
+
+    #[test]
+    fn shortest_path_is_optimal_over_ring() {
+        // Going 3 slots around a 12-slot ring must cost 3 ring hops.
+        let c = constellation(1, 12);
+        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let (hops, _) = shortest_path(
+            &topo,
+            SatId { plane: 0, slot: 0 },
+            SatId { plane: 0, slot: 3 },
+        )
+        .unwrap();
+        assert_eq!(hops.len(), 4);
+        // And the short way around for slot 10 (2 hops back).
+        let (hops, _) = shortest_path(
+            &topo,
+            SatId { plane: 0, slot: 0 },
+            SatId { plane: 0, slot: 10 },
+        )
+        .unwrap();
+        assert_eq!(hops.len(), 3);
+    }
+
+    #[test]
+    fn unknown_endpoints_rejected() {
+        let c = constellation(2, 6);
+        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let bad = SatId { plane: 5, slot: 0 };
+        assert!(matches!(
+            shortest_path(&topo, bad, SatId { plane: 0, slot: 0 }),
+            Err(LsnError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn serving_satellite_under_track() {
+        let c = constellation(6, 20);
+        let t = Epoch::J2000;
+        // Find a sub-satellite point; that ground point must be served.
+        let r = c.position(SatId { plane: 2, slot: 5 }, t).unwrap();
+        let (gp, _) = ssplane_astro::frames::subsatellite_point(t, r).unwrap();
+        let serving = serving_satellite(&c, gp, t, 30f64.to_radians()).unwrap();
+        let (id, elev) = serving.expect("point under a satellite is served");
+        assert_eq!(id, SatId { plane: 2, slot: 5 });
+        assert!(elev > 80f64.to_radians());
+    }
+
+    #[test]
+    fn ground_route_end_to_end() {
+        let c = constellation(8, 25);
+        let t = Epoch::J2000;
+        let topo = Topology::plus_grid(&c, t, Default::default()).unwrap();
+        // Two points under the constellation's morning planes.
+        let r1 = c.position(SatId { plane: 1, slot: 3 }, t).unwrap();
+        let (src, _) = ssplane_astro::frames::subsatellite_point(t, r1).unwrap();
+        let r2 = c.position(SatId { plane: 6, slot: 3 }, t).unwrap();
+        let (dst, _) = ssplane_astro::frames::subsatellite_point(t, r2).unwrap();
+        let route = route_ground_to_ground(&c, &topo, src, dst, t, 25f64.to_radians()).unwrap();
+        assert!(!route.hops.is_empty());
+        assert!(route.delay_ms > 0.0);
+        // Delay at least the great-circle bound (satellite paths are
+        // longer than ideal fiber) but not absurd.
+        let bound = great_circle_delay_ms(src, dst);
+        assert!(route.delay_ms >= bound * 0.99, "{} < {}", route.delay_ms, bound);
+        assert!(route.delay_ms < bound * 10.0 + 50.0);
+    }
+
+    #[test]
+    fn unreachable_ground_gives_no_route() {
+        let c = constellation(2, 10);
+        let t = Epoch::J2000;
+        let topo = Topology::plus_grid(&c, t, Default::default()).unwrap();
+        // A 2-plane morning constellation leaves the antipodal local
+        // evening uncovered: pick the point opposite plane 0's ascending
+        // node on the equator.
+        let r = c.position(SatId { plane: 0, slot: 0 }, t).unwrap();
+        let (sub, _) = ssplane_astro::frames::subsatellite_point(t, r).unwrap();
+        let far = GeoPoint::new(-sub.lat, ssplane_astro::angles::wrap_pi(sub.lon + 2.0));
+        let result = route_ground_to_ground(&c, &topo, far, sub, t, 60f64.to_radians());
+        assert!(matches!(result, Err(LsnError::NoRoute)) || result.is_ok());
+    }
+
+    #[test]
+    fn time_expanded_routes_and_handoffs() {
+        let c = constellation(8, 25);
+        let src = GeoPoint::from_degrees(40.0, -100.0);
+        let dst = GeoPoint::from_degrees(50.0, 10.0);
+        let routes = route_over_time(
+            &c,
+            src,
+            dst,
+            Epoch::J2000,
+            10,
+            60.0,
+            20f64.to_radians(),
+            Default::default(),
+        )
+        .unwrap();
+        assert_eq!(routes.epochs.len(), 10);
+        assert_eq!(routes.routes.len(), 10);
+        if routes.reachable_slots() >= 2 {
+            assert!(routes.mean_delay_ms() > 0.0);
+            // Handoffs bounded by transitions.
+            assert!(routes.handoffs() < routes.reachable_slots());
+        }
+    }
+}

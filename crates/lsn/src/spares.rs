@@ -1,0 +1,195 @@
+//! Spare-satellite provisioning policies.
+//!
+//! §2.1: deployed LSNs keep "2–10 spares per orbital plane" to hot-swap
+//! failures. §5(2) argues that lower-radiation constellations can adopt
+//! lighter-weight redundancy. This module models the two canonical
+//! policies and computes the spare count needed to sustain a target
+//! availability given a failure rate and a replenishment cadence.
+
+use crate::error::{LsnError, Result};
+
+/// A spare provisioning policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SparePolicy {
+    /// `k` hot spares parked in every orbital plane; replacement is fast
+    /// (in-plane phasing only).
+    PerPlane {
+        /// Spares per plane.
+        spares_per_plane: usize,
+        /// Time to phase a spare into a failed slot \[days\].
+        replacement_days: f64,
+    },
+    /// One shared pool (e.g. a parking orbit + launch-on-demand);
+    /// replacement is slow (plane change or new launch).
+    SharedPool {
+        /// Total spares in the pool.
+        pool_size: usize,
+        /// Time to deliver a replacement \[days\].
+        replacement_days: f64,
+    },
+}
+
+impl SparePolicy {
+    /// Total spare satellites carried by a constellation with `planes`
+    /// planes.
+    pub fn total_spares(&self, planes: usize) -> usize {
+        match *self {
+            SparePolicy::PerPlane { spares_per_plane, .. } => spares_per_plane * planes,
+            SparePolicy::SharedPool { pool_size, .. } => pool_size,
+        }
+    }
+
+    /// Replacement latency \[days\].
+    pub fn replacement_days(&self) -> f64 {
+        match *self {
+            SparePolicy::PerPlane { replacement_days, .. }
+            | SparePolicy::SharedPool { replacement_days, .. } => replacement_days,
+        }
+    }
+}
+
+/// Expected failures per plane per resupply period, for sizing spares:
+/// with `sats_per_plane` satellites of annual hazard `hazard_per_year`
+/// and resupply every `resupply_days`.
+pub fn expected_failures_per_plane(
+    sats_per_plane: usize,
+    hazard_per_year: f64,
+    resupply_days: f64,
+) -> f64 {
+    sats_per_plane as f64 * hazard_per_year * resupply_days / 365.25
+}
+
+/// Spares per plane needed so that the probability of exhausting the
+/// plane's spares within one resupply period is below `exhaustion_prob`,
+/// modeling failures as Poisson. Returns the smallest `k` with
+/// `P[N > k] < exhaustion_prob`.
+///
+/// # Errors
+/// Rejects non-positive rates or probabilities outside (0, 1).
+pub fn spares_for_availability(
+    expected_failures: f64,
+    exhaustion_prob: f64,
+) -> Result<usize> {
+    if expected_failures.is_nan() || expected_failures < 0.0 {
+        return Err(LsnError::BadParameter {
+            name: "expected_failures",
+            constraint: ">= 0",
+        });
+    }
+    if !(0.0 < exhaustion_prob && exhaustion_prob < 1.0) {
+        return Err(LsnError::BadParameter {
+            name: "exhaustion_prob",
+            constraint: "in (0, 1)",
+        });
+    }
+    // Poisson tail: walk the CDF.
+    let lambda = expected_failures;
+    let mut pmf = (-lambda).exp();
+    let mut cdf = pmf;
+    let mut k = 0usize;
+    while 1.0 - cdf >= exhaustion_prob {
+        k += 1;
+        pmf *= lambda / k as f64;
+        cdf += pmf;
+        if k > 100_000 {
+            return Err(LsnError::BadParameter {
+                name: "expected_failures",
+                constraint: "finite (Poisson tail did not converge)",
+            });
+        }
+    }
+    Ok(k)
+}
+
+/// Fractional capacity availability of a constellation under a policy:
+/// the steady-state expected fraction of slots occupied by a working
+/// satellite, approximating each failed slot as vacant for the policy's
+/// replacement latency (M/G/∞-style):
+/// `availability = 1 − hazard·latency` (clamped), degraded further if the
+/// spare pool is undersized for the observed failure rate.
+pub fn steady_state_availability(
+    hazard_per_year: f64,
+    policy: &SparePolicy,
+    planes: usize,
+    sats_per_plane: usize,
+    resupply_days: f64,
+) -> f64 {
+    let latency_years = policy.replacement_days() / 365.25;
+    let vacancy = (hazard_per_year * latency_years).min(1.0);
+    // Pool exhaustion: expected failures fleet-wide per resupply period vs
+    // total spares.
+    let expected = expected_failures_per_plane(sats_per_plane, hazard_per_year, resupply_days)
+        * planes as f64;
+    let spares = policy.total_spares(planes) as f64;
+    let coverage = if expected <= 0.0 { 1.0 } else { (spares / expected).min(1.0) };
+    // Failures beyond the spare budget stay vacant until resupply (about
+    // half a resupply period on average).
+    let uncovered = (1.0 - coverage) * (hazard_per_year * resupply_days / 365.25 / 2.0).min(1.0);
+    (1.0 - vacancy - uncovered).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_latency() {
+        let per_plane = SparePolicy::PerPlane { spares_per_plane: 3, replacement_days: 2.0 };
+        assert_eq!(per_plane.total_spares(20), 60);
+        assert_eq!(per_plane.replacement_days(), 2.0);
+        let pool = SparePolicy::SharedPool { pool_size: 25, replacement_days: 30.0 };
+        assert_eq!(pool.total_spares(20), 25);
+        assert_eq!(pool.replacement_days(), 30.0);
+    }
+
+    #[test]
+    fn poisson_spares_reference_values() {
+        // λ = 0 needs no spares at any confidence.
+        assert_eq!(spares_for_availability(0.0, 0.01).unwrap(), 0);
+        // λ = 1: P[N>2] ≈ 0.080, P[N>3] ≈ 0.019, P[N>4] ≈ 0.0037.
+        assert_eq!(spares_for_availability(1.0, 0.05).unwrap(), 3);
+        assert_eq!(spares_for_availability(1.0, 0.01).unwrap(), 4);
+        // Higher failure rates need more spares.
+        let lo = spares_for_availability(0.5, 0.01).unwrap();
+        let hi = spares_for_availability(5.0, 0.01).unwrap();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(spares_for_availability(f64::NAN, 0.01).is_err());
+        assert!(spares_for_availability(1.0, 0.0).is_err());
+        assert!(spares_for_availability(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn expected_failures_scaling() {
+        let base = expected_failures_per_plane(20, 0.05, 180.0);
+        assert!((base - 20.0 * 0.05 * 180.0 / 365.25).abs() < 1e-12);
+        assert!(expected_failures_per_plane(40, 0.05, 180.0) > base);
+        assert!(expected_failures_per_plane(20, 0.10, 180.0) > base);
+    }
+
+    #[test]
+    fn availability_improves_with_spares_and_lower_hazard() {
+        let fast = SparePolicy::PerPlane { spares_per_plane: 4, replacement_days: 3.0 };
+        let none = SparePolicy::PerPlane { spares_per_plane: 0, replacement_days: 3.0 };
+        let a_spared = steady_state_availability(0.08, &fast, 20, 25, 180.0);
+        let a_bare = steady_state_availability(0.08, &none, 20, 25, 180.0);
+        assert!(a_spared > a_bare);
+        // Lower hazard (the SS constellation) → higher availability under
+        // the same policy.
+        let a_low = steady_state_availability(0.04, &fast, 20, 25, 180.0);
+        assert!(a_low > a_spared);
+        assert!((0.0..=1.0).contains(&a_spared));
+    }
+
+    #[test]
+    fn per_plane_beats_pool_on_latency() {
+        let per_plane = SparePolicy::PerPlane { spares_per_plane: 2, replacement_days: 2.0 };
+        let pool = SparePolicy::SharedPool { pool_size: 40, replacement_days: 45.0 };
+        let a_plane = steady_state_availability(0.08, &per_plane, 20, 25, 180.0);
+        let a_pool = steady_state_availability(0.08, &pool, 20, 25, 180.0);
+        assert!(a_plane > a_pool, "{a_plane} vs {a_pool}");
+    }
+}

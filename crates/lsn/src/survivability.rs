@@ -1,0 +1,292 @@
+//! Discrete-event survivability simulation.
+//!
+//! Ties the failure model and spare policies together over mission time:
+//! satellites fail according to their radiation-driven hazard, spares
+//! phase in after the policy's latency, exhausted planes wait for
+//! resupply. The output quantifies the paper's §5(2) claim — a
+//! lower-radiation (SS) constellation sustains the same availability with
+//! fewer spares.
+
+use crate::error::Result;
+use crate::failures::FailureModel;
+use crate::spares::SparePolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssplane_radiation::fluence::DailyFluence;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurvivabilityConfig {
+    /// Mission horizon \[years\].
+    pub horizon_years: f64,
+    /// Resupply cadence \[days\]: planes receive fresh spares (topping the
+    /// policy's budget back up) every interval.
+    pub resupply_days: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SurvivabilityConfig {
+    fn default() -> Self {
+        SurvivabilityConfig { horizon_years: 5.0, resupply_days: 180.0, seed: 42 }
+    }
+}
+
+/// Result of a survivability run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurvivabilityReport {
+    /// Time-averaged fraction of slots occupied by a working satellite.
+    pub availability: f64,
+    /// Total failures over the horizon.
+    pub failures: usize,
+    /// Total replacements performed.
+    pub replacements: usize,
+    /// Slot-days lost to vacancies.
+    pub lost_slot_days: f64,
+    /// Spares consumed (counting resupplies).
+    pub spares_consumed: usize,
+}
+
+/// Event-driven simulation of one constellation.
+///
+/// `plane_doses[p]` is the representative daily fluence of plane `p`;
+/// `sats_per_plane` its slot count. Failed slots consume a spare (if the
+/// plane's budget has one) and return to service after the policy's
+/// replacement latency; otherwise they stay vacant until the next
+/// resupply epoch.
+///
+/// # Errors
+/// Rejects empty constellations, non-positive horizons, and degenerate
+/// failure models.
+pub fn simulate(
+    plane_doses: &[DailyFluence],
+    sats_per_plane: usize,
+    failure_model: &FailureModel,
+    policy: &SparePolicy,
+    config: SurvivabilityConfig,
+) -> Result<SurvivabilityReport> {
+    if plane_doses.is_empty() || sats_per_plane == 0 {
+        return Err(crate::error::LsnError::BadParameter {
+            name: "constellation",
+            constraint: "at least one plane and one satellite per plane",
+        });
+    }
+    if config.horizon_years.is_nan() || config.horizon_years <= 0.0 {
+        return Err(crate::error::LsnError::BadParameter {
+            name: "horizon_years",
+            constraint: "> 0",
+        });
+    }
+    // Validate the model once up front (sample_fleet checks coefficients).
+    failure_model.sample_fleet(&plane_doses[..1.min(plane_doses.len())], config.seed)?;
+
+    let planes = plane_doses.len();
+    let horizon_days = config.horizon_years * 365.25;
+    let replacement_days = policy.replacement_days();
+    let per_plane_budget = match *policy {
+        SparePolicy::PerPlane { spares_per_plane, .. } => spares_per_plane as f64,
+        // Shared pool: express as an average per-plane budget; draws are
+        // made from the common pool below.
+        SparePolicy::SharedPool { .. } => f64::INFINITY,
+    };
+    let mut shared_pool = match *policy {
+        SparePolicy::SharedPool { pool_size, .. } => pool_size as isize,
+        SparePolicy::PerPlane { .. } => isize::MAX,
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut failures = 0usize;
+    let mut replacements = 0usize;
+    let mut lost_slot_days = 0.0f64;
+    let mut spares_consumed = 0usize;
+
+    let mut plane_spares: Vec<f64> = vec![per_plane_budget.min(1e18); planes];
+
+    for (p, dose) in plane_doses.iter().enumerate() {
+        let hazard_per_day = failure_model.hazard_per_year(*dose) / 365.25;
+        for _slot in 0..sats_per_plane {
+            // Renewal process for this slot across the horizon.
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen::<f64>().max(1e-300);
+                let life_days = -u.ln() / hazard_per_day;
+                t += life_days;
+                if t >= horizon_days {
+                    break;
+                }
+                failures += 1;
+                // Draw a spare.
+                let have_spare = if shared_pool == isize::MAX {
+                    if plane_spares[p] >= 1.0 {
+                        plane_spares[p] -= 1.0;
+                        true
+                    } else {
+                        false
+                    }
+                } else if shared_pool > 0 {
+                    shared_pool -= 1;
+                    true
+                } else {
+                    false
+                };
+                let vacancy_days = if have_spare {
+                    spares_consumed += 1;
+                    replacements += 1;
+                    replacement_days
+                } else {
+                    // Wait for the next resupply epoch, then replace.
+                    let next_resupply =
+                        (t / config.resupply_days).ceil() * config.resupply_days;
+                    // Resupply also tops the plane's budget back up.
+                    plane_spares[p] = per_plane_budget.min(1e18);
+                    if shared_pool != isize::MAX {
+                        shared_pool += 1; // one delivered for this slot
+                    }
+                    replacements += 1;
+                    spares_consumed += 1;
+                    (next_resupply - t) + replacement_days
+                };
+                let vacancy_days = vacancy_days.min(horizon_days - t);
+                lost_slot_days += vacancy_days;
+                t += vacancy_days;
+            }
+        }
+    }
+
+    let slot_days = planes as f64 * sats_per_plane as f64 * horizon_days;
+    Ok(SurvivabilityReport {
+        availability: 1.0 - lost_slot_days / slot_days,
+        failures,
+        replacements,
+        lost_slot_days,
+        spares_consumed,
+    })
+}
+
+/// Convenience comparison: same policy and model, two constellations'
+/// plane doses (e.g. SS vs WD). Returns `(ss_report, wd_report)`.
+///
+/// # Errors
+/// Propagates [`simulate`] failure.
+pub fn compare(
+    ss_plane_doses: &[DailyFluence],
+    wd_plane_doses: &[DailyFluence],
+    sats_per_plane: usize,
+    failure_model: &FailureModel,
+    policy: &SparePolicy,
+    config: SurvivabilityConfig,
+) -> Result<(SurvivabilityReport, SurvivabilityReport)> {
+    Ok((
+        simulate(ss_plane_doses, sats_per_plane, failure_model, policy, config)?,
+        simulate(wd_plane_doses, sats_per_plane, failure_model, policy, config)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dose(e: f64, p: f64) -> DailyFluence {
+        DailyFluence { electron: e, proton: p }
+    }
+
+    fn policy() -> SparePolicy {
+        SparePolicy::PerPlane { spares_per_plane: 3, replacement_days: 3.0 }
+    }
+
+    #[test]
+    fn basic_run_properties() {
+        let doses = vec![dose(3e10, 2e7); 10];
+        let report = simulate(
+            &doses,
+            20,
+            &FailureModel::default(),
+            &policy(),
+            SurvivabilityConfig::default(),
+        )
+        .unwrap();
+        assert!((0.0..=1.0).contains(&report.availability));
+        assert!(report.availability > 0.95, "availability {}", report.availability);
+        assert!(report.failures > 0);
+        assert_eq!(report.replacements, report.failures);
+        assert!(report.spares_consumed >= report.replacements);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let doses = vec![dose(3e10, 2e7); 6];
+        let cfg = SurvivabilityConfig::default();
+        let a = simulate(&doses, 15, &FailureModel::default(), &policy(), cfg).unwrap();
+        let b = simulate(&doses, 15, &FailureModel::default(), &policy(), cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lower_dose_fewer_failures_higher_availability() {
+        let hot = vec![dose(4.2e10, 2.4e7); 12];
+        let cool = vec![dose(2.0e10, 1.2e7); 12];
+        let (cool_rep, hot_rep) = compare(
+            &cool,
+            &hot,
+            20,
+            &FailureModel::default(),
+            &policy(),
+            SurvivabilityConfig { horizon_years: 8.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(cool_rep.failures < hot_rep.failures);
+        assert!(cool_rep.availability >= hot_rep.availability);
+        assert!(cool_rep.spares_consumed < hot_rep.spares_consumed);
+    }
+
+    #[test]
+    fn zero_spares_hurts_availability() {
+        let doses = vec![dose(4e10, 2.5e7); 8];
+        let none = SparePolicy::PerPlane { spares_per_plane: 0, replacement_days: 3.0 };
+        let cfg = SurvivabilityConfig { horizon_years: 6.0, ..Default::default() };
+        let bare = simulate(&doses, 20, &FailureModel::default(), &none, cfg).unwrap();
+        let spared = simulate(&doses, 20, &FailureModel::default(), &policy(), cfg).unwrap();
+        assert!(spared.availability > bare.availability);
+        assert!(bare.lost_slot_days > spared.lost_slot_days);
+    }
+
+    #[test]
+    fn shared_pool_runs() {
+        let doses = vec![dose(3e10, 2e7); 10];
+        let pool = SparePolicy::SharedPool { pool_size: 30, replacement_days: 20.0 };
+        let report = simulate(
+            &doses,
+            20,
+            &FailureModel::default(),
+            &pool,
+            SurvivabilityConfig::default(),
+        )
+        .unwrap();
+        assert!((0.0..=1.0).contains(&report.availability));
+        // Slow pool replacement costs more than fast in-plane spares.
+        let fast = simulate(
+            &doses,
+            20,
+            &FailureModel::default(),
+            &policy(),
+            SurvivabilityConfig::default(),
+        )
+        .unwrap();
+        assert!(fast.availability >= report.availability);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let doses = vec![dose(1e10, 1e7)];
+        assert!(simulate(&[], 5, &FailureModel::default(), &policy(), Default::default()).is_err());
+        assert!(simulate(&doses, 0, &FailureModel::default(), &policy(), Default::default()).is_err());
+        assert!(simulate(
+            &doses,
+            5,
+            &FailureModel::default(),
+            &policy(),
+            SurvivabilityConfig { horizon_years: 0.0, ..Default::default() }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Inter-satellite-link (ISL) topology construction.
+//!
+//! Satellites are organized as `planes × slots`; the workhorse topology is
+//! the **+grid** used by deployed LSNs: each satellite links fore and aft
+//! within its plane and to the nearest slot in the two adjacent planes.
+//! Links are checked for physical feasibility (range and Earth occlusion)
+//! at construction epochs.
+
+use crate::error::{LsnError, Result};
+use ssplane_astro::constants::EARTH_RADIUS_KM;
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::linalg::Vec3;
+use ssplane_astro::propagate::J2Propagator;
+use ssplane_astro::time::Epoch;
+use ssplane_core::SsConstellation;
+
+/// Identifier of a satellite as (plane, slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatId {
+    /// Orbital plane index.
+    pub plane: usize,
+    /// Slot within the plane.
+    pub slot: usize,
+}
+
+/// A constellation as planes of orbital elements, with propagators.
+#[derive(Debug, Clone)]
+pub struct Constellation {
+    planes: Vec<Vec<J2Propagator>>,
+    epoch: Epoch,
+}
+
+impl Constellation {
+    /// Builds from explicit per-plane elements at `epoch`.
+    ///
+    /// # Errors
+    /// Rejects empty constellations and invalid elements.
+    pub fn new(epoch: Epoch, planes: Vec<Vec<OrbitalElements>>) -> Result<Self> {
+        if planes.is_empty() || planes.iter().all(|p| p.is_empty()) {
+            return Err(LsnError::BadParameter { name: "planes", constraint: "non-empty" });
+        }
+        let planes = planes
+            .into_iter()
+            .map(|els| {
+                els.into_iter()
+                    .map(|el| J2Propagator::new(epoch, el).map_err(LsnError::from))
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Constellation { planes, epoch })
+    }
+
+    /// Builds from a designed SS constellation, ordering planes by LTAN.
+    ///
+    /// # Errors
+    /// Propagates element generation failure.
+    pub fn from_ss(epoch: Epoch, constellation: &SsConstellation) -> Result<Self> {
+        let mut planes = constellation.planes.clone();
+        planes.sort_by(|a, b| a.orbit.ltan_h.partial_cmp(&b.orbit.ltan_h).expect("finite LTAN"));
+        let element_planes = planes
+            .iter()
+            .map(|p| p.satellites(epoch).map_err(LsnError::from))
+            .collect::<Result<Vec<_>>>()?;
+        Constellation::new(epoch, element_planes)
+    }
+
+    /// Construction epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of planes.
+    pub fn n_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Slots in plane `p` (0 if out of range).
+    pub fn slots_in_plane(&self, p: usize) -> usize {
+        self.planes.get(p).map_or(0, Vec::len)
+    }
+
+    /// Total satellites.
+    pub fn total_sats(&self) -> usize {
+        self.planes.iter().map(Vec::len).sum()
+    }
+
+    /// All satellite ids, plane-major.
+    pub fn ids(&self) -> Vec<SatId> {
+        (0..self.planes.len())
+            .flat_map(|p| (0..self.planes[p].len()).map(move |s| SatId { plane: p, slot: s }))
+            .collect()
+    }
+
+    /// ECI position \[km\] of a satellite at epoch `t`.
+    ///
+    /// # Errors
+    /// [`LsnError::UnknownNode`] for out-of-range ids.
+    pub fn position(&self, id: SatId, t: Epoch) -> Result<Vec3> {
+        let prop = self
+            .planes
+            .get(id.plane)
+            .and_then(|p| p.get(id.slot))
+            .ok_or(LsnError::UnknownNode { plane: id.plane, slot: id.slot })?;
+        Ok(prop.position_at(t)?)
+    }
+}
+
+/// Whether the straight line between two ECI positions clears the Earth
+/// plus an atmosphere margin of `margin_km` (ISL feasibility).
+pub fn line_of_sight(a: Vec3, b: Vec3, margin_km: f64) -> bool {
+    let r_min = EARTH_RADIUS_KM + margin_km;
+    let ab = b - a;
+    let len2 = ab.norm_squared();
+    if len2 == 0.0 {
+        return a.norm() >= r_min;
+    }
+    // Closest approach of the segment to the geocenter.
+    let t = (-a.dot(ab) / len2).clamp(0.0, 1.0);
+    (a + ab * t).norm() >= r_min
+}
+
+/// One inter-satellite link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Endpoint A.
+    pub a: SatId,
+    /// Endpoint B.
+    pub b: SatId,
+    /// Link length \[km\] at the topology's evaluation epoch.
+    pub length_km: f64,
+}
+
+/// An ISL topology over a constellation.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Feasible links at the evaluation epoch.
+    pub links: Vec<Link>,
+    /// Adjacency list indexed by flattened satellite index.
+    adjacency: Vec<Vec<(usize, f64)>>,
+    /// Flattened index bounds: start index per plane.
+    plane_offsets: Vec<usize>,
+}
+
+/// Configuration for +grid topology construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridTopologyConfig {
+    /// Maximum ISL range \[km\] (laser terminal budget).
+    pub max_range_km: f64,
+    /// Atmosphere clearance margin \[km\] for line-of-sight.
+    pub occlusion_margin_km: f64,
+    /// Whether to close the ring across the highest-index plane back to
+    /// plane 0 (false leaves a *seam*, as deployed systems do between
+    /// counter-rotating or LTAN-wrapped planes).
+    pub wrap_planes: bool,
+}
+
+impl Default for GridTopologyConfig {
+    fn default() -> Self {
+        GridTopologyConfig { max_range_km: 5000.0, occlusion_margin_km: 80.0, wrap_planes: false }
+    }
+}
+
+impl Topology {
+    /// Builds a +grid topology at epoch `t`: intra-plane ring plus links
+    /// to the nearest slot of each adjacent plane, keeping only links that
+    /// are in range and unoccluded at `t`.
+    ///
+    /// # Errors
+    /// Propagates position evaluation failure.
+    pub fn plus_grid(constellation: &Constellation, t: Epoch, config: GridTopologyConfig) -> Result<Topology> {
+        let n_planes = constellation.n_planes();
+        let mut plane_offsets = Vec::with_capacity(n_planes + 1);
+        let mut total = 0usize;
+        for p in 0..n_planes {
+            plane_offsets.push(total);
+            total += constellation.slots_in_plane(p);
+        }
+        plane_offsets.push(total);
+
+        // Cache positions.
+        let mut positions = Vec::with_capacity(total);
+        for p in 0..n_planes {
+            for s in 0..constellation.slots_in_plane(p) {
+                positions.push(constellation.position(SatId { plane: p, slot: s }, t)?);
+            }
+        }
+
+        let flat = |id: SatId| plane_offsets[id.plane] + id.slot;
+        let mut links: Vec<Link> = Vec::new();
+        let push_link = |a: SatId, b: SatId, links: &mut Vec<Link>| {
+            let (pa, pb) = (positions[flat(a)], positions[flat(b)]);
+            let length = (pa - pb).norm();
+            if length <= config.max_range_km
+                && line_of_sight(pa, pb, config.occlusion_margin_km)
+            {
+                links.push(Link { a, b, length_km: length });
+            }
+        };
+
+        for p in 0..n_planes {
+            let slots = constellation.slots_in_plane(p);
+            // Intra-plane ring.
+            if slots > 1 {
+                for s in 0..slots {
+                    let next = (s + 1) % slots;
+                    if slots == 2 && next < s {
+                        continue; // avoid double link on 2-slot planes
+                    }
+                    push_link(SatId { plane: p, slot: s }, SatId { plane: p, slot: next }, &mut links);
+                }
+            }
+            // Cross-plane to the next plane's nearest slot.
+            let next_plane = if p + 1 < n_planes {
+                Some(p + 1)
+            } else if config.wrap_planes && n_planes > 2 {
+                Some(0)
+            } else {
+                None
+            };
+            if let Some(q) = next_plane {
+                let q_slots = constellation.slots_in_plane(q);
+                for s in 0..slots {
+                    let from = SatId { plane: p, slot: s };
+                    // Nearest slot in plane q at epoch t.
+                    let mut best: Option<(usize, f64)> = None;
+                    for sq in 0..q_slots {
+                        let d = (positions[flat(from)]
+                            - positions[flat(SatId { plane: q, slot: sq })])
+                        .norm();
+                        if best.map_or(true, |(_, bd)| d < bd) {
+                            best = Some((sq, d));
+                        }
+                    }
+                    if let Some((sq, _)) = best {
+                        push_link(from, SatId { plane: q, slot: sq }, &mut links);
+                    }
+                }
+            }
+        }
+
+        // Build adjacency (deduplicated, undirected).
+        let mut adjacency = vec![Vec::new(); total];
+        let mut seen = std::collections::HashSet::new();
+        links.retain(|l| {
+            let key = if flat(l.a) < flat(l.b) { (flat(l.a), flat(l.b)) } else { (flat(l.b), flat(l.a)) };
+            seen.insert(key)
+        });
+        for l in &links {
+            adjacency[flat(l.a)].push((flat(l.b), l.length_km));
+            adjacency[flat(l.b)].push((flat(l.a), l.length_km));
+        }
+        Ok(Topology { links, adjacency, plane_offsets })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        *self.plane_offsets.last().unwrap_or(&0)
+    }
+
+    /// Flattened index of a satellite id (`None` if out of range).
+    pub fn index_of(&self, id: SatId) -> Option<usize> {
+        let start = *self.plane_offsets.get(id.plane)?;
+        let end = *self.plane_offsets.get(id.plane + 1)?;
+        let idx = start + id.slot;
+        (idx < end).then_some(idx)
+    }
+
+    /// Satellite id of a flattened index.
+    pub fn id_of(&self, index: usize) -> Option<SatId> {
+        let plane = self.plane_offsets.windows(2).position(|w| index >= w[0] && index < w[1])?;
+        Some(SatId { plane, slot: index - self.plane_offsets[plane] })
+    }
+
+    /// Neighbors (flattened index, link length km) of a node.
+    pub fn neighbors(&self, index: usize) -> &[(usize, f64)] {
+        &self.adjacency[index]
+    }
+
+    /// Mean node degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.links.len() as f64 / self.n_nodes() as f64
+        }
+    }
+
+    /// Whether the topology is connected (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssplane_astro::sunsync::sun_synchronous_orbit;
+
+    fn test_constellation(planes: usize, slots: usize) -> Constellation {
+        let epoch = Epoch::J2000;
+        let orbit = sun_synchronous_orbit(560.0).unwrap();
+        let element_planes: Vec<Vec<OrbitalElements>> = (0..planes)
+            .map(|p| {
+                orbit
+                    .with_ltan(8.0 + p as f64 * 0.8)
+                    .plane_elements(epoch, slots)
+                    .unwrap()
+            })
+            .collect();
+        Constellation::new(epoch, element_planes).unwrap()
+    }
+
+    #[test]
+    fn line_of_sight_geometry() {
+        let r = EARTH_RADIUS_KM + 560.0;
+        let a = Vec3::new(r, 0.0, 0.0);
+        // Neighbor 30° along the orbit: clear.
+        let b = Vec3::new(r * 0.866, r * 0.5, 0.0);
+        assert!(line_of_sight(a, b, 80.0));
+        // Antipodal satellite: blocked by the Earth.
+        let c = Vec3::new(-r, 0.0, 0.0);
+        assert!(!line_of_sight(a, c, 80.0));
+        // Degenerate zero-length segment above surface.
+        assert!(line_of_sight(a, a, 80.0));
+    }
+
+    #[test]
+    fn constellation_accessors() {
+        let c = test_constellation(4, 10);
+        assert_eq!(c.n_planes(), 4);
+        assert_eq!(c.slots_in_plane(0), 10);
+        assert_eq!(c.slots_in_plane(9), 0);
+        assert_eq!(c.total_sats(), 40);
+        assert_eq!(c.ids().len(), 40);
+        assert!(c.position(SatId { plane: 7, slot: 0 }, Epoch::J2000).is_err());
+        let r = c.position(SatId { plane: 0, slot: 0 }, Epoch::J2000).unwrap();
+        assert!((r.norm() - (EARTH_RADIUS_KM + 560.0)).abs() < 30.0);
+    }
+
+    #[test]
+    fn empty_constellation_rejected() {
+        assert!(Constellation::new(Epoch::J2000, vec![]).is_err());
+        assert!(Constellation::new(Epoch::J2000, vec![vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn plus_grid_structure() {
+        let c = test_constellation(4, 12);
+        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        assert_eq!(topo.n_nodes(), 48);
+        // Ring links: 12 per plane × 4 planes; cross-plane ≈ 12 × 3.
+        assert!(topo.links.len() >= 48 + 24, "links = {}", topo.links.len());
+        assert!(topo.mean_degree() >= 3.0, "degree = {}", topo.mean_degree());
+        assert!(topo.is_connected());
+        // index/id round trip.
+        for id in c.ids() {
+            let idx = topo.index_of(id).unwrap();
+            assert_eq!(topo.id_of(idx), Some(id));
+        }
+        assert!(topo.index_of(SatId { plane: 0, slot: 99 }).is_none());
+        assert!(topo.id_of(999).is_none());
+    }
+
+    #[test]
+    fn range_limit_prunes_links() {
+        let c = test_constellation(3, 8);
+        let tight = Topology::plus_grid(
+            &c,
+            Epoch::J2000,
+            GridTopologyConfig { max_range_km: 100.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(tight.links.is_empty(), "no link is under 100 km");
+        let loose = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        assert!(!loose.links.is_empty());
+    }
+
+    #[test]
+    fn all_links_within_range_and_los() {
+        let c = test_constellation(5, 15);
+        let cfg = GridTopologyConfig::default();
+        let topo = Topology::plus_grid(&c, Epoch::J2000, cfg).unwrap();
+        for l in &topo.links {
+            assert!(l.length_km <= cfg.max_range_km);
+            let pa = c.position(l.a, Epoch::J2000).unwrap();
+            let pb = c.position(l.b, Epoch::J2000).unwrap();
+            assert!(line_of_sight(pa, pb, cfg.occlusion_margin_km));
+        }
+    }
+
+    #[test]
+    fn wrap_planes_adds_links() {
+        let c = test_constellation(5, 8);
+        let open = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let wrapped = Topology::plus_grid(
+            &c,
+            Epoch::J2000,
+            GridTopologyConfig { wrap_planes: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(wrapped.links.len() >= open.links.len());
+    }
+}

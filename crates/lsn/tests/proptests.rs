@@ -1,0 +1,100 @@
+//! Property-based tests for the networking layer.
+
+use proptest::prelude::*;
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::linalg::Vec3;
+use ssplane_astro::sunsync::sun_synchronous_orbit;
+use ssplane_astro::time::Epoch;
+use ssplane_lsn::routing::shortest_path;
+use ssplane_lsn::spares::spares_for_availability;
+use ssplane_lsn::topology::{line_of_sight, Constellation, GridTopologyConfig, SatId, Topology};
+
+fn small_constellation(planes: usize, slots: usize) -> Constellation {
+    let epoch = Epoch::J2000;
+    let orbit = sun_synchronous_orbit(560.0).unwrap();
+    let element_planes: Vec<Vec<OrbitalElements>> = (0..planes)
+        .map(|p| orbit.with_ltan(6.0 + 1.3 * p as f64).plane_elements(epoch, slots).unwrap())
+        .collect();
+    Constellation::new(epoch, element_planes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn line_of_sight_symmetric(
+        ax in -9000.0f64..9000.0, ay in -9000.0f64..9000.0, az in -9000.0f64..9000.0,
+        bx in -9000.0f64..9000.0, by in -9000.0f64..9000.0, bz in -9000.0f64..9000.0,
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        prop_assert_eq!(line_of_sight(a, b, 80.0), line_of_sight(b, a, 80.0));
+    }
+
+    #[test]
+    fn routes_are_valid_walks(
+        p1 in 0usize..4, s1 in 0usize..8,
+        p2 in 0usize..4, s2 in 0usize..8,
+    ) {
+        let c = small_constellation(4, 8);
+        let topo = Topology::plus_grid(&c, Epoch::J2000, GridTopologyConfig::default()).unwrap();
+        let from = SatId { plane: p1, slot: s1 };
+        let to = SatId { plane: p2, slot: s2 };
+        match shortest_path(&topo, from, to) {
+            Ok((hops, km)) => {
+                prop_assert_eq!(*hops.first().unwrap(), from);
+                prop_assert_eq!(*hops.last().unwrap(), to);
+                prop_assert!(km >= 0.0);
+                // Each consecutive pair must be an actual link.
+                for w in hops.windows(2) {
+                    let ia = topo.index_of(w[0]).unwrap();
+                    let ib = topo.index_of(w[1]).unwrap();
+                    prop_assert!(
+                        topo.neighbors(ia).iter().any(|&(v, _)| v == ib),
+                        "hop {:?} -> {:?} is not a link", w[0], w[1]
+                    );
+                }
+                // No repeated nodes (it is a path).
+                let mut sorted = hops.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), hops.len());
+            }
+            Err(ssplane_lsn::LsnError::NoRoute) => {} // disconnected is legal
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn shortest_path_triangle_inequality(
+        s1 in 0usize..8, s2 in 0usize..8, s3 in 0usize..8,
+    ) {
+        let c = small_constellation(3, 8);
+        let topo = Topology::plus_grid(&c, Epoch::J2000, GridTopologyConfig::default()).unwrap();
+        let a = SatId { plane: 0, slot: s1 };
+        let b = SatId { plane: 1, slot: s2 };
+        let d = SatId { plane: 2, slot: s3 };
+        if let (Ok((_, ab)), Ok((_, bd)), Ok((_, ad))) = (
+            shortest_path(&topo, a, b),
+            shortest_path(&topo, b, d),
+            shortest_path(&topo, a, d),
+        ) {
+            prop_assert!(ad <= ab + bd + 1e-9, "ad {ad} > ab {ab} + bd {bd}");
+        }
+    }
+
+    #[test]
+    fn spares_monotone_in_rate_and_confidence(
+        lambda in 0.0f64..20.0,
+        p_exp in -4.0f64..-1.0,
+    ) {
+        let p = 10f64.powf(p_exp);
+        let k = spares_for_availability(lambda, p).unwrap();
+        let k_more_failures = spares_for_availability(lambda + 1.0, p).unwrap();
+        prop_assert!(k_more_failures >= k);
+        let k_stricter = spares_for_availability(lambda, p / 10.0).unwrap();
+        prop_assert!(k_stricter >= k);
+        // Poisson mean bound: k is at least lambda - a few sigma.
+        prop_assert!((k as f64) >= lambda - 4.0 * lambda.sqrt() - 1.0);
+    }
+}

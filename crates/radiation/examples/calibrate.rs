@@ -1,0 +1,37 @@
+//! Calibration probe: prints fluence-vs-inclination and key flux points so
+//! belt amplitudes can be tuned against the paper's Fig. 6/7 decades.
+
+use ssplane_astro::geo::GeoPoint;
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::time::Epoch;
+use ssplane_radiation::fluence::daily_fluence;
+use ssplane_radiation::flux::{RadiationEnvironment, Species};
+
+fn main() {
+    let env = RadiationEnvironment::default();
+    let epoch = Epoch::from_calendar(2013, 6, 1, 0, 0, 0.0);
+
+    println!("--- point fluxes at 560 km (epoch 2013-06-01) ---");
+    for (name, lat, lon) in [
+        ("SAA core      ", -26.0, -50.0),
+        ("SAA fringe    ", -15.0, -30.0),
+        ("Pacific eq    ", 0.0, 170.0),
+        ("N horn (0E)   ", 60.0, 0.0),
+        ("N horn (90W)  ", 55.0, -90.0),
+        ("S horn (0E)   ", -70.0, 0.0),
+        ("mid-lat N     ", 35.0, 0.0),
+        ("pole N        ", 85.0, 0.0),
+    ] {
+        let p = GeoPoint::from_degrees(lat, lon);
+        let e = env.flux_at(Species::Electron, p, 560.0, epoch).unwrap();
+        let pr = env.flux_at(Species::Proton, p, 560.0, epoch).unwrap();
+        println!("{name} e = {e:10.3e}  p = {pr:10.3e}");
+    }
+
+    println!("--- daily fluence vs inclination at 560 km ---");
+    for inc in [20.0f64, 30.0, 40.0, 50.0, 53.0, 60.0, 65.0, 70.0, 75.0, 80.0, 85.0, 90.0, 97.64] {
+        let el = OrbitalElements::circular(560.0, inc.to_radians(), 0.0, 0.0).unwrap();
+        let f = daily_fluence(&env, &el, epoch, 30.0).unwrap();
+        println!("i = {inc:6.2}  e = {:10.3e}  p = {:10.3e}", f.electron, f.proton);
+    }
+}

@@ -1,0 +1,229 @@
+//! The combined radiation environment: flux by species at any position and
+//! epoch, plus gridded flux maps (the paper's Fig. 6).
+
+use crate::belts::BeltModel;
+use crate::dipole::DipoleField;
+use crate::error::Result;
+use crate::lshell::magnetic_coordinates;
+use crate::solar::SolarCycle;
+use ssplane_astro::constants::EARTH_RADIUS_KM;
+use ssplane_astro::frames::eci_to_ecef;
+use ssplane_astro::geo::GeoPoint;
+use ssplane_astro::linalg::Vec3;
+use ssplane_astro::time::Epoch;
+
+/// Trapped-particle species.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Species {
+    /// Energetic electrons (inner + outer belt).
+    Electron,
+    /// Energetic protons (inner belt).
+    Proton,
+}
+
+/// Flux of both species at one position (computed together because they
+/// share the magnetic-coordinate evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FluxSample {
+    /// Electron flux \[#/cm²/s/MeV\].
+    pub electron: f64,
+    /// Proton flux \[#/cm²/s/MeV\].
+    pub proton: f64,
+}
+
+/// The full radiation environment model (field + belts + solar driver).
+#[derive(Debug, Clone, Copy)]
+pub struct RadiationEnvironment {
+    /// Geomagnetic field model.
+    pub field: DipoleField,
+    /// Belt flux profiles.
+    pub belts: BeltModel,
+    /// Solar-activity driver.
+    pub solar: SolarCycle,
+}
+
+impl Default for RadiationEnvironment {
+    fn default() -> Self {
+        RadiationEnvironment {
+            field: DipoleField::default(),
+            belts: BeltModel::default(),
+            solar: SolarCycle::cycle24(),
+        }
+    }
+}
+
+impl RadiationEnvironment {
+    /// Smooth atmospheric cutoff: trapped populations are scattered away
+    /// below ~200 km; ramps from 0 at 150 km to 1 at 350 km altitude.
+    fn atmospheric_factor(geocentric_radius_km: f64) -> f64 {
+        let h = geocentric_radius_km - EARTH_RADIUS_KM;
+        ((h - 150.0) / 200.0).clamp(0.0, 1.0)
+    }
+
+    /// Flux of both species at an **ECEF** position and epoch.
+    ///
+    /// # Errors
+    /// Returns [`crate::RadiationError::BelowSurface`] for positions below
+    /// ~100 km altitude.
+    pub fn flux_ecef(&self, ecef_km: Vec3, epoch: Epoch) -> Result<FluxSample> {
+        let coords = magnetic_coordinates(&self.field, ecef_km)?;
+        let atm = Self::atmospheric_factor(ecef_km.norm());
+        if atm == 0.0 {
+            return Ok(FluxSample::default());
+        }
+        let inner_e = self.belts.inner_electrons.flux(&coords)
+            * self.solar.inner_electron_factor(epoch);
+        let outer_e = self.belts.outer_electrons.flux(&coords)
+            * self.solar.outer_electron_factor(epoch);
+        let p = self.belts.inner_protons.flux(&coords) * self.solar.proton_factor(epoch);
+        Ok(FluxSample { electron: (inner_e + outer_e) * atm, proton: p * atm })
+    }
+
+    /// Flux of both species at an **ECI** position and epoch.
+    ///
+    /// # Errors
+    /// See [`Self::flux_ecef`].
+    pub fn flux_eci(&self, eci_km: Vec3, epoch: Epoch) -> Result<FluxSample> {
+        self.flux_ecef(eci_to_ecef(epoch, eci_km), epoch)
+    }
+
+    /// Flux of one species at a geographic point and altitude.
+    ///
+    /// # Errors
+    /// See [`Self::flux_ecef`].
+    pub fn flux_at(
+        &self,
+        species: Species,
+        point: GeoPoint,
+        altitude_km: f64,
+        epoch: Epoch,
+    ) -> Result<f64> {
+        let ecef = point.to_unit_vector() * (EARTH_RADIUS_KM + altitude_km);
+        let s = self.flux_ecef(ecef, epoch)?;
+        Ok(match species {
+            Species::Electron => s.electron,
+            Species::Proton => s.proton,
+        })
+    }
+
+    /// The paper's Fig. 6: maximum flux of `species` at `altitude_km` over
+    /// the given sample of `days`, on an `n_lat × n_lon` grid
+    /// (south-to-north rows, west-to-east columns).
+    ///
+    /// # Errors
+    /// Propagates flux evaluation failure (only possible for altitudes
+    /// below ~100 km).
+    pub fn max_flux_map(
+        &self,
+        species: Species,
+        altitude_km: f64,
+        days: &[Epoch],
+        n_lat: usize,
+        n_lon: usize,
+    ) -> Result<Vec<Vec<f64>>> {
+        let mut map = vec![vec![0.0f64; n_lon]; n_lat];
+        for (i, row) in map.iter_mut().enumerate() {
+            let lat = -90.0 + 180.0 * (i as f64 + 0.5) / n_lat as f64;
+            for (j, cell) in row.iter_mut().enumerate() {
+                let lon = -180.0 + 360.0 * (j as f64 + 0.5) / n_lon as f64;
+                let p = GeoPoint::from_degrees(lat, lon);
+                for &day in days {
+                    let f = self.flux_at(species, p, altitude_km, day)?;
+                    if f > *cell {
+                        *cell = f;
+                    }
+                }
+            }
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> RadiationEnvironment {
+        RadiationEnvironment::default()
+    }
+
+    fn quiet_epoch() -> Epoch {
+        Epoch::from_calendar(2014, 4, 10, 0, 0, 0.0)
+    }
+
+    #[test]
+    fn saa_dominates_equatorial_proton_flux() {
+        let e = env();
+        let t = quiet_epoch();
+        let saa = e.flux_at(Species::Proton, GeoPoint::from_degrees(-26.0, -50.0), 560.0, t).unwrap();
+        let pacific =
+            e.flux_at(Species::Proton, GeoPoint::from_degrees(-26.0, 170.0), 560.0, t).unwrap();
+        assert!(saa > 10.0 * pacific.max(1e-12), "SAA {saa:e} vs Pacific {pacific:e}");
+    }
+
+    #[test]
+    fn electron_horns_at_high_latitude() {
+        // At 560 km the outer belt reaches down near ±60-66° magnetic
+        // latitude; pick a longitude where magnetic ≈ geographic latitude.
+        let e = env();
+        let t = quiet_epoch();
+        let horn = e.flux_at(Species::Electron, GeoPoint::from_degrees(60.0, 0.0), 560.0, t).unwrap();
+        let mid = e.flux_at(Species::Electron, GeoPoint::from_degrees(35.0, 0.0), 560.0, t).unwrap();
+        assert!(horn > 5.0 * mid.max(1e-12), "horn {horn:e} vs mid-lat {mid:e}");
+    }
+
+    #[test]
+    fn atmospheric_cutoff() {
+        let e = env();
+        let t = quiet_epoch();
+        let low = Vec3::new(EARTH_RADIUS_KM + 120.0, 0.0, 0.0);
+        let s = e.flux_ecef(low, t).unwrap();
+        assert_eq!(s.electron, 0.0);
+        assert_eq!(s.proton, 0.0);
+        // Below-surface positions rejected.
+        assert!(e.flux_ecef(Vec3::new(5000.0, 0.0, 0.0), t).is_err());
+    }
+
+    #[test]
+    fn eci_and_ecef_agree() {
+        let e = env();
+        let t = quiet_epoch();
+        let ecef = GeoPoint::from_degrees(-30.0, -40.0).to_unit_vector() * (EARTH_RADIUS_KM + 560.0);
+        let eci = ssplane_astro::frames::ecef_to_eci(t, ecef);
+        let a = e.flux_ecef(ecef, t).unwrap();
+        let b = e.flux_eci(eci, t).unwrap();
+        assert!((a.electron - b.electron).abs() < 1e-9 * a.electron.max(1.0));
+        assert!((a.proton - b.proton).abs() < 1e-9 * a.proton.max(1.0));
+    }
+
+    #[test]
+    fn solar_max_raises_electron_flux() {
+        let e = env();
+        let quiet = Epoch::from_calendar(2009, 3, 1, 0, 0, 0.0);
+        let active = Epoch::from_calendar(2014, 4, 1, 0, 0, 0.0);
+        let p = GeoPoint::from_degrees(62.0, 10.0);
+        let f_quiet = e.flux_at(Species::Electron, p, 560.0, quiet).unwrap();
+        let f_active = e.flux_at(Species::Electron, p, 560.0, active).unwrap();
+        assert!(f_active > 1.5 * f_quiet, "active {f_active:e} vs quiet {f_quiet:e}");
+    }
+
+    #[test]
+    fn max_flux_map_shape_and_structure() {
+        let e = env();
+        let days = e.solar.sample_days(16, 9);
+        let map = e.max_flux_map(Species::Electron, 560.0, &days, 19, 36).unwrap();
+        assert_eq!(map.len(), 19);
+        assert_eq!(map[0].len(), 36);
+        // Both structures of the paper's Fig. 6 must be visible: the SAA
+        // (brightest, dominating the equatorial rows) and the outer-belt
+        // horn bands at high latitude (same order of magnitude).
+        let row_max = |i: usize| map[i].iter().cloned().fold(0.0, f64::max);
+        let equator = row_max(9);
+        let horn_n = row_max(16); // ~+66°
+        assert!(horn_n > equator * 0.25, "horn {horn_n:e} vs equator {equator:e}");
+        // SAA: lat ≈ -26 (row 6), lon ≈ -50 (col 13).
+        let saa = map[6][13];
+        let pacific = map[6][34];
+        assert!(saa > 5.0 * pacific.max(1e-12), "SAA {saa:e} vs Pacific {pacific:e}");
+    }
+}

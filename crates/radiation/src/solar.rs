@@ -1,0 +1,170 @@
+//! Solar-activity driver for the radiation environment.
+//!
+//! Trapped-particle fluxes — the outer electron belt especially — respond
+//! strongly to solar/geomagnetic activity. The paper samples days from
+//! *solar cycle 24* when computing its radiation maps (Fig. 6); this
+//! module provides a deterministic cycle-24-like activity index:
+//! an ~11-year envelope, 27-day solar-rotation modulation, and
+//! day-to-day noise (hash-based, so the index is a pure function of the
+//! epoch).
+
+use ssplane_astro::time::Epoch;
+
+/// Deterministic pseudo-random `[0, 1)` value from an integer
+/// (SplitMix64 finalizer) — used for reproducible day-to-day noise
+/// without carrying RNG state.
+fn hash01(x: u64) -> f64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A solar-cycle activity model producing an index in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolarCycle {
+    /// Epoch of the cycle minimum (start).
+    pub start: Epoch,
+    /// Cycle length \[days\] (min to min).
+    pub period_days: f64,
+    /// Amplitude of the 27-day rotational modulation.
+    pub rotation_amplitude: f64,
+    /// Amplitude of the daily noise.
+    pub noise_amplitude: f64,
+    /// Seed folded into the daily noise.
+    pub seed: u64,
+}
+
+impl SolarCycle {
+    /// Solar cycle 24: minimum December 2008, maximum around April 2014,
+    /// next minimum December 2019.
+    pub fn cycle24() -> Self {
+        SolarCycle {
+            start: Epoch::from_calendar(2008, 12, 1, 0, 0, 0.0),
+            period_days: 4018.0, // ~11 years
+            rotation_amplitude: 0.08,
+            noise_amplitude: 0.10,
+            seed: 24,
+        }
+    }
+
+    /// Activity index in `[0, 1]` at `epoch`. 0 = deep solar minimum,
+    /// 1 = strong maximum.
+    pub fn activity(&self, epoch: Epoch) -> f64 {
+        let t_days = (epoch - self.start) / 86_400.0;
+        let phase = (t_days / self.period_days).rem_euclid(1.0);
+        // Asymmetric envelope: fast rise (~4 years), slower decline,
+        // which is characteristic of observed cycles.
+        let envelope = if phase < 0.4 {
+            (core::f64::consts::FRAC_PI_2 * phase / 0.4).sin().powi(2)
+        } else {
+            (core::f64::consts::FRAC_PI_2 * (1.0 - phase) / 0.6).sin().powi(2)
+        };
+        let rotation = self.rotation_amplitude
+            * (core::f64::consts::TAU * t_days / 27.0).sin()
+            * envelope;
+        let day_index = t_days.floor() as i64 as u64;
+        let noise = self.noise_amplitude * (hash01(day_index ^ self.seed) - 0.5) * 2.0;
+        (envelope + rotation + noise).clamp(0.0, 1.0)
+    }
+
+    /// `n` deterministic pseudo-random day epochs within the cycle (the
+    /// paper's "sample of 128 days from solar cycle 24", Fig. 6).
+    pub fn sample_days(&self, n: usize, seed: u64) -> Vec<Epoch> {
+        (0..n)
+            .map(|k| {
+                let day = hash01(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k as u64))
+                    * self.period_days;
+                self.start + day * 86_400.0
+            })
+            .collect()
+    }
+
+    /// Outer-belt electron scaling at `epoch` (storm-time enhancements:
+    /// roughly 0.4× at minimum to 2.2× at maximum).
+    pub fn outer_electron_factor(&self, epoch: Epoch) -> f64 {
+        0.4 + 1.8 * self.activity(epoch)
+    }
+
+    /// Inner-belt electron scaling (mild).
+    pub fn inner_electron_factor(&self, epoch: Epoch) -> f64 {
+        0.8 + 0.4 * self.activity(epoch)
+    }
+
+    /// Inner-belt proton scaling (slightly *anti*-correlated with
+    /// activity: atmospheric expansion at maximum erodes the belt's
+    /// low-altitude edge).
+    pub fn proton_factor(&self, epoch: Epoch) -> f64 {
+        1.1 - 0.25 * self.activity(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_bounded_and_deterministic() {
+        let c = SolarCycle::cycle24();
+        for d in 0..4018 {
+            let e = c.start + d as f64 * 86_400.0;
+            let a = c.activity(e);
+            assert!((0.0..=1.0).contains(&a), "day {d}: {a}");
+            assert_eq!(a, c.activity(e));
+        }
+    }
+
+    #[test]
+    fn cycle24_peak_near_2014() {
+        let c = SolarCycle::cycle24();
+        // Average activity in 2014 should far exceed 2009 and 2019.
+        let year_avg = |year: i32| -> f64 {
+            (0..360)
+                .map(|d| c.activity(Epoch::from_calendar(year, 1, 1, 0, 0, 0.0) + d as f64 * 86_400.0))
+                .sum::<f64>()
+                / 360.0
+        };
+        let quiet_start = year_avg(2009);
+        let max = year_avg(2014);
+        let quiet_end = year_avg(2019);
+        assert!(max > 0.6, "2014 avg = {max}");
+        assert!(quiet_start < 0.3, "2009 avg = {quiet_start}");
+        assert!(quiet_end < 0.35, "2019 avg = {quiet_end}");
+    }
+
+    #[test]
+    fn sample_days_inside_cycle() {
+        let c = SolarCycle::cycle24();
+        let days = c.sample_days(128, 1);
+        assert_eq!(days.len(), 128);
+        for d in &days {
+            let offset = (*d - c.start) / 86_400.0;
+            assert!((0.0..c.period_days).contains(&offset));
+        }
+        // Deterministic and seed-sensitive.
+        assert_eq!(c.sample_days(128, 1), days);
+        assert_ne!(c.sample_days(128, 2), days);
+    }
+
+    #[test]
+    fn scaling_factor_ranges() {
+        let c = SolarCycle::cycle24();
+        for d in (0..4018).step_by(13) {
+            let e = c.start + d as f64 * 86_400.0;
+            // Half-open bounds with float slack (activity may hit exactly 1).
+            assert!((0.39..=2.21).contains(&c.outer_electron_factor(e)));
+            assert!((0.79..=1.21).contains(&c.inner_electron_factor(e)));
+            assert!((0.84..=1.11).contains(&c.proton_factor(e)));
+        }
+    }
+
+    #[test]
+    fn proton_anticorrelates_with_electrons() {
+        let c = SolarCycle::cycle24();
+        let quiet = Epoch::from_calendar(2009, 3, 1, 0, 0, 0.0);
+        let active = Epoch::from_calendar(2014, 4, 1, 0, 0, 0.0);
+        assert!(c.outer_electron_factor(active) > c.outer_electron_factor(quiet));
+        assert!(c.proton_factor(active) < c.proton_factor(quiet));
+    }
+}

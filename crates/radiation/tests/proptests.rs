@@ -1,0 +1,79 @@
+//! Property-based tests for the radiation substrate.
+
+use proptest::prelude::*;
+use ssplane_astro::geo::GeoPoint;
+use ssplane_astro::linalg::Vec3;
+use ssplane_astro::time::Epoch;
+use ssplane_radiation::dipole::DipoleField;
+use ssplane_radiation::lshell::magnetic_coordinates;
+use ssplane_radiation::solar::SolarCycle;
+use ssplane_radiation::RadiationEnvironment;
+
+fn surface_point(lat: f64, lon: f64, alt: f64) -> Vec3 {
+    GeoPoint::from_degrees(lat, lon).to_unit_vector() * (6378.137 + alt)
+}
+
+proptest! {
+    #[test]
+    fn flux_nonnegative_everywhere(
+        lat in -89.0f64..89.0,
+        lon in -180.0f64..180.0,
+        alt in 300.0f64..2000.0,
+        days in 0.0f64..4000.0,
+    ) {
+        let env = RadiationEnvironment::default();
+        let epoch = env.solar.start + days * 86_400.0;
+        let s = env.flux_ecef(surface_point(lat, lon, alt), epoch).unwrap();
+        prop_assert!(s.electron >= 0.0 && s.electron.is_finite());
+        prop_assert!(s.proton >= 0.0 && s.proton.is_finite());
+    }
+
+    #[test]
+    fn magnetic_coords_invariants(
+        lat in -89.0f64..89.0,
+        lon in -180.0f64..180.0,
+        alt in 200.0f64..3000.0,
+    ) {
+        let field = DipoleField::default();
+        let c = magnetic_coordinates(&field, surface_point(lat, lon, alt)).unwrap();
+        // L at least the dipole-centered radial distance in Earth radii
+        // (equality at the magnetic equator).
+        prop_assert!(c.l_shell >= 0.8, "L = {}", c.l_shell);
+        prop_assert!(c.b_local > 0.0 && c.b_local.is_finite());
+        prop_assert!(c.b_equatorial > 0.0);
+        // B/B0 >= 1 within numerical slack (off-equator fields stronger).
+        prop_assert!(c.b_over_b0() > 0.95, "B/B0 = {}", c.b_over_b0());
+        prop_assert!(c.magnetic_latitude.abs() <= core::f64::consts::FRAC_PI_2 + 1e-12);
+    }
+
+    #[test]
+    fn solar_activity_bounded(days in -10_000.0f64..10_000.0) {
+        let c = SolarCycle::cycle24();
+        let a = c.activity(Epoch::from_days_j2000(days));
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn field_magnitude_decreases_with_altitude(
+        lat in -80.0f64..80.0,
+        lon in -180.0f64..180.0,
+        alt in 300.0f64..2000.0,
+    ) {
+        let field = DipoleField::default();
+        let b_low = field.field_magnitude(surface_point(lat, lon, alt));
+        let b_high = field.field_magnitude(surface_point(lat, lon, alt + 500.0));
+        prop_assert!(b_high < b_low);
+    }
+
+    #[test]
+    fn dipole_field_is_smooth_nearby(
+        lat in -80.0f64..80.0,
+        lon in -170.0f64..170.0,
+    ) {
+        // Adjacent points (0.5°) differ by less than 5% in |B|.
+        let field = DipoleField::default();
+        let a = field.field_magnitude(surface_point(lat, lon, 560.0));
+        let b = field.field_magnitude(surface_point(lat + 0.5, lon + 0.5, 560.0));
+        prop_assert!((a - b).abs() / a < 0.05, "jump {} -> {}", a, b);
+    }
+}

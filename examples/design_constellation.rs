@@ -1,0 +1,34 @@
+//! Full design sweep (the paper's Fig. 9 scenario): SS-plane vs
+//! multi-shell Walker-delta satellite counts across total-demand levels,
+//! as CSV on stdout.
+//!
+//! ```sh
+//! cargo run --release -p ssplane-core --example design_constellation
+//! ```
+
+use ssplane_core::designer::{design_ss_constellation, DesignConfig};
+use ssplane_core::walker_baseline::{design_walker_constellation, WalkerBaselineConfig};
+use ssplane_demand::grid::LatTodGrid;
+use ssplane_demand::DemandModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = DemandModel::synthetic_default()?;
+    let grid = LatTodGrid::from_model(&model, 36, 24)?;
+    let grid_total = grid.total();
+
+    println!("total_demand_B,ss_planes,ss_sats,wd_shells,wd_sats,wd_over_ss");
+    for &b in &[10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0] {
+        let demand = grid.scaled(b / grid_total);
+        let ss = design_ss_constellation(&demand, DesignConfig::default())?;
+        let wd = design_walker_constellation(&demand, WalkerBaselineConfig::default())?;
+        println!(
+            "{b},{},{},{},{},{:.2}",
+            ss.planes.len(),
+            ss.total_sats(),
+            wd.shells.len(),
+            wd.total_sats(),
+            wd.total_sats() as f64 / ss.total_sats().max(1) as f64
+        );
+    }
+    Ok(())
+}

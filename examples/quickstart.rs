@@ -1,0 +1,46 @@
+//! Quickstart: design a small SS-plane constellation against the
+//! synthetic spatiotemporal demand model and print what you got.
+//!
+//! ```sh
+//! cargo run --release -p ssplane-core --example quickstart
+//! ```
+
+use ssplane_core::designer::{design_ss_constellation, DesignConfig};
+use ssplane_demand::grid::LatTodGrid;
+use ssplane_demand::DemandModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the spatiotemporal demand model (synthetic SEDAC population
+    //    x CESNET-like diurnal seasonality) and reduce it to the
+    //    sun-relative (latitude x local-time-of-day) grid.
+    let model = DemandModel::synthetic_default()?;
+    let grid = LatTodGrid::from_model(&model, 36, 24)?;
+
+    // 2. Scale to a total demand of 100 satellite-capacities.
+    let demand = grid.scaled(100.0 / grid.total());
+
+    // 3. Run the paper's greedy SS-plane cover.
+    let constellation = design_ss_constellation(&demand, DesignConfig::default())?;
+
+    println!("SS-plane constellation for total demand B = 100:");
+    println!("  planes:           {}", constellation.planes.len());
+    println!("  sats per plane:   {}", constellation.sats_per_plane);
+    println!("  total satellites: {}", constellation.total_sats());
+    println!(
+        "  inclination:      {:.2} deg (sun-synchronous, retrograde)",
+        constellation.inclination().map(|i| i.to_degrees()).unwrap_or(f64::NAN)
+    );
+    println!(
+        "  swath half-angle: {:.2} deg",
+        constellation.swath_half_angle.to_degrees()
+    );
+    println!("  LTANs of the first planes:");
+    for p in constellation.planes.iter().take(8) {
+        println!(
+            "    LTAN {:5.2} h  (descending node at {:5.2} h)",
+            p.orbit.ltan_h,
+            p.orbit.ltdn_h()
+        );
+    }
+    Ok(())
+}

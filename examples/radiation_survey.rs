@@ -1,0 +1,43 @@
+//! Radiation survey: daily fluence across orbit inclinations (Fig. 7
+//! scenario) plus spot fluxes at the South Atlantic Anomaly and the
+//! outer-belt horns (Fig. 6 scenario).
+//!
+//! ```sh
+//! cargo run --release -p ssplane-core --example radiation_survey
+//! ```
+
+use ssplane_astro::geo::GeoPoint;
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::sunsync::sun_synchronous_inclination;
+use ssplane_astro::time::Epoch;
+use ssplane_radiation::fluence::daily_fluence;
+use ssplane_radiation::{RadiationEnvironment, Species};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = RadiationEnvironment::default();
+    let epoch = Epoch::from_calendar(2013, 6, 1, 0, 0, 0.0);
+
+    println!("# Spot fluxes at 560 km (electrons, protons) [#/cm^2/s/MeV]");
+    for (name, lat, lon) in [
+        ("South Atlantic Anomaly", -26.0, -50.0),
+        ("Outer-belt horn (N)", 60.0, 0.0),
+        ("Outer-belt horn (S)", -70.0, 0.0),
+        ("Equatorial Pacific", 0.0, 170.0),
+    ] {
+        let p = GeoPoint::from_degrees(lat, lon);
+        let e = env.flux_at(Species::Electron, p, 560.0, epoch)?;
+        let pr = env.flux_at(Species::Proton, p, 560.0, epoch)?;
+        println!("{name:24}  e = {e:10.3e}   p = {pr:10.3e}");
+    }
+
+    println!("\n# Daily fluence vs inclination at 560 km [#/cm^2/MeV/day]");
+    println!("{:>12} {:>14} {:>14}", "incl_deg", "electrons", "protons");
+    let sso = sun_synchronous_inclination(560.0)?.to_degrees();
+    for inc in [30.0, 45.0, 53.0, 60.0, 65.0, 70.0, 80.0, 90.0, sso] {
+        let el = OrbitalElements::circular(560.0, inc.to_radians(), 0.0, 0.0)?;
+        let f = daily_fluence(&env, &el, epoch, 30.0)?;
+        let tag = if (inc - sso).abs() < 1e-9 { " (SSO)" } else { "" };
+        println!("{:>12.2} {:>14.3e} {:>14.3e}{tag}", inc, f.electron, f.proton);
+    }
+    Ok(())
+}

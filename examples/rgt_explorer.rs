@@ -1,0 +1,49 @@
+//! Repeat-ground-track explorer (the paper's §2.2 / Fig. 1 scenario):
+//! enumerate LEO RGTs, their coverage cost, and the Walker-delta
+//! comparison at each altitude.
+//!
+//! ```sh
+//! cargo run --release -p ssplane-core --example rgt_explorer
+//! ```
+
+use ssplane_astro::coverage::{coverage_half_angle, size_walker_delta};
+use ssplane_core::rgt_analysis::{analyze_rgt, fig1_data};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let inclination = 65f64.to_radians();
+    let elevation = ssplane_astro::coverage::DEFAULT_MIN_ELEVATION_DEG;
+
+    println!("# LEO repeat ground tracks at 65 deg, 500-2000 km, repeat cycles up to 4 days");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>10}",
+        "revs:days", "alt_km", "RGT_sats", "Walker_sats", "uniform?"
+    );
+    let data = fig1_data(500.0, 2000.0, 4, inclination, elevation, 100.0)?;
+    for r in &data.rgts {
+        let theta = coverage_half_angle(r.orbit.altitude_km, elevation.to_radians())?;
+        let walker = size_walker_delta(theta, inclination)?.total();
+        println!(
+            "{:>10} {:>8.0} {:>12} {:>12} {:>10}",
+            format!("{}:{}", r.orbit.revs, r.orbit.days),
+            r.orbit.altitude_km,
+            r.sats_required,
+            walker,
+            if r.effectively_uniform { "yes" } else { "NO" }
+        );
+    }
+
+    // The paper's Fig. 2 anchor orbit in detail.
+    let detail = analyze_rgt(
+        ssplane_astro::rgt::rgt_orbit(15, 1, inclination)?,
+        elevation,
+    )?;
+    println!(
+        "\n15:1 RGT detail: altitude {:.1} km, track length {:.1} rad, \
+         perpendicular pass gap {:.2} deg, {} satellites for continuous coverage",
+        detail.orbit.altitude_km,
+        detail.orbit.ground_track_length(),
+        detail.orbit.perpendicular_pass_spacing().to_degrees(),
+        detail.sats_required
+    );
+    Ok(())
+}
