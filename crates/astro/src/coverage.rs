@@ -65,9 +65,7 @@ pub fn slant_range_km(altitude_km: f64, min_elevation: f64) -> Result<f64> {
     let theta = coverage_half_angle(altitude_km, min_elevation)?;
     let r = EARTH_RADIUS_KM + altitude_km;
     // Law of cosines in the Earth-center / satellite / user triangle.
-    Ok((EARTH_RADIUS_KM * EARTH_RADIUS_KM + r * r
-        - 2.0 * EARTH_RADIUS_KM * r * theta.cos())
-    .sqrt())
+    Ok((EARTH_RADIUS_KM * EARTH_RADIUS_KM + r * r - 2.0 * EARTH_RADIUS_KM * r * theta.cos()).sqrt())
 }
 
 /// Elevation angle \[rad\] of a satellite seen from a ground point at
@@ -171,7 +169,7 @@ pub fn size_walker_delta(theta: f64, inclination: f64) -> Result<WalkerSizing> {
         let planes = ((PI * sin_i) / (2.0 * c)).ceil() as usize;
         let planes = planes.max(1);
         let candidate = WalkerSizing { planes, sats_per_plane: s };
-        if best.map_or(true, |b| candidate.total() < b.total()) {
+        if best.is_none_or(|b| candidate.total() < b.total()) {
             best = Some(candidate);
         }
     }

@@ -77,7 +77,7 @@ pub fn decay_rate_km_per_day(
     let rho = atmospheric_density(altitude_km, activity_factor)?; // kg/m³
     let a_m = (EARTH_RADIUS_KM + altitude_km) * 1e3; // m
     let v = (EARTH_MU * 1e9 / a_m).sqrt(); // m/s
-    // da/dt = -rho * v * a * B  [m/s] -> km/day
+                                           // da/dt = -rho * v * a * B  [m/s] -> km/day
     Ok(rho * v * a_m * bc.0 * 86_400.0 / 1e3)
 }
 
@@ -164,10 +164,12 @@ mod tests {
         let d600 = atmospheric_density(600.0, 1.0).unwrap();
         assert!(d > d550 && d550 > d600);
         // Activity scaling is linear.
-        assert!((atmospheric_density(560.0, 2.0).unwrap()
-            - 2.0 * atmospheric_density(560.0, 1.0).unwrap())
-        .abs()
-            < 1e-20);
+        assert!(
+            (atmospheric_density(560.0, 2.0).unwrap()
+                - 2.0 * atmospheric_density(560.0, 1.0).unwrap())
+            .abs()
+                < 1e-20
+        );
         // Below the interface: rejected.
         assert!(atmospheric_density(100.0, 1.0).is_err());
     }

@@ -56,19 +56,13 @@ impl GroundTrack {
     /// Total along-track length \[rad of Earth-central angle\], summing
     /// great-circle hops between consecutive samples.
     pub fn length_rad(&self) -> f64 {
-        self.samples
-            .windows(2)
-            .map(|w| w[0].point.central_angle_to(&w[1].point))
-            .sum()
+        self.samples.windows(2).map(|w| w[0].point.central_angle_to(&w[1].point)).sum()
     }
 
     /// Minimum central angle \[rad\] from `target` to any sample of the
     /// track (∞ if the track is empty).
     pub fn min_central_angle_to(&self, target: &GeoPoint) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.point.central_angle_to(target))
-            .fold(f64::INFINITY, f64::min)
+        self.samples.iter().map(|s| s.point.central_angle_to(target)).fold(f64::INFINITY, f64::min)
     }
 
     /// Whether `target` lies inside the swath of half-width
@@ -133,7 +127,8 @@ mod tests {
         let el = o.reference_elements();
         let t_n = crate::propagate::nodal_period_s(&el);
         let prop = J2Propagator::new(Epoch::J2000, el).unwrap();
-        let (p0, _) = subsatellite_point(Epoch::J2000, prop.position_at(Epoch::J2000).unwrap()).unwrap();
+        let (p0, _) =
+            subsatellite_point(Epoch::J2000, prop.position_at(Epoch::J2000).unwrap()).unwrap();
         let t1 = Epoch::J2000 + 15.0 * t_n;
         let (p1, _) = subsatellite_point(t1, prop.position_at(t1).unwrap()).unwrap();
         let gap = p0.central_angle_to(&p1).to_degrees();
@@ -146,7 +141,8 @@ mod tests {
         // close after ~14.8 orbits.
         let el = OrbitalElements::circular(700.0, INC65, 0.0, 0.0).unwrap();
         let prop = J2Propagator::new(Epoch::J2000, el).unwrap();
-        let (p0, _) = subsatellite_point(Epoch::J2000, prop.position_at(Epoch::J2000).unwrap()).unwrap();
+        let (p0, _) =
+            subsatellite_point(Epoch::J2000, prop.position_at(Epoch::J2000).unwrap()).unwrap();
         let t1 = Epoch::J2000 + 86_400.0;
         let (p1, _) = subsatellite_point(t1, prop.position_at(t1).unwrap()).unwrap();
         assert!(p0.central_angle_to(&p1).to_degrees() > 1.0);

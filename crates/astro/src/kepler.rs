@@ -43,7 +43,12 @@ impl OrbitalElements {
     /// # Errors
     /// Returns [`AstroError::InvalidElement`] if the altitude is negative or
     /// the inclination falls outside `[0, π]`.
-    pub fn circular(altitude_km: f64, inclination: f64, raan: f64, arg_latitude: f64) -> Result<Self> {
+    pub fn circular(
+        altitude_km: f64,
+        inclination: f64,
+        raan: f64,
+        arg_latitude: f64,
+    ) -> Result<Self> {
         if altitude_km < 0.0 {
             return Err(AstroError::InvalidElement {
                 name: "altitude_km",
@@ -76,7 +81,8 @@ impl OrbitalElements {
     /// Returns [`AstroError::InvalidElement`] naming the first element that
     /// violates its constraint.
     pub fn validate(&self) -> Result<()> {
-        if !self.semi_major_axis_km.is_finite() || self.semi_major_axis_km <= EARTH_RADIUS_KM * 0.5 {
+        if !self.semi_major_axis_km.is_finite() || self.semi_major_axis_km <= EARTH_RADIUS_KM * 0.5
+        {
             return Err(AstroError::InvalidElement {
                 name: "semi_major_axis_km",
                 value: self.semi_major_axis_km,

@@ -172,9 +172,7 @@ pub struct Mat3 {
 
 impl Mat3 {
     /// Identity matrix.
-    pub const IDENTITY: Mat3 = Mat3 {
-        rows: [Vec3::X, Vec3::Y, Vec3::Z],
-    };
+    pub const IDENTITY: Mat3 = Mat3 { rows: [Vec3::X, Vec3::Y, Vec3::Z] };
 
     /// Builds a matrix from three rows.
     #[inline]
@@ -186,31 +184,19 @@ impl Mat3 {
     /// rotation convention, Vallado's ROT1).
     pub fn rot_x(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
-        Mat3::from_rows(
-            Vec3::new(1.0, 0.0, 0.0),
-            Vec3::new(0.0, c, s),
-            Vec3::new(0.0, -s, c),
-        )
+        Mat3::from_rows(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, c, s), Vec3::new(0.0, -s, c))
     }
 
     /// Rotation about the Y axis by `angle` radians (ROT2).
     pub fn rot_y(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
-        Mat3::from_rows(
-            Vec3::new(c, 0.0, -s),
-            Vec3::new(0.0, 1.0, 0.0),
-            Vec3::new(s, 0.0, c),
-        )
+        Mat3::from_rows(Vec3::new(c, 0.0, -s), Vec3::new(0.0, 1.0, 0.0), Vec3::new(s, 0.0, c))
     }
 
     /// Rotation about the Z axis by `angle` radians (ROT3).
     pub fn rot_z(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
-        Mat3::from_rows(
-            Vec3::new(c, s, 0.0),
-            Vec3::new(-s, c, 0.0),
-            Vec3::new(0.0, 0.0, 1.0),
-        )
+        Mat3::from_rows(Vec3::new(c, s, 0.0), Vec3::new(-s, c, 0.0), Vec3::new(0.0, 0.0, 1.0))
     }
 
     /// Matrix transpose (= inverse for rotation matrices).
@@ -227,9 +213,21 @@ impl Mat3 {
     pub fn mul_mat(self, rhs: Mat3) -> Mat3 {
         let t = rhs.transpose();
         Mat3::from_rows(
-            Vec3::new(self.rows[0].dot(t.rows[0]), self.rows[0].dot(t.rows[1]), self.rows[0].dot(t.rows[2])),
-            Vec3::new(self.rows[1].dot(t.rows[0]), self.rows[1].dot(t.rows[1]), self.rows[1].dot(t.rows[2])),
-            Vec3::new(self.rows[2].dot(t.rows[0]), self.rows[2].dot(t.rows[1]), self.rows[2].dot(t.rows[2])),
+            Vec3::new(
+                self.rows[0].dot(t.rows[0]),
+                self.rows[0].dot(t.rows[1]),
+                self.rows[0].dot(t.rows[2]),
+            ),
+            Vec3::new(
+                self.rows[1].dot(t.rows[0]),
+                self.rows[1].dot(t.rows[1]),
+                self.rows[1].dot(t.rows[2]),
+            ),
+            Vec3::new(
+                self.rows[2].dot(t.rows[0]),
+                self.rows[2].dot(t.rows[1]),
+                self.rows[2].dot(t.rows[2]),
+            ),
         )
     }
 }

@@ -110,7 +110,8 @@ impl J2Propagator {
         let dt = t - self.epoch;
         let mut el = self.elements;
         el.raan = crate::angles::wrap_two_pi(el.raan + self.rates.raan_rate * dt);
-        el.arg_perigee = crate::angles::wrap_two_pi(el.arg_perigee + self.rates.arg_perigee_rate * dt);
+        el.arg_perigee =
+            crate::angles::wrap_two_pi(el.arg_perigee + self.rates.arg_perigee_rate * dt);
         el.mean_anomaly = crate::angles::wrap_two_pi(
             el.mean_anomaly + (self.mean_motion + self.rates.mean_anomaly_drift) * dt,
         );
@@ -297,9 +298,9 @@ mod tests {
         let el = circ(560.0, 97.7);
         let (r0, v0) = el.to_cartesian().unwrap();
         let energy = |r: Vec3, v: Vec3| {
-            v.norm_squared() / 2.0 - EARTH_MU / r.norm()
-                - EARTH_MU * EARTH_J2 * EARTH_RADIUS_KM * EARTH_RADIUS_KM
-                    / (2.0 * r.norm().powi(3))
+            v.norm_squared() / 2.0
+                - EARTH_MU / r.norm()
+                - EARTH_MU * EARTH_J2 * EARTH_RADIUS_KM * EARTH_RADIUS_KM / (2.0 * r.norm().powi(3))
                     * (1.0 - 3.0 * (r.z / r.norm()).powi(2))
         };
         let e0 = energy(r0, v0);

@@ -154,7 +154,9 @@ pub fn find_rgt_altitude(revs: u32, days: u32, inclination: f64) -> Result<f64> 
     let f_hi = repeat_residual(hi, inclination, revs, days);
     // Mean motion decreases with altitude, so the residual is decreasing.
     if f_lo < 0.0 || f_hi > 0.0 {
-        return Err(AstroError::NoSolution { what: "requested revs/day outside bracketed altitudes" });
+        return Err(AstroError::NoSolution {
+            what: "requested revs/day outside bracketed altitudes",
+        });
     }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -175,7 +177,12 @@ pub fn find_rgt_altitude(revs: u32, days: u32, inclination: f64) -> Result<f64> 
 /// # Errors
 /// See [`find_rgt_altitude`].
 pub fn rgt_orbit(revs: u32, days: u32, inclination: f64) -> Result<RgtOrbit> {
-    Ok(RgtOrbit { revs, days, altitude_km: find_rgt_altitude(revs, days, inclination)?, inclination })
+    Ok(RgtOrbit {
+        revs,
+        days,
+        altitude_km: find_rgt_altitude(revs, days, inclination)?,
+        inclination,
+    })
 }
 
 /// Greatest common divisor (for reducing `revs:days` to lowest terms).

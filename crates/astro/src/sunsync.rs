@@ -56,7 +56,8 @@ pub fn sun_synchronous_inclination(altitude_km: f64) -> Result<f64> {
     }
     let probe = OrbitalElements::circular(altitude_km, core::f64::consts::FRAC_PI_2, 0.0, 0.0)?;
     let n = probe.mean_motion();
-    let k = 1.5 * crate::constants::EARTH_J2
+    let k = 1.5
+        * crate::constants::EARTH_J2
         * (crate::constants::EARTH_RADIUS_KM / probe.semi_major_axis_km).powi(2)
         * n;
     let cos_i = -SUN_SYNC_NODE_RATE / k;
@@ -134,7 +135,12 @@ impl SunSyncOrbit {
     /// # Errors
     /// Propagates element validation failure.
     pub fn elements_at(&self, epoch: Epoch, arg_latitude: f64) -> Result<OrbitalElements> {
-        OrbitalElements::circular(self.altitude_km, self.inclination, self.raan_at(epoch), arg_latitude)
+        OrbitalElements::circular(
+            self.altitude_km,
+            self.inclination,
+            self.raan_at(epoch),
+            arg_latitude,
+        )
     }
 
     /// Elements of `n_sats` satellites evenly spaced along the plane.
@@ -149,9 +155,7 @@ impl SunSyncOrbit {
                 constraint: "non-zero",
             });
         }
-        (0..n_sats)
-            .map(|j| self.elements_at(epoch, TAU * j as f64 / n_sats as f64))
-            .collect()
+        (0..n_sats).map(|j| self.elements_at(epoch, TAU * j as f64 / n_sats as f64)).collect()
     }
 
     /// The point of the plane's **fixed sun-relative track** at argument of
@@ -249,9 +253,8 @@ mod tests {
                 if plat < 0.0 && lat >= 0.0 {
                     // linear interpolation to the crossing
                     let frac = -plat / (lat - plat);
-                    crossing = Some(Epoch::from_seconds_j2000(
-                        pt.seconds_j2000() + frac * (t - pt),
-                    ));
+                    crossing =
+                        Some(Epoch::from_seconds_j2000(pt.seconds_j2000() + frac * (t - pt)));
                     break;
                 }
             }
@@ -309,7 +312,12 @@ mod tests {
             let analytic = orbit.sun_relative_point(u);
             assert!((sr.lat - analytic.lat).abs() < 1e-6, "u={u}");
             let dh = (sr.local_time_h - analytic.local_time_h).abs();
-            assert!(dh.min(24.0 - dh) < 0.02, "u={u}: {} vs {}", sr.local_time_h, analytic.local_time_h);
+            assert!(
+                dh.min(24.0 - dh) < 0.02,
+                "u={u}: {} vs {}",
+                sr.local_time_h,
+                analytic.local_time_h
+            );
         }
         // And the sub-satellite points are physically at those latitudes.
         let el = orbit.elements_at(epoch, 1.0).unwrap();

@@ -42,7 +42,14 @@ impl Epoch {
     /// Builds an epoch from a calendar date/time (proleptic Gregorian,
     /// treated as UTC). Months are 1-12, days 1-31; no validation of
     /// calendar legality beyond the algorithm's domain (years 1901-2099).
-    pub fn from_calendar(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: f64) -> Self {
+    pub fn from_calendar(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: f64,
+    ) -> Self {
         // Vallado's "JDay" algorithm, valid 1901-2099.
         let y = year as f64;
         let m = month as f64;
@@ -86,10 +93,9 @@ impl Epoch {
     pub fn gmst(self) -> f64 {
         let t = self.julian_centuries();
         // Seconds of sidereal time.
-        let gmst_s = 67_310.548_41
-            + (876_600.0 * 3600.0 + 8_640_184.812_866) * t
-            + 0.093_104 * t * t
-            - 6.2e-6 * t * t * t;
+        let gmst_s =
+            67_310.548_41 + (876_600.0 * 3600.0 + 8_640_184.812_866) * t + 0.093_104 * t * t
+                - 6.2e-6 * t * t * t;
         let frac = (gmst_s % SECONDS_PER_DAY) / SECONDS_PER_DAY;
         let rad = frac * TAU;
         if rad < 0.0 {

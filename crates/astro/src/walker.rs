@@ -48,7 +48,7 @@ impl WalkerDelta {
                 constraint: "non-zero",
             });
         }
-        if total_sats % planes != 0 {
+        if !total_sats.is_multiple_of(planes) {
             return Err(AstroError::InvalidElement {
                 name: "total_sats",
                 value: total_sats as f64,

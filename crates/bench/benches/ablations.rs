@@ -3,13 +3,13 @@
 //! `repro ablations`; these measure the cost of each variant).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use ssplane_bench::figures::{default_demand_model, default_grid};
 use ssplane_core::designer::{design_ss_constellation, BranchRule, DesignConfig};
 use ssplane_core::walker_baseline::{
     design_walker_constellation, SupplyModel, WalkerBaselineConfig,
 };
 use ssplane_demand::grid::LatTodGrid;
+use std::hint::black_box;
 
 fn bench_ablations(c: &mut Criterion) {
     let model = default_demand_model();
@@ -18,16 +18,20 @@ fn bench_ablations(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("branch_rule");
     for rule in [BranchRule::BestOfBoth, BranchRule::AscendingOnly, BranchRule::Alternate] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{rule:?}")), &rule, |b, &rule| {
-            b.iter(|| {
-                let cons = design_ss_constellation(
-                    black_box(&demand),
-                    DesignConfig { branch_rule: rule, ..Default::default() },
-                )
-                .unwrap();
-                black_box(cons.total_sats())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rule:?}")),
+            &rule,
+            |b, &rule| {
+                b.iter(|| {
+                    let cons = design_ss_constellation(
+                        black_box(&demand),
+                        DesignConfig { branch_rule: rule, ..Default::default() },
+                    )
+                    .unwrap();
+                    black_box(cons.total_sats())
+                })
+            },
+        );
     }
     group.finish();
 
@@ -35,17 +39,12 @@ fn bench_ablations(c: &mut Criterion) {
     for (lat, tod) in [(24usize, 16usize), (36, 24), (72, 48)] {
         let g = LatTodGrid::from_model(&model, lat, tod).unwrap();
         let d = g.scaled(100.0 / g.total());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{lat}x{tod}")),
-            &d,
-            |b, d| {
-                b.iter(|| {
-                    let cons = design_ss_constellation(black_box(d), DesignConfig::default())
-                        .unwrap();
-                    black_box(cons.total_sats())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{lat}x{tod}")), &d, |b, d| {
+            b.iter(|| {
+                let cons = design_ss_constellation(black_box(d), DesignConfig::default()).unwrap();
+                black_box(cons.total_sats())
+            })
+        });
     }
     group.finish();
 

@@ -2,8 +2,8 @@
 //! analysis + Walker sizing across the 500–2000 km window.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use ssplane_bench::figures::fig1;
+use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_full_sweep", |b| {

@@ -2,11 +2,11 @@
 //! along orbits through the belt model.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::time::Epoch;
 use ssplane_radiation::fluence::daily_fluence;
 use ssplane_radiation::RadiationEnvironment;
-use ssplane_astro::time::Epoch;
+use std::hint::black_box;
 
 fn bench_fluence(c: &mut Criterion) {
     let env = RadiationEnvironment::default();

@@ -2,10 +2,10 @@
 //! and the multi-shell Walker baseline on the realistic demand grid.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use ssplane_bench::figures::{default_demand_model, default_grid};
 use ssplane_core::designer::{design_ss_constellation, DesignConfig};
 use ssplane_core::walker_baseline::{design_walker_constellation, WalkerBaselineConfig};
+use std::hint::black_box;
 
 fn bench_designers(c: &mut Criterion) {
     let model = default_demand_model();
@@ -22,19 +22,17 @@ fn bench_designers(c: &mut Criterion) {
 
     c.bench_function("walker_baseline_design_B200", |b| {
         b.iter(|| {
-            let cons = design_walker_constellation(
-                black_box(&demand),
-                WalkerBaselineConfig::default(),
-            )
-            .unwrap();
+            let cons =
+                design_walker_constellation(black_box(&demand), WalkerBaselineConfig::default())
+                    .unwrap();
             black_box(cons.total_sats())
         })
     });
 
     c.bench_function("demand_grid_build_36x24", |b| {
         b.iter(|| {
-            let g = ssplane_demand::grid::LatTodGrid::from_model(black_box(&model), 36, 24)
-                .unwrap();
+            let g =
+                ssplane_demand::grid::LatTodGrid::from_model(black_box(&model), 36, 24).unwrap();
             black_box(g.total())
         })
     });

@@ -3,13 +3,13 @@
 //! computation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use ssplane_astro::kepler::{solve_kepler, OrbitalElements};
 use ssplane_astro::propagate::J2Propagator;
 use ssplane_astro::sunsync::sun_synchronous_orbit;
 use ssplane_astro::time::Epoch;
 use ssplane_core::ssplane::SsPlane;
 use ssplane_demand::grid::LatTodGrid;
+use std::hint::black_box;
 
 fn bench_pipelines(c: &mut Criterion) {
     c.bench_function("kepler_solve_e02", |b| {
@@ -37,9 +37,7 @@ fn bench_pipelines(c: &mut Criterion) {
 
     c.bench_function("walker_sizing", |b| {
         b.iter(|| {
-            black_box(
-                ssplane_astro::coverage::size_walker_delta(black_box(0.1266), 1.134).unwrap(),
-            )
+            black_box(ssplane_astro::coverage::size_walker_delta(black_box(0.1266), 1.134).unwrap())
         })
     });
 }

@@ -87,9 +87,11 @@ fn run_figure(name: &str, quick: bool) -> Result<String, Box<dyn std::error::Err
             figures::fig10::render(&figures::fig10::data(params)?)
         }
         "ablations" => figures::ablations::render(&figures::ablations::data()?),
-        "extensions" => {
-            figures::extensions::render(&figures::extensions::data(if quick { 50.0 } else { 200.0 })?)
-        }
+        "extensions" => figures::extensions::render(&figures::extensions::data(if quick {
+            50.0
+        } else {
+            200.0
+        })?),
         other => return Err(format!("unknown figure '{other}'").into()),
     };
     Ok(text)

@@ -99,10 +99,7 @@ pub fn data() -> Result<Vec<AblationRow>> {
     ] {
         let c = design_walker_constellation(
             &demand,
-            WalkerBaselineConfig {
-                candidate_inclinations_deg: candidates,
-                ..Default::default()
-            },
+            WalkerBaselineConfig { candidate_inclinations_deg: candidates, ..Default::default() },
         )?;
         rows.push(AblationRow {
             knob: "wd_shells",
@@ -147,11 +144,8 @@ mod tests {
         let min = *branch.iter().min().unwrap() as f64;
         assert!(max / min < 1.25, "branch-rule spread {min}..{max}");
         // Lower elevation mask -> fewer satellites (monotone).
-        let elev: Vec<usize> = rows
-            .iter()
-            .filter(|r| r.knob == "min_elevation_deg")
-            .map(|r| r.total_sats)
-            .collect();
+        let elev: Vec<usize> =
+            rows.iter().filter(|r| r.knob == "min_elevation_deg").map(|r| r.total_sats).collect();
         assert!(elev.windows(2).all(|w| w[0] <= w[1]), "elevation not monotone: {elev:?}");
         // The worst-case supply model is the stronger (larger) baseline.
         let supply: Vec<usize> =

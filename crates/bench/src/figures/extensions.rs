@@ -43,11 +43,8 @@ pub fn data(total_b: f64) -> CoreResult<ExtensionData> {
     };
     // Dose of the WD shell holding the most satellites.
     let wd_dose = {
-        let shell = wd
-            .shells
-            .iter()
-            .max_by_key(|s| s.n_sats)
-            .expect("baseline has at least one shell");
+        let shell =
+            wd.shells.iter().max_by_key(|s| s.n_sats).expect("baseline has at least one shell");
         let el = ssplane_astro::kepler::OrbitalElements::circular(
             shell.altitude_km,
             shell.inclination,

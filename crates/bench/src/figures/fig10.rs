@@ -2,11 +2,15 @@
 //! constellations designed in Fig. 9 (a: electrons, b: protons).
 
 use crate::render;
-use ssplane_core::designer::{design_ss_constellation, DesignConfig};
-use ssplane_core::error::Result;
-use ssplane_core::evaluate::{fig10_row, Fig10Row};
-use ssplane_core::walker_baseline::{design_walker_constellation, WalkerBaselineConfig};
-use ssplane_radiation::RadiationEnvironment;
+use ssplane_core::designer::DesignConfig;
+use ssplane_core::evaluate::Fig10Row;
+use ssplane_core::walker_baseline::WalkerBaselineConfig;
+use ssplane_radiation::fluence::DailyFluence;
+use ssplane_scenario::error::Result;
+use ssplane_scenario::runner::Runner;
+use ssplane_scenario::spec::{DesignKind, ScenarioSpec};
+use ssplane_scenario::sweep::{SweepAxis, SweepSpec};
+use ssplane_scenario::toml::TomlValue;
 
 /// Parameters of the Fig. 10 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,27 +39,55 @@ impl Default for Params {
     }
 }
 
-/// Runs the sweep: designs both constellations per B and evaluates the
-/// median per-satellite daily fluence.
+/// Runs the sweep **through the scenario engine**: designs both
+/// constellations per B and evaluates the median per-satellite daily
+/// fluence (the engine's radiation stage is the Fig. 10 sampling:
+/// representative phases per plane/shell, population-weighted median).
 ///
 /// # Errors
-/// Propagates design or fluence-integration failure.
+/// Propagates design or fluence-integration failure (tagged by the
+/// engine).
 pub fn data(params: Params) -> Result<Vec<Fig10Row>> {
-    let model = super::default_demand_model();
-    let grid = super::default_grid(&model);
-    let grid_total = grid.total();
-    let env = RadiationEnvironment::default();
-    let epoch = super::design_epoch();
+    let outcome = Runner::default().run_sweep(&sweep_spec(&params))?;
     params
         .totals
         .iter()
-        .map(|&b| {
-            let demand = grid.scaled(b / grid_total);
-            let ss = design_ss_constellation(&demand, params.ss)?;
-            let wd = design_walker_constellation(&demand, params.wd.clone())?;
-            fig10_row(b, &ss, &wd, &env, epoch, params.phases, params.step_s)
+        .zip(outcome.reports)
+        .map(|(&b, report)| {
+            let report = report?;
+            let fluence = |sys: &Option<ssplane_scenario::report::SystemReport>| {
+                // A zero-plane design has no fluence stage; the direct
+                // pipeline's behavior for that degenerate case is a zero
+                // median (weighted_median_fluence of no samples), so
+                // mirror it rather than panic.
+                sys.as_ref().and_then(|s| s.fluence.as_ref()).map_or_else(
+                    DailyFluence::default,
+                    |f| DailyFluence { electron: f.median_electron, proton: f.median_proton },
+                )
+            };
+            Ok(Fig10Row { multiplier: b, ss: fluence(&report.ss), wd: fluence(&report.wd) })
         })
         .collect()
+}
+
+/// The Fig. 10 sweep as a scenario grid: design + radiation stages, one
+/// axis over the total-demand level.
+pub fn sweep_spec(params: &Params) -> SweepSpec {
+    let mut base = ScenarioSpec::named("fig10");
+    base.design.kind = DesignKind::Both;
+    base.design.ss = params.ss;
+    base.design.wd = params.wd.clone();
+    base.radiation.enabled = true;
+    base.radiation.phases = params.phases;
+    base.radiation.step_s = params.step_s;
+    base.survivability.enabled = false;
+    SweepSpec {
+        base,
+        axes: vec![SweepAxis {
+            param: "demand.total_demand_b".to_string(),
+            values: params.totals.iter().map(|&b| TomlValue::Float(b)).collect(),
+        }],
+    }
 }
 
 /// Renders both species' series.
@@ -86,13 +118,8 @@ mod tests {
 
     #[test]
     fn fig10_quick() {
-        let d = data(Params {
-            totals: vec![50.0],
-            phases: 1,
-            step_s: 120.0,
-            ..Default::default()
-        })
-        .unwrap();
+        let d = data(Params { totals: vec![50.0], phases: 1, step_s: 120.0, ..Default::default() })
+            .unwrap();
         assert_eq!(d.len(), 1);
         let r = &d[0];
         assert!(r.ss.electron > 0.0 && r.wd.electron > 0.0);
@@ -100,5 +127,35 @@ mod tests {
         // the electron median is not worse than WD's by any large factor.
         assert!(r.ss.proton < r.wd.proton, "ss {:e} wd {:e}", r.ss.proton, r.wd.proton);
         assert!(render(&d).contains("e_saving"));
+    }
+
+    #[test]
+    fn fig10_matches_the_direct_pipeline() {
+        // The refactor contract: going through the scenario engine must
+        // reproduce the hand-written pipeline bit for bit.
+        let params = Params { totals: vec![40.0], phases: 1, step_s: 180.0, ..Default::default() };
+        let engine = data(params.clone()).unwrap();
+
+        let model = crate::figures::default_demand_model();
+        let grid = crate::figures::default_grid(&model);
+        let env = ssplane_radiation::RadiationEnvironment::default();
+        let epoch = crate::figures::design_epoch();
+        let demand = grid.scaled(40.0 / grid.total());
+        let ss = ssplane_core::designer::design_ss_constellation(&demand, params.ss).unwrap();
+        let wd =
+            ssplane_core::walker_baseline::design_walker_constellation(&demand, params.wd.clone())
+                .unwrap();
+        let direct = ssplane_core::evaluate::fig10_row(
+            40.0,
+            &ss,
+            &wd,
+            &env,
+            epoch,
+            params.phases,
+            params.step_s,
+        )
+        .unwrap();
+        assert_eq!(engine[0].ss, direct.ss);
+        assert_eq!(engine[0].wd, direct.wd);
     }
 }

@@ -2,8 +2,10 @@
 //! region covered by a single satellite following it.
 
 use crate::render;
+use ssplane_astro::coverage::{
+    coverage_half_angle, sats_per_plane_half_overlap, street_half_width,
+};
 use ssplane_astro::error::Result;
-use ssplane_astro::coverage::{coverage_half_angle, sats_per_plane_half_overlap, street_half_width};
 use ssplane_astro::ground_track::GroundTrack;
 use ssplane_astro::propagate::nodal_period_s;
 use ssplane_astro::rgt::rgt_orbit;
@@ -64,11 +66,7 @@ pub fn data(params: Params) -> Result<Fig2Data> {
     let covered_fraction = track.swath_area_fraction(swath, 60, 120);
     Ok(Fig2Data {
         altitude_km: orbit.altitude_km,
-        track_deg: track
-            .samples
-            .iter()
-            .map(|s| (s.point.lat_deg(), s.point.lon_deg()))
-            .collect(),
+        track_deg: track.samples.iter().map(|s| (s.point.lat_deg(), s.point.lon_deg())).collect(),
         swath_half_deg: swath.to_degrees(),
         covered_fraction,
     })

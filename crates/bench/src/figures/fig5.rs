@@ -69,8 +69,7 @@ mod tests {
         }
         // Total demand in the sun frame is similar across UTC hours
         // (stationarity) within longitude-sampling noise.
-        let totals: Vec<f64> =
-            d.iter().map(|(_, g)| g.iter().flatten().sum::<f64>()).collect();
+        let totals: Vec<f64> = d.iter().map(|(_, g)| g.iter().flatten().sum::<f64>()).collect();
         let max = totals.iter().cloned().fold(0.0, f64::max);
         let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max < 25.0 * min.max(1e-9), "totals {totals:?}");

@@ -76,7 +76,8 @@ impl Fig6Data {
 pub fn data(params: Params) -> Result<Fig6Data> {
     let env = RadiationEnvironment::default();
     let days = env.solar.sample_days(params.n_days, params.seed);
-    let map = env.max_flux_map(params.species, params.altitude_km, &days, params.n_lat, params.n_lon)?;
+    let map =
+        env.max_flux_map(params.species, params.altitude_km, &days, params.n_lat, params.n_lon)?;
     Ok(Fig6Data { map, params })
 }
 

@@ -5,9 +5,13 @@
 
 use crate::render;
 use ssplane_core::designer::DesignConfig;
-use ssplane_core::error::Result;
-use ssplane_core::evaluate::{fig9_sweep, Fig9Row};
+use ssplane_core::evaluate::Fig9Row;
 use ssplane_core::walker_baseline::WalkerBaselineConfig;
+use ssplane_scenario::error::Result;
+use ssplane_scenario::runner::Runner;
+use ssplane_scenario::spec::{DesignKind, ScenarioSpec};
+use ssplane_scenario::sweep::{SweepAxis, SweepSpec};
+use ssplane_scenario::toml::TomlValue;
 
 /// Parameters of the Fig. 9 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,24 +43,55 @@ pub struct Fig9Point {
     pub row: Fig9Row,
 }
 
-/// Runs the sweep. The demand grid is normalized so its **total** equals
-/// each requested B (Fig. 9's x-axis: "total bandwidth demand measured in
-/// multiples of a single satellite's bandwidth capacity").
+/// Runs the sweep **through the scenario engine**: the totals become a
+/// `demand.total_demand_b` axis over a design-only [`ScenarioSpec`], and
+/// the parallel [`Runner`] executes the grid. The demand grid is
+/// normalized so its **total** equals each requested B (Fig. 9's x-axis:
+/// "total bandwidth demand measured in multiples of a single satellite's
+/// bandwidth capacity").
 ///
 /// # Errors
-/// Propagates designer failure.
+/// Propagates designer failure (tagged by the engine).
 pub fn data(params: Params) -> Result<Vec<Fig9Point>> {
-    let model = super::default_demand_model();
-    let grid = super::default_grid(&model);
-    let grid_total = grid.total();
-    let multipliers: Vec<f64> = params.totals.iter().map(|b| b / grid_total).collect();
-    let rows = fig9_sweep(&grid, &multipliers, params.ss, &params.wd)?;
-    Ok(params
+    let outcome = Runner::default().run_sweep(&sweep_spec(&params))?;
+    params
         .totals
         .iter()
-        .zip(rows)
-        .map(|(&b, row)| Fig9Point { total_demand: b, row })
-        .collect())
+        .zip(outcome.reports)
+        .map(|(&b, report)| {
+            let report = report?;
+            let ss = report.ss.as_ref().expect("fig9 designs both systems");
+            let wd = report.wd.as_ref().expect("fig9 designs both systems");
+            Ok(Fig9Point {
+                total_demand: b,
+                row: Fig9Row {
+                    multiplier: report.demand_multiplier,
+                    ss_sats: ss.design.sats,
+                    ss_planes: ss.design.planes,
+                    wd_sats: wd.design.sats,
+                    wd_shells: wd.design.shells,
+                },
+            })
+        })
+        .collect()
+}
+
+/// The Fig. 9 sweep as a scenario grid: design stage only, one axis over
+/// the total-demand level.
+pub fn sweep_spec(params: &Params) -> SweepSpec {
+    let mut base = ScenarioSpec::named("fig9");
+    base.design.kind = DesignKind::Both;
+    base.design.ss = params.ss;
+    base.design.wd = params.wd.clone();
+    base.radiation.enabled = false;
+    base.survivability.enabled = false;
+    SweepSpec {
+        base,
+        axes: vec![SweepAxis {
+            param: "demand.total_demand_b".to_string(),
+            values: params.totals.iter().map(|&b| TomlValue::Float(b)).collect(),
+        }],
+    }
 }
 
 /// Renders the two series.
@@ -93,5 +128,24 @@ mod tests {
         }
         assert!(d[1].row.ss_sats >= d[0].row.ss_sats);
         assert!(render(&d).contains("WD/SS"));
+    }
+
+    #[test]
+    fn fig9_matches_the_direct_pipeline() {
+        // The refactor contract: going through the scenario engine must
+        // reproduce the hand-written evaluate sweep exactly.
+        let params = Params { totals: vec![10.0, 200.0], ..Default::default() };
+        let engine = data(params.clone()).unwrap();
+
+        let model = crate::figures::default_demand_model();
+        let grid = crate::figures::default_grid(&model);
+        let grid_total = grid.total();
+        let multipliers: Vec<f64> = params.totals.iter().map(|b| b / grid_total).collect();
+        let direct =
+            ssplane_core::evaluate::fig9_sweep(&grid, &multipliers, params.ss, &params.wd).unwrap();
+        assert_eq!(engine.len(), direct.len());
+        for (e, d) in engine.iter().zip(&direct) {
+            assert_eq!(e.row, *d);
+        }
     }
 }

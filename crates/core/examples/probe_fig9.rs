@@ -11,18 +11,15 @@ fn main() {
     let grid = LatTodGrid::from_model(&model, 36, 24).unwrap();
     println!("grid peak {} total {:.1}", grid.peak(), grid.total());
     // Fig. 9 caption: B is the TOTAL demand in satellite capacities.
-    let multipliers: Vec<f64> = [10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0]
-        .iter()
-        .map(|b| b / grid.total())
-        .collect();
-    let rows = fig9_sweep(
-        &grid,
-        &multipliers,
-        DesignConfig::default(),
-        &WalkerBaselineConfig::default(),
-    )
-    .unwrap();
-    println!("{:>8} {:>9} {:>9} {:>9} {:>9} {:>7}", "B", "SS sats", "planes", "WD sats", "shells", "WD/SS");
+    let multipliers: Vec<f64> =
+        [10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0].iter().map(|b| b / grid.total()).collect();
+    let rows =
+        fig9_sweep(&grid, &multipliers, DesignConfig::default(), &WalkerBaselineConfig::default())
+            .unwrap();
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "B", "SS sats", "planes", "WD sats", "shells", "WD/SS"
+    );
     for r in rows {
         println!(
             "{:>8.0} {:>9} {:>9} {:>9} {:>9} {:>7.2}",

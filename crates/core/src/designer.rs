@@ -214,7 +214,13 @@ pub fn design_ss_constellation(
         planes.push(chosen);
     }
 
-    Ok(SsConstellation { planes, sats_per_plane, swath_half_angle: swath, config, unserved_demand: unserved })
+    Ok(SsConstellation {
+        planes,
+        sats_per_plane,
+        swath_half_angle: swath,
+        config,
+        unserved_demand: unserved,
+    })
 }
 
 #[cfg(test)]
@@ -330,21 +336,16 @@ mod tests {
             }
         }
         let cost_spread = design_ss_constellation(&spread, fast_config()).unwrap().planes.len();
-        assert!(
-            cost_on < cost_spread,
-            "on-track {cost_on} planes vs spread {cost_spread} planes"
-        );
+        assert!(cost_on < cost_spread, "on-track {cost_on} planes vs spread {cost_spread} planes");
     }
 
     #[test]
     fn branch_rules_all_converge() {
         let g = point_demand(20, 8, 2.0);
         for rule in [BranchRule::BestOfBoth, BranchRule::AscendingOnly, BranchRule::Alternate] {
-            let c = design_ss_constellation(
-                &g,
-                DesignConfig { branch_rule: rule, ..fast_config() },
-            )
-            .unwrap();
+            let c =
+                design_ss_constellation(&g, DesignConfig { branch_rule: rule, ..fast_config() })
+                    .unwrap();
             assert_eq!(c.planes.len(), 2, "{rule:?}");
         }
     }

@@ -107,8 +107,7 @@ pub fn verify_sun_relative_supply(
         .collect::<std::result::Result<_, _>>()?;
 
     // Demanded cells.
-    let cells: Vec<(usize, usize, f64)> =
-        demand.cells().filter(|&(_, _, v)| v > 1e-12).collect();
+    let cells: Vec<(usize, usize, f64)> = demand.cells().filter(|&(_, _, v)| v > 1e-12).collect();
     let mut min_supply = vec![f64::INFINITY; cells.len()];
 
     for s in 0..n_time_samples.max(1) {
@@ -188,10 +187,8 @@ pub fn verify_earth_fixed_supply(
         .iter()
         .map(|el| J2Propagator::new(epoch, *el))
         .collect::<std::result::Result<_, _>>()?;
-    let requirements: Vec<(f64, f64)> = latitude_requirements(demand)
-        .into_iter()
-        .filter(|&(_, d)| d > 1e-12)
-        .collect();
+    let requirements: Vec<(f64, f64)> =
+        latitude_requirements(demand).into_iter().filter(|&(_, d)| d > 1e-12).collect();
 
     // Average observed supply per band (the analytic designer provisions
     // for the mean multiplicity; instantaneous dips are the spare pool's
@@ -209,8 +206,7 @@ pub fn verify_earth_fixed_supply(
             let mut band_min = f64::INFINITY;
             for l in 0..n_lon_samples.max(1) {
                 let lon = core::f64::consts::TAU * l as f64 / n_lon_samples.max(1) as f64;
-                let ground =
-                    ssplane_astro::geo::GeoPoint::new(lat, lon).to_unit_vector();
+                let ground = ssplane_astro::geo::GeoPoint::new(lat, lon).to_unit_vector();
                 let mut count = 0.0;
                 for r in &sat_ecef {
                     let angle = ground.angle_to(*r);
@@ -282,8 +278,7 @@ pub fn weighted_median_fluence(samples: &[(DailyFluence, usize)]) -> DailyFluenc
         return DailyFluence::default();
     }
     let component = |extract: fn(&DailyFluence) -> f64| -> f64 {
-        let mut v: Vec<(f64, usize)> =
-            samples.iter().map(|(f, w)| (extract(f), *w)).collect();
+        let mut v: Vec<(f64, usize)> = samples.iter().map(|(f, w)| (extract(f), *w)).collect();
         v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fluence"));
         let total: usize = v.iter().map(|x| x.1).sum();
         let mut acc = 0usize;
@@ -330,12 +325,7 @@ pub fn fig10_row(
     let wd_groups: Vec<(OrbitalElements, usize)> = wd
         .shells
         .iter()
-        .map(|s| {
-            Ok((
-                OrbitalElements::circular(s.altitude_km, s.inclination, 0.0, 0.0)?,
-                s.n_sats,
-            ))
-        })
+        .map(|s| Ok((OrbitalElements::circular(s.altitude_km, s.inclination, 0.0, 0.0)?, s.n_sats)))
         .collect::<Result<_>>()?;
     let ss_samples = plane_fluence_samples(&ss_groups, env, epoch, phases, step_s)?;
     let wd_samples = plane_fluence_samples(&wd_groups, env, epoch, phases, step_s)?;
@@ -398,12 +388,7 @@ mod tests {
         // appears on realistic demand spanning many latitudes, asserted in
         // the workspace integration tests.)
         let last = rows.last().unwrap();
-        assert!(
-            last.ss_sats < last.wd_sats,
-            "ss {} vs wd {}",
-            last.ss_sats,
-            last.wd_sats
-        );
+        assert!(last.ss_sats < last.wd_sats, "ss {} vs wd {}", last.ss_sats, last.wd_sats);
     }
 
     #[test]

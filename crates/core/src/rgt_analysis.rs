@@ -5,8 +5,7 @@
 
 use crate::error::Result;
 use ssplane_astro::coverage::{
-    coverage_half_angle, size_walker_delta, street_half_width,
-    sats_per_plane_half_overlap,
+    coverage_half_angle, sats_per_plane_half_overlap, size_walker_delta, street_half_width,
 };
 use ssplane_astro::rgt::{enumerate_rgt_orbits, RgtOrbit};
 
@@ -198,9 +197,7 @@ mod tests {
                 assert!(
                     r.effectively_uniform,
                     "{}:{} at {:.0} km should be uniform",
-                    r.orbit.revs,
-                    r.orbit.days,
-                    r.orbit.altitude_km
+                    r.orbit.revs, r.orbit.days, r.orbit.altitude_km
                 );
             }
         }
@@ -210,11 +207,7 @@ mod tests {
     fn walker_curve_monotone_decreasing() {
         let d = data();
         for w in d.walker.windows(2) {
-            assert!(
-                w[0].sats_required >= w[1].sats_required,
-                "walker not decreasing: {:?}",
-                w
-            );
+            assert!(w[0].sats_required >= w[1].sats_required, "walker not decreasing: {:?}", w);
         }
     }
 

@@ -58,9 +58,7 @@ impl SsPlane {
 
             // Swath dilated by the half-diagonal of a cell at this
             // latitude (cell-area intersection test via its center).
-            let half_diag = ((dlat / 2.0).powi(2)
-                + (dtod_rad * cos_lat / 2.0).powi(2))
-            .sqrt();
+            let half_diag = ((dlat / 2.0).powi(2) + (dtod_rad * cos_lat / 2.0).powi(2)).sqrt();
             let reach = swath_half_angle + half_diag;
 
             // Neighborhood of cells possibly within reach.
@@ -182,11 +180,15 @@ mod tests {
         let asc_col = 10; // tod 10.5h
         let desc_col = 22; // tod 22.5h
         assert!(
-            cells.iter().any(|&(i, j)| (i as i32 - eq_row).abs() <= 1 && (j as i32 - asc_col).abs() <= 1),
+            cells
+                .iter()
+                .any(|&(i, j)| (i as i32 - eq_row).abs() <= 1 && (j as i32 - asc_col).abs() <= 1),
             "ascending node not covered"
         );
         assert!(
-            cells.iter().any(|&(i, j)| (i as i32 - eq_row).abs() <= 1 && (j as i32 - desc_col).abs() <= 1),
+            cells
+                .iter()
+                .any(|&(i, j)| (i as i32 - eq_row).abs() <= 1 && (j as i32 - desc_col).abs() <= 1),
             "descending node not covered"
         );
     }
@@ -211,7 +213,8 @@ mod tests {
         let grid = uniform_grid();
         let plane = SsPlane { orbit: orbit().with_ltan(12.0), n_sats: 20 };
         let cells = plane.covered_cells(&grid, 0.12);
-        let max_lat_row = ((90.0 + plane.orbit.max_latitude().to_degrees()) / 5.0).floor() as usize - 1;
+        let max_lat_row =
+            ((90.0 + plane.orbit.max_latitude().to_degrees()) / 5.0).floor() as usize - 1;
         let cols_at_top: usize = cells.iter().filter(|&&(i, _)| i == max_lat_row).count();
         let cols_at_equator: usize = cells.iter().filter(|&&(i, _)| i == 18).count();
         assert!(

@@ -106,8 +106,7 @@ pub fn assess(
         + params.electron_hazard_coeff * dose.electron
         + params.proton_hazard_coeff * dose.proton;
     // Replacement: radiation/random failures plus scheduled end-of-life.
-    let replacement_rate =
-        active_sats as f64 * (hazard + 1.0 / params.design_life_years);
+    let replacement_rate = active_sats as f64 * (hazard + 1.0 / params.design_life_years);
     // Spares: margin x expected failures per plane per resupply period,
     // at least 1 per plane, summed over planes.
     let per_plane_failures = if planes == 0 {

@@ -152,8 +152,7 @@ pub fn coverage_kernel(lat: f64, inclination: f64, theta: f64) -> f64 {
         let p = phi.cos() / (core::f64::consts::PI * denom);
         // Longitude half-width of the cap at latitude φ′ seen from a point
         // at latitude `lat`.
-        let cos_dl =
-            ((cos_t - lat.sin() * s) / (lat.cos() * phi.cos())).clamp(-1.0, 1.0);
+        let cos_dl = ((cos_t - lat.sin() * s) / (lat.cos() * phi.cos())).clamp(-1.0, 1.0);
         let dlam = cos_dl.acos();
         acc += p * (dlam / core::f64::consts::PI) * dl;
     }
@@ -223,8 +222,7 @@ pub fn design_walker_constellation(
         let per_plane = sizing.sats_per_plane;
         let n_target = (n.ceil() as usize).max(n_min);
         let planes = n_target.div_ceil(per_plane);
-        let altitude =
-            config.altitude_km + shell_idx as f64 * config.shell_spacing_km;
+        let altitude = config.altitude_km + shell_idx as f64 * config.shell_spacing_km;
         shells.push(WalkerShell {
             inclination: candidates[c],
             altitude_km: altitude,
@@ -466,10 +464,7 @@ mod tests {
         .is_err());
         assert!(design_walker_constellation(
             &g,
-            WalkerBaselineConfig {
-                candidate_inclinations_deg: vec![],
-                ..Default::default()
-            }
+            WalkerBaselineConfig { candidate_inclinations_deg: vec![], ..Default::default() }
         )
         .is_err());
     }

@@ -76,7 +76,44 @@ impl DiurnalModel {
     }
 
     fn peak_log_shape(&self) -> f64 {
-        self.log_shape(self.argmax_hour())
+        // The peak is a pure function of the model parameters but costs a
+        // 1440-point scan plus refinement, and weight() sits in hot loops
+        // (demand-grid builds, flow rejection sampling) — so memoize the
+        // last model's peak per thread. The one-slot cache hits ~always:
+        // callers overwhelmingly use a single model per run.
+        use std::cell::Cell;
+        thread_local! {
+            static LAST: Cell<Option<(DiurnalModel, f64)>> = const { Cell::new(None) };
+        }
+        LAST.with(|slot| {
+            if let Some((model, peak)) = slot.get() {
+                if model == *self {
+                    return peak;
+                }
+            }
+            let peak = self.compute_peak_log_shape();
+            slot.set(Some((*self, peak)));
+            peak
+        })
+    }
+
+    fn compute_peak_log_shape(&self) -> f64 {
+        // The minute grid brackets the global peak but does not hit it
+        // exactly, and weight() must stay ≤ 1 for *every* hour, not just
+        // grid hours; refine within the bracket (the shape is smooth and
+        // locally unimodal there) before reading off the maximum.
+        let h0 = self.argmax_hour();
+        let (mut lo, mut hi) = (h0 - 1.0 / 60.0, h0 + 1.0 / 60.0);
+        for _ in 0..64 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if self.log_shape(m1) < self.log_shape(m2) {
+                lo = m1;
+            } else {
+                hi = m2;
+            }
+        }
+        self.log_shape(0.5 * (lo + hi))
     }
 
     fn median_log_shape(&self) -> f64 {

@@ -131,7 +131,7 @@ mod tests {
     }
 
     #[test]
-    fn more_harmonics_fit_no_worse_in_sample(){
+    fn more_harmonics_fit_no_worse_in_sample() {
         let train = diurnal_samples(10, 0.05, 3);
         let f1 = HarmonicForecaster::fit(&train, 1).unwrap();
         let f3 = HarmonicForecaster::fit(&train, 3).unwrap();

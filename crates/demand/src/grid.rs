@@ -50,7 +50,8 @@ impl LatTodGrid {
         let profile = model.population.max_density_per_latitude();
         let mut max_pop = vec![0.0f64; lat_bins];
         for (lat_deg, dens) in profile {
-            let i = (((lat_deg + 90.0) / 180.0 * lat_bins as f64).floor() as usize).min(lat_bins - 1);
+            let i =
+                (((lat_deg + 90.0) / 180.0 * lat_bins as f64).floor() as usize).min(lat_bins - 1);
             max_pop[i] = max_pop[i].max(dens);
         }
         let mut values = vec![0.0; lat_bins * tod_bins];
@@ -175,9 +176,8 @@ impl LatTodGrid {
 
     /// Iterates `(lat_idx, tod_idx, value)` over all cells.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.lat_bins).flat_map(move |i| {
-            (0..self.tod_bins).map(move |j| (i, j, self.value(i, j)))
-        })
+        (0..self.lat_bins)
+            .flat_map(move |i| (0..self.tod_bins).map(move |j| (i, j, self.value(i, j))))
     }
 }
 
@@ -254,7 +254,8 @@ mod tests {
             }
         }
         // Extremes clamp / wrap safely.
-        let north_pole = SunRelativePoint { lat: 1.5707, local_time_h: 24.0 };
+        let north_pole =
+            SunRelativePoint { lat: core::f64::consts::FRAC_PI_2 - 1e-4, local_time_h: 24.0 };
         let (i, j) = g.cell_of(north_pole);
         assert_eq!(i, g.lat_bins() - 1);
         assert_eq!(j, 0);

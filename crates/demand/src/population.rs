@@ -131,9 +131,7 @@ impl PopulationGrid {
             // Rejection-sample latitude proportionally to the envelope so
             // big cities sit where Fig. 3 has mass.
             let env_max = (0..64)
-                .map(|k| {
-                    latitude_envelope(lat_min + (lat_max - lat_min) * (k as f64 + 0.5) / 64.0)
-                })
+                .map(|k| latitude_envelope(lat_min + (lat_max - lat_min) * (k as f64 + 0.5) / 64.0))
                 .fold(1e-9, f64::max);
             let lat = loop {
                 let cand = lat_min + (lat_max - lat_min) * rng.gen::<f64>();
@@ -360,8 +358,7 @@ mod tests {
     #[test]
     fn cell_areas_sum_to_earth_surface() {
         let g = small_grid();
-        let total: f64 =
-            (0..g.lat_bins()).map(|i| g.cell_area_km2(i) * g.lon_bins() as f64).sum();
+        let total: f64 = (0..g.lat_bins()).map(|i| g.cell_area_km2(i) * g.lon_bins() as f64).sum();
         let sphere = 4.0 * core::f64::consts::PI * EARTH_RADIUS_KM * EARTH_RADIUS_KM;
         assert!((total - sphere).abs() / sphere < 1e-9);
     }

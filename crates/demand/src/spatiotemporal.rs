@@ -55,7 +55,12 @@ impl DemandModel {
     ///
     /// # Errors
     /// Returns [`DemandError::EmptyGrid`] for zero-sized grids.
-    pub fn snapshot_at_utc(&self, utc_hour: f64, n_lat: usize, n_lon: usize) -> Result<Vec<Vec<f64>>> {
+    pub fn snapshot_at_utc(
+        &self,
+        utc_hour: f64,
+        n_lat: usize,
+        n_lon: usize,
+    ) -> Result<Vec<Vec<f64>>> {
         if n_lat == 0 {
             return Err(DemandError::EmptyGrid { dimension: "n_lat" });
         }
@@ -181,8 +186,7 @@ mod tests {
         // different; instead verify exact identity of local-time logic:
         let c = m.demand_at_local(30.0, 90.0, 12.0 + 90.0 / 15.0 - 6.0 + 6.0 - 90.0 / 15.0);
         assert!(a.is_finite() && b.is_finite() && c.is_finite());
-        let lt_equiv =
-            m.demand_at_utc(30.0, 45.0, 9.0) - m.demand_at_local(30.0, 45.0, 12.0);
+        let lt_equiv = m.demand_at_utc(30.0, 45.0, 9.0) - m.demand_at_local(30.0, 45.0, 12.0);
         assert!(lt_equiv.abs() < 1e-12);
     }
 

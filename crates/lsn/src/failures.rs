@@ -32,11 +32,7 @@ impl Default for FailureModel {
         // percent annual failure probability, dominated by the radiation
         // term at moderate inclinations (consistent with the paper's
         // "2-10 spares per plane" practice).
-        FailureModel {
-            baseline_per_year: 0.01,
-            electron_coeff: 1.2e-12,
-            proton_coeff: 1.0e-9,
-        }
+        FailureModel { baseline_per_year: 0.01, electron_coeff: 1.2e-12, proton_coeff: 1.0e-9 }
     }
 }
 

@@ -62,9 +62,8 @@ pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec
     let src = topology
         .index_of(from)
         .ok_or(LsnError::UnknownNode { plane: from.plane, slot: from.slot })?;
-    let dst = topology
-        .index_of(to)
-        .ok_or(LsnError::UnknownNode { plane: to.plane, slot: to.slot })?;
+    let dst =
+        topology.index_of(to).ok_or(LsnError::UnknownNode { plane: to.plane, slot: to.slot })?;
     let n = topology.n_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![usize::MAX; n];
@@ -97,10 +96,7 @@ pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec
         hops.push(cur);
     }
     hops.reverse();
-    Ok((
-        hops.into_iter().map(|i| topology.id_of(i).expect("valid index")).collect(),
-        dist[dst],
-    ))
+    Ok((hops.into_iter().map(|i| topology.id_of(i).expect("valid index")).collect(), dist[dst]))
 }
 
 /// The satellite best serving a ground point at epoch `t`: the one with
@@ -122,7 +118,7 @@ pub fn serving_satellite(
         let central = g_eci.angle_to(r);
         let altitude = r.norm() - EARTH_RADIUS_KM;
         let elev = elevation_at_central_angle(altitude, central.max(1e-9));
-        if elev >= min_elevation && best.map_or(true, |(_, be)| elev > be) {
+        if elev >= min_elevation && best.is_none_or(|(_, be)| elev > be) {
             best = Some((id, elev));
         }
     }
@@ -143,15 +139,12 @@ pub fn route_ground_to_ground(
     t: Epoch,
     min_elevation: f64,
 ) -> Result<Route> {
-    let (s_sat, _) = serving_satellite(constellation, src, t, min_elevation)?
-        .ok_or(LsnError::NoRoute)?;
-    let (d_sat, _) = serving_satellite(constellation, dst, t, min_elevation)?
-        .ok_or(LsnError::NoRoute)?;
-    let (hops, isl_km) = if s_sat == d_sat {
-        (vec![s_sat], 0.0)
-    } else {
-        shortest_path(topology, s_sat, d_sat)?
-    };
+    let (s_sat, _) =
+        serving_satellite(constellation, src, t, min_elevation)?.ok_or(LsnError::NoRoute)?;
+    let (d_sat, _) =
+        serving_satellite(constellation, dst, t, min_elevation)?.ok_or(LsnError::NoRoute)?;
+    let (hops, isl_km) =
+        if s_sat == d_sat { (vec![s_sat], 0.0) } else { shortest_path(topology, s_sat, d_sat)? };
     let up = (constellation.position(s_sat, t)?
         - ecef_to_eci(t, src.to_unit_vector() * EARTH_RADIUS_KM))
     .norm();
@@ -184,10 +177,8 @@ impl TimeExpandedRoutes {
         let mut count = 0;
         let mut prev: Option<(SatId, SatId)> = None;
         for r in self.routes.iter().flatten() {
-            let ends = (
-                *r.hops.first().expect("route has hops"),
-                *r.hops.last().expect("route has hops"),
-            );
+            let ends =
+                (*r.hops.first().expect("route has hops"), *r.hops.last().expect("route has hops"));
             if let Some(p) = prev {
                 if p != ends {
                     count += 1;
@@ -278,20 +269,13 @@ mod tests {
         // Going 3 slots around a 12-slot ring must cost 3 ring hops.
         let c = constellation(1, 12);
         let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
-        let (hops, _) = shortest_path(
-            &topo,
-            SatId { plane: 0, slot: 0 },
-            SatId { plane: 0, slot: 3 },
-        )
-        .unwrap();
+        let (hops, _) =
+            shortest_path(&topo, SatId { plane: 0, slot: 0 }, SatId { plane: 0, slot: 3 }).unwrap();
         assert_eq!(hops.len(), 4);
         // And the short way around for slot 10 (2 hops back).
-        let (hops, _) = shortest_path(
-            &topo,
-            SatId { plane: 0, slot: 0 },
-            SatId { plane: 0, slot: 10 },
-        )
-        .unwrap();
+        let (hops, _) =
+            shortest_path(&topo, SatId { plane: 0, slot: 0 }, SatId { plane: 0, slot: 10 })
+                .unwrap();
         assert_eq!(hops.len(), 3);
     }
 

@@ -100,11 +100,7 @@ fn route_via(
         - ecef_to_eci(t, dst.to_unit_vector() * EARTH_RADIUS_KM))
     .norm();
     let length_km = isl_km + up + down;
-    Ok(Route {
-        hops,
-        delay_ms: length_km / crate::routing::SPEED_OF_LIGHT_KM_S * 1e3,
-        length_km,
-    })
+    Ok(Route { hops, delay_ms: length_km / crate::routing::SPEED_OF_LIGHT_KM_S * 1e3, length_km })
 }
 
 /// Computes the sticky schedule for a ground pair.
@@ -136,17 +132,22 @@ pub fn plan_schedule(
 
         // The per-slot optimum (for the stretch budget and the naive
         // handoff count).
-        let optimal =
-            match route_ground_to_ground(constellation, &topology, src, dst, t, config.min_elevation)
-            {
-                Ok(r) => r,
-                Err(LsnError::NoRoute) => {
-                    routes.push(None);
-                    current = None;
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
+        let optimal = match route_ground_to_ground(
+            constellation,
+            &topology,
+            src,
+            dst,
+            t,
+            config.min_elevation,
+        ) {
+            Ok(r) => r,
+            Err(LsnError::NoRoute) => {
+                routes.push(None);
+                current = None;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         let optimal_ends = (
             *optimal.hops.first().expect("route has hops"),
             *optimal.hops.last().expect("route has hops"),
@@ -259,7 +260,8 @@ mod tests {
         let c = constellation();
         let src = GeoPoint::from_degrees(35.0, -90.0);
         let dst = GeoPoint::from_degrees(45.0, 10.0);
-        let cfg = ScheduleConfig { n_slots: 10, slot_s: 90.0, max_stretch: 1.2, ..Default::default() };
+        let cfg =
+            ScheduleConfig { n_slots: 10, slot_s: 90.0, max_stretch: 1.2, ..Default::default() };
         let schedule = plan_schedule(&c, src, dst, Epoch::J2000, cfg).unwrap();
         // Recompute optima and check every chosen route is within budget.
         for (k, route) in schedule.routes.iter().enumerate() {

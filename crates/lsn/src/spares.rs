@@ -66,21 +66,12 @@ pub fn expected_failures_per_plane(
 ///
 /// # Errors
 /// Rejects non-positive rates or probabilities outside (0, 1).
-pub fn spares_for_availability(
-    expected_failures: f64,
-    exhaustion_prob: f64,
-) -> Result<usize> {
+pub fn spares_for_availability(expected_failures: f64, exhaustion_prob: f64) -> Result<usize> {
     if expected_failures.is_nan() || expected_failures < 0.0 {
-        return Err(LsnError::BadParameter {
-            name: "expected_failures",
-            constraint: ">= 0",
-        });
+        return Err(LsnError::BadParameter { name: "expected_failures", constraint: ">= 0" });
     }
     if !(0.0 < exhaustion_prob && exhaustion_prob < 1.0) {
-        return Err(LsnError::BadParameter {
-            name: "exhaustion_prob",
-            constraint: "in (0, 1)",
-        });
+        return Err(LsnError::BadParameter { name: "exhaustion_prob", constraint: "in (0, 1)" });
     }
     // Poisson tail: walk the CDF.
     let lambda = expected_failures;
@@ -118,8 +109,8 @@ pub fn steady_state_availability(
     let vacancy = (hazard_per_year * latency_years).min(1.0);
     // Pool exhaustion: expected failures fleet-wide per resupply period vs
     // total spares.
-    let expected = expected_failures_per_plane(sats_per_plane, hazard_per_year, resupply_days)
-        * planes as f64;
+    let expected =
+        expected_failures_per_plane(sats_per_plane, hazard_per_year, resupply_days) * planes as f64;
     let spares = policy.total_spares(planes) as f64;
     let coverage = if expected <= 0.0 { 1.0 } else { (spares / expected).min(1.0) };
     // Failures beyond the spare budget stay vacant until resupply (about

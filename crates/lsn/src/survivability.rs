@@ -135,8 +135,7 @@ pub fn simulate(
                     replacement_days
                 } else {
                     // Wait for the next resupply epoch, then replace.
-                    let next_resupply =
-                        (t / config.resupply_days).ceil() * config.resupply_days;
+                    let next_resupply = (t / config.resupply_days).ceil() * config.resupply_days;
                     // Resupply also tops the plane's budget back up.
                     plane_spares[p] = per_plane_budget.min(1e18);
                     if shared_pool != isize::MAX {
@@ -254,14 +253,9 @@ mod tests {
     fn shared_pool_runs() {
         let doses = vec![dose(3e10, 2e7); 10];
         let pool = SparePolicy::SharedPool { pool_size: 30, replacement_days: 20.0 };
-        let report = simulate(
-            &doses,
-            20,
-            &FailureModel::default(),
-            &pool,
-            SurvivabilityConfig::default(),
-        )
-        .unwrap();
+        let report =
+            simulate(&doses, 20, &FailureModel::default(), &pool, SurvivabilityConfig::default())
+                .unwrap();
         assert!((0.0..=1.0).contains(&report.availability));
         // Slow pool replacement costs more than fast in-plane spares.
         let fast = simulate(
@@ -279,7 +273,9 @@ mod tests {
     fn bad_inputs_rejected() {
         let doses = vec![dose(1e10, 1e7)];
         assert!(simulate(&[], 5, &FailureModel::default(), &policy(), Default::default()).is_err());
-        assert!(simulate(&doses, 0, &FailureModel::default(), &policy(), Default::default()).is_err());
+        assert!(
+            simulate(&doses, 0, &FailureModel::default(), &policy(), Default::default()).is_err()
+        );
         assert!(simulate(
             &doses,
             5,

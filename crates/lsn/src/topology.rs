@@ -167,7 +167,11 @@ impl Topology {
     ///
     /// # Errors
     /// Propagates position evaluation failure.
-    pub fn plus_grid(constellation: &Constellation, t: Epoch, config: GridTopologyConfig) -> Result<Topology> {
+    pub fn plus_grid(
+        constellation: &Constellation,
+        t: Epoch,
+        config: GridTopologyConfig,
+    ) -> Result<Topology> {
         let n_planes = constellation.n_planes();
         let mut plane_offsets = Vec::with_capacity(n_planes + 1);
         let mut total = 0usize;
@@ -190,9 +194,7 @@ impl Topology {
         let push_link = |a: SatId, b: SatId, links: &mut Vec<Link>| {
             let (pa, pb) = (positions[flat(a)], positions[flat(b)]);
             let length = (pa - pb).norm();
-            if length <= config.max_range_km
-                && line_of_sight(pa, pb, config.occlusion_margin_km)
-            {
+            if length <= config.max_range_km && line_of_sight(pa, pb, config.occlusion_margin_km) {
                 links.push(Link { a, b, length_km: length });
             }
         };
@@ -206,7 +208,11 @@ impl Topology {
                     if slots == 2 && next < s {
                         continue; // avoid double link on 2-slot planes
                     }
-                    push_link(SatId { plane: p, slot: s }, SatId { plane: p, slot: next }, &mut links);
+                    push_link(
+                        SatId { plane: p, slot: s },
+                        SatId { plane: p, slot: next },
+                        &mut links,
+                    );
                 }
             }
             // Cross-plane to the next plane's nearest slot.
@@ -227,7 +233,7 @@ impl Topology {
                         let d = (positions[flat(from)]
                             - positions[flat(SatId { plane: q, slot: sq })])
                         .norm();
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if best.is_none_or(|(_, bd)| d < bd) {
                             best = Some((sq, d));
                         }
                     }
@@ -242,7 +248,8 @@ impl Topology {
         let mut adjacency = vec![Vec::new(); total];
         let mut seen = std::collections::HashSet::new();
         links.retain(|l| {
-            let key = if flat(l.a) < flat(l.b) { (flat(l.a), flat(l.b)) } else { (flat(l.b), flat(l.a)) };
+            let key =
+                if flat(l.a) < flat(l.b) { (flat(l.a), flat(l.b)) } else { (flat(l.b), flat(l.a)) };
             seen.insert(key)
         });
         for l in &links {
@@ -317,12 +324,7 @@ mod tests {
         let epoch = Epoch::J2000;
         let orbit = sun_synchronous_orbit(560.0).unwrap();
         let element_planes: Vec<Vec<OrbitalElements>> = (0..planes)
-            .map(|p| {
-                orbit
-                    .with_ltan(8.0 + p as f64 * 0.8)
-                    .plane_elements(epoch, slots)
-                    .unwrap()
-            })
+            .map(|p| orbit.with_ltan(8.0 + p as f64 * 0.8).plane_elements(epoch, slots).unwrap())
             .collect();
         Constellation::new(epoch, element_planes).unwrap()
     }

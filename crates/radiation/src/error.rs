@@ -64,8 +64,7 @@ mod tests {
         let e = RadiationError::BelowSurface { radius_km: 6000.0 };
         assert!(e.to_string().contains("6000"));
         assert!(e.source().is_none());
-        let e: RadiationError =
-            ssplane_astro::AstroError::NoSolution { what: "x" }.into();
+        let e: RadiationError = ssplane_astro::AstroError::NoSolution { what: "x" }.into();
         assert!(e.source().is_some());
         let e = RadiationError::BadParameter { name: "step", constraint: "> 0" };
         assert!(e.to_string().contains("step"));

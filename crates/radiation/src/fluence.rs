@@ -20,7 +20,10 @@ pub struct DailyFluence {
 impl DailyFluence {
     /// Component-wise sum.
     pub fn combined(self, other: DailyFluence) -> DailyFluence {
-        DailyFluence { electron: self.electron + other.electron, proton: self.proton + other.proton }
+        DailyFluence {
+            electron: self.electron + other.electron,
+            proton: self.proton + other.proton,
+        }
     }
 
     /// Component-wise scaling.
@@ -139,11 +142,7 @@ mod tests {
         // Paper Fig. 7: electron daily fluence of order 10⁹–10¹⁰ and
         // proton fluence of order 10⁷ at 560 km for 60-80° inclinations.
         let f = daily_fluence(&env(), &circ(560.0, 65.0), epoch(), 60.0).unwrap();
-        assert!(
-            f.electron > 1e9 && f.electron < 1e11,
-            "electron fluence = {:e}",
-            f.electron
-        );
+        assert!(f.electron > 1e9 && f.electron < 1e11, "electron fluence = {:e}", f.electron);
         assert!(f.proton > 1e6 && f.proton < 1e8, "proton fluence = {:e}", f.proton);
     }
 

@@ -71,10 +71,10 @@ impl RadiationEnvironment {
         if atm == 0.0 {
             return Ok(FluxSample::default());
         }
-        let inner_e = self.belts.inner_electrons.flux(&coords)
-            * self.solar.inner_electron_factor(epoch);
-        let outer_e = self.belts.outer_electrons.flux(&coords)
-            * self.solar.outer_electron_factor(epoch);
+        let inner_e =
+            self.belts.inner_electrons.flux(&coords) * self.solar.inner_electron_factor(epoch);
+        let outer_e =
+            self.belts.outer_electrons.flux(&coords) * self.solar.outer_electron_factor(epoch);
         let p = self.belts.inner_protons.flux(&coords) * self.solar.proton_factor(epoch);
         Ok(FluxSample { electron: (inner_e + outer_e) * atm, proton: p * atm })
     }
@@ -155,7 +155,8 @@ mod tests {
     fn saa_dominates_equatorial_proton_flux() {
         let e = env();
         let t = quiet_epoch();
-        let saa = e.flux_at(Species::Proton, GeoPoint::from_degrees(-26.0, -50.0), 560.0, t).unwrap();
+        let saa =
+            e.flux_at(Species::Proton, GeoPoint::from_degrees(-26.0, -50.0), 560.0, t).unwrap();
         let pacific =
             e.flux_at(Species::Proton, GeoPoint::from_degrees(-26.0, 170.0), 560.0, t).unwrap();
         assert!(saa > 10.0 * pacific.max(1e-12), "SAA {saa:e} vs Pacific {pacific:e}");
@@ -167,8 +168,10 @@ mod tests {
         // latitude; pick a longitude where magnetic ≈ geographic latitude.
         let e = env();
         let t = quiet_epoch();
-        let horn = e.flux_at(Species::Electron, GeoPoint::from_degrees(60.0, 0.0), 560.0, t).unwrap();
-        let mid = e.flux_at(Species::Electron, GeoPoint::from_degrees(35.0, 0.0), 560.0, t).unwrap();
+        let horn =
+            e.flux_at(Species::Electron, GeoPoint::from_degrees(60.0, 0.0), 560.0, t).unwrap();
+        let mid =
+            e.flux_at(Species::Electron, GeoPoint::from_degrees(35.0, 0.0), 560.0, t).unwrap();
         assert!(horn > 5.0 * mid.max(1e-12), "horn {horn:e} vs mid-lat {mid:e}");
     }
 
@@ -188,7 +191,8 @@ mod tests {
     fn eci_and_ecef_agree() {
         let e = env();
         let t = quiet_epoch();
-        let ecef = GeoPoint::from_degrees(-30.0, -40.0).to_unit_vector() * (EARTH_RADIUS_KM + 560.0);
+        let ecef =
+            GeoPoint::from_degrees(-30.0, -40.0).to_unit_vector() * (EARTH_RADIUS_KM + 560.0);
         let eci = ssplane_astro::frames::ecef_to_eci(t, ecef);
         let a = e.flux_ecef(ecef, t).unwrap();
         let b = e.flux_eci(eci, t).unwrap();

@@ -61,9 +61,8 @@ impl SolarCycle {
         } else {
             (core::f64::consts::FRAC_PI_2 * (1.0 - phase) / 0.6).sin().powi(2)
         };
-        let rotation = self.rotation_amplitude
-            * (core::f64::consts::TAU * t_days / 27.0).sin()
-            * envelope;
+        let rotation =
+            self.rotation_amplitude * (core::f64::consts::TAU * t_days / 27.0).sin() * envelope;
         let day_index = t_days.floor() as i64 as u64;
         let noise = self.noise_amplitude * (hash01(day_index ^ self.seed) - 0.5) * 2.0;
         (envelope + rotation + noise).clamp(0.0, 1.0)
@@ -121,7 +120,9 @@ mod tests {
         // Average activity in 2014 should far exceed 2009 and 2019.
         let year_avg = |year: i32| -> f64 {
             (0..360)
-                .map(|d| c.activity(Epoch::from_calendar(year, 1, 1, 0, 0, 0.0) + d as f64 * 86_400.0))
+                .map(|d| {
+                    c.activity(Epoch::from_calendar(year, 1, 1, 0, 0, 0.0) + d as f64 * 86_400.0)
+                })
                 .sum::<f64>()
                 / 360.0
         };

@@ -1,0 +1,168 @@
+//! `scenario-runner` — run scenario sweeps from TOML files or the
+//! built-in library.
+//!
+//! ```text
+//! scenario-runner [OPTIONS] [SOURCE...]
+//!
+//! SOURCE             a scenario TOML file, or a built-in name
+//!                    (default: the built-in 'paper-grid' sweep)
+//! --list             list built-in scenarios and exit
+//! --threads N        worker threads (default: all cores)
+//! --out PATH         write JSON-lines reports to PATH (default: stdout)
+//! --summary          print the per-scenario summary table to stderr
+//! ```
+//!
+//! Exit code 0 if every scenario point completed, 1 otherwise.
+
+use ssplane_scenario::runner::Runner;
+use ssplane_scenario::{config, library};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: scenario-runner [--list] [--threads N] [--out PATH] [--summary] [SOURCE...]";
+
+struct Args {
+    sources: Vec<String>,
+    threads: usize,
+    out: Option<String>,
+    summary: bool,
+    list: bool,
+    help: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        sources: Vec::new(),
+        threads: 0,
+        out: None,
+        summary: false,
+        list: false,
+        help: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--summary" => args.summary = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--help" | "-h" => args.help = true,
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => args.sources.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Resolves a source argument: an existing file path wins, then a
+/// built-in name.
+fn load_source(source: &str) -> Result<ssplane_scenario::SweepSpec, String> {
+    let path = std::path::Path::new(source);
+    if path.exists() {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {source}: {e}"))?;
+        return config::sweep_from_toml(&text).map_err(|e| format!("{source}: {e}"));
+    }
+    match library::find(source) {
+        Some(builtin) => library::sweep(builtin).map_err(|e| format!("{source}: {e}")),
+        None => {
+            Err(format!("'{source}' is neither a file nor a built-in (try --list for built-ins)"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    if args.list {
+        println!("built-in scenarios:");
+        for b in library::BUILTINS {
+            let points = library::sweep(b).and_then(|s| s.expand()).map(|v| v.len());
+            match points {
+                Ok(n) => println!("  {:<20} {:>3} points  {}", b.name, n, b.summary),
+                Err(e) => println!("  {:<20} INVALID: {e}", b.name),
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let sources =
+        if args.sources.is_empty() { vec!["paper-grid".to_string()] } else { args.sources.clone() };
+
+    // Resolve every source before running any sweep: a typo in the last
+    // SOURCE must fail fast, not after minutes of compute on the first.
+    let mut sweeps = Vec::with_capacity(sources.len());
+    for source in &sources {
+        match load_source(source) {
+            Ok(s) => sweeps.push(s),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let runner = Runner::with_threads(args.threads);
+    let mut all_ok = true;
+    let mut jsonl = String::new();
+    for (source, sweep) in sources.iter().zip(&sweeps) {
+        let points = sweep.len();
+        eprintln!("running '{}': {} scenario point(s)", sweep.base.name, points);
+        let outcome = match runner.run_sweep(sweep) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{source}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        all_ok &= outcome.ok_count() == outcome.reports.len();
+        jsonl.push_str(&outcome.to_jsonl());
+        if args.summary {
+            eprint!("{}", outcome.summary());
+        }
+        eprintln!(
+            "'{}': {}/{} points completed",
+            sweep.base.name,
+            outcome.ok_count(),
+            outcome.reports.len()
+        );
+    }
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) =
+                std::fs::File::create(path).and_then(|mut f| f.write_all(jsonl.as_bytes()))
+            {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} report line(s) to {path}", jsonl.lines().count());
+        }
+        None => print!("{jsonl}"),
+    }
+
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

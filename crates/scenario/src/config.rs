@@ -1,0 +1,175 @@
+//! Loading scenario/sweep specs from their TOML form.
+//!
+//! The file format is flat sections of `key = value` pairs; every
+//! `section.key` pair funnels through [`crate::sweep::apply_param`], so
+//! the file surface and the sweep-axis surface are one and the same. The
+//! special `[sweep]` section declares parameter axes: each key is a
+//! dotted parameter path (quoted, since bare TOML keys cannot contain
+//! dots meaningfully here) and its value the array of grid values.
+//!
+//! ```toml
+//! name = "solar-sweep"
+//! seed = 42
+//!
+//! [demand]
+//! total_demand_b = 200.0
+//!
+//! [sweep]
+//! "radiation.solar" = ["min", "cycle24", "max"]
+//! "demand.total_demand_b" = [50.0, 200.0]
+//! ```
+
+use crate::error::{Result, ScenarioError};
+use crate::spec::ScenarioSpec;
+use crate::sweep::{apply_param, SweepAxis, SweepSpec};
+use crate::toml;
+
+/// Parses a TOML scenario file into a sweep (a file without a `[sweep]`
+/// section is a single-scenario sweep).
+///
+/// # Errors
+/// Parse errors, unknown parameters, or un-coercible values.
+pub fn sweep_from_toml(source: &str) -> Result<SweepSpec> {
+    let doc = toml::parse(source)?;
+    let mut base = ScenarioSpec::named("scenario");
+    for (section, entries) in &doc {
+        if section == "sweep" {
+            continue;
+        }
+        for (key, value) in entries.iter() {
+            let path = if section.is_empty() { key.clone() } else { format!("{section}.{key}") };
+            apply_param(&mut base, &path, value)?;
+        }
+    }
+
+    // Axes in file-declaration order: the last declared axis varies
+    // fastest in the expansion, as the README documents.
+    let mut axes = Vec::new();
+    if let Some(sweep) = doc.get("sweep") {
+        for (param, value) in sweep.iter() {
+            let values = value
+                .as_array()
+                .ok_or_else(|| {
+                    ScenarioError::bad_value(
+                        &format!("sweep.{param}"),
+                        &crate::sweep::canonical_value(value),
+                        "an array of axis values",
+                    )
+                })?
+                .to_vec();
+            if values.is_empty() {
+                return Err(ScenarioError::bad_value(
+                    &format!("sweep.{param}"),
+                    "[]",
+                    "at least one axis value",
+                ));
+            }
+            // Check the parameter path and every value eagerly, so a typo
+            // fails at load time instead of mid-sweep.
+            for v in &values {
+                let mut probe = base.clone();
+                apply_param(&mut probe, param, v)?;
+            }
+            axes.push(SweepAxis { param: param.clone(), values });
+        }
+    }
+    Ok(SweepSpec { base, axes })
+}
+
+/// Parses a TOML file that must describe a single scenario (no `[sweep]`
+/// section).
+///
+/// # Errors
+/// As [`sweep_from_toml`], plus if a sweep section is present.
+pub fn scenario_from_toml(source: &str) -> Result<ScenarioSpec> {
+    let sweep = sweep_from_toml(source)?;
+    if !sweep.axes.is_empty() {
+        return Err(ScenarioError::bad_value(
+            "sweep",
+            "present",
+            "no [sweep] section for a single scenario",
+        ));
+    }
+    sweep.base.validate()?;
+    Ok(sweep.base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SolarActivity;
+
+    #[test]
+    fn full_file_round_trip() {
+        let sweep = sweep_from_toml(
+            r#"
+name = "demo"
+seed = 7
+
+[design]
+kind = "ss"
+altitude_km = 550.0
+
+[demand]
+total_demand_b = 75.0
+
+[radiation]
+solar = "max"
+
+[spares]
+policy = "shared-pool"
+count = 12
+
+[sweep]
+"attack.planes_lost" = [0, 2]
+"#,
+        )
+        .unwrap();
+        assert_eq!(sweep.base.name, "demo");
+        assert_eq!(sweep.base.seed, 7);
+        assert_eq!(sweep.base.design.ss.altitude_km, 550.0);
+        assert_eq!(sweep.base.design.wd.altitude_km, 550.0);
+        assert_eq!(sweep.base.demand.total_demand_b, 75.0);
+        assert_eq!(sweep.base.radiation.solar, SolarActivity::Max);
+        assert_eq!(sweep.axes.len(), 1);
+        let specs = sweep.expand().unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].attack.planes_lost, 2);
+        // Axis points inherit the base and differ only on the axis.
+        assert_eq!(specs[0].design.ss.altitude_km, 550.0);
+        assert_ne!(specs[0].seed, specs[1].seed);
+    }
+
+    #[test]
+    fn sweep_axes_keep_declaration_order() {
+        // The last *declared* axis must vary fastest, regardless of the
+        // keys' alphabetical order.
+        let sweep = sweep_from_toml(
+            "[radiation]\nenabled = false\n[survivability]\nenabled = false\n[sweep]\n\
+             \"radiation.phases\" = [1, 2]\n\"attack.planes_lost\" = [0, 3]\n",
+        )
+        .unwrap();
+        assert_eq!(sweep.axes[0].param, "radiation.phases");
+        assert_eq!(sweep.axes[1].param, "attack.planes_lost");
+        let specs = sweep.expand().unwrap();
+        assert_eq!(
+            specs.iter().map(|s| s.attack.planes_lost).collect::<Vec<_>>(),
+            vec![0, 3, 0, 3],
+            "last declared axis varies fastest"
+        );
+        assert_eq!(specs.iter().map(|s| s.radiation.phases).collect::<Vec<_>>(), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn unknown_axis_param_fails_at_load() {
+        let err = sweep_from_toml("[sweep]\n\"demand.warp\" = [1]\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownParameter { .. }), "{err}");
+    }
+
+    #[test]
+    fn scenario_from_toml_rejects_sweeps() {
+        assert!(scenario_from_toml("[sweep]\n\"attack.planes_lost\" = [1]\n").is_err());
+        let spec = scenario_from_toml("name = \"one\"\n").unwrap();
+        assert_eq!(spec.name, "one");
+    }
+}

@@ -1,0 +1,276 @@
+//! Structured results of one scenario run, and their JSON-lines form.
+//!
+//! Field order in the JSON is part of the engine's contract: the
+//! determinism tests assert byte-identical output across runs and thread
+//! counts, so everything here emits through the insertion-ordered
+//! [`crate::json::Json`] builder.
+
+use crate::json::Json;
+
+/// Design-stage outcome for one system (SS or Walker).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    /// Total satellites.
+    pub sats: usize,
+    /// Orbital planes (for Walker: summed across shells).
+    pub planes: usize,
+    /// Walker shells; equals `planes` for the SS design (one "shell" per
+    /// plane at the shared altitude/inclination would be meaningless, so
+    /// the SS designer's plane count is reported unchanged).
+    pub shells: usize,
+    /// Satellites per plane (SS street-of-coverage sizing; for Walker the
+    /// constellation mean used by the survivability stage).
+    pub sats_per_plane: usize,
+    /// Common inclination \[deg\] (SS) or satellite-weighted mean shell
+    /// inclination \[deg\] (Walker).
+    pub inclination_deg: f64,
+    /// Demand the design could not serve (SS only; 0 for Walker).
+    pub unserved_demand: f64,
+}
+
+impl DesignReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("sats", self.sats as u64)
+            .uint("planes", self.planes as u64)
+            .uint("shells", self.shells as u64)
+            .uint("sats_per_plane", self.sats_per_plane as u64)
+            .num("inclination_deg", self.inclination_deg)
+            .num("unserved_demand", self.unserved_demand)
+            .build()
+    }
+}
+
+/// Radiation-stage outcome for one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluenceReport {
+    /// Median per-satellite daily electron fluence \[#/cm²/MeV\] (the
+    /// Fig. 10a statistic).
+    pub median_electron: f64,
+    /// Median per-satellite daily proton fluence \[#/cm²/MeV\] (Fig. 10b).
+    pub median_proton: f64,
+    /// Mean per-plane daily electron fluence.
+    pub mean_electron: f64,
+    /// Mean per-plane daily proton fluence.
+    pub mean_proton: f64,
+    /// Solar-activity index in `[0, 1]` at the evaluation epoch.
+    pub solar_activity: f64,
+}
+
+impl FluenceReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .num("median_electron", self.median_electron)
+            .num("median_proton", self.median_proton)
+            .num("mean_electron", self.mean_electron)
+            .num("mean_proton", self.mean_proton)
+            .num("solar_activity", self.solar_activity)
+            .build()
+    }
+}
+
+/// Plane-loss attack outcome for one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// Planes destroyed.
+    pub planes_lost: usize,
+    /// Satellites destroyed with them.
+    pub sats_lost: usize,
+    /// Fraction of design capacity retained.
+    pub capacity_retained: f64,
+}
+
+impl AttackReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("planes_lost", self.planes_lost as u64)
+            .uint("sats_lost", self.sats_lost as u64)
+            .num("capacity_retained", self.capacity_retained)
+            .build()
+    }
+}
+
+/// Survivability-stage outcome for one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivabilityOutcome {
+    /// Time-averaged fraction of slots with a working satellite.
+    pub availability: f64,
+    /// Failures over the horizon.
+    pub failures: usize,
+    /// Replacements performed.
+    pub replacements: usize,
+    /// Slot-days lost to vacancies.
+    pub lost_slot_days: f64,
+    /// Spares consumed (counting resupply).
+    pub spares_consumed: usize,
+    /// Spares the policy parks up front.
+    pub initial_spares: usize,
+}
+
+impl SurvivabilityOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .num("availability", self.availability)
+            .uint("failures", self.failures as u64)
+            .uint("replacements", self.replacements as u64)
+            .num("lost_slot_days", self.lost_slot_days)
+            .uint("spares_consumed", self.spares_consumed as u64)
+            .uint("initial_spares", self.initial_spares as u64)
+            .build()
+    }
+}
+
+/// Networking-stage outcome (SS only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    /// Flows routed at the snapshot.
+    pub routed: usize,
+    /// Flows with no route.
+    pub unrouted: usize,
+    /// Mean latency stretch of routed flows.
+    pub mean_stretch: f64,
+    /// Mean hop count of routed flows.
+    pub mean_hops: f64,
+    /// Maximum directed-link load.
+    pub max_link_load: f64,
+    /// Mean load over loaded links.
+    pub mean_link_load: f64,
+    /// Slots (of the time-expanded reference route) with a route.
+    pub reachable_slots: usize,
+    /// Slots evaluated.
+    pub slots: usize,
+    /// Path handoffs across slots.
+    pub handoffs: usize,
+    /// Mean delay over reachable slots \[ms\].
+    pub mean_delay_ms: f64,
+}
+
+impl NetworkReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("routed", self.routed as u64)
+            .uint("unrouted", self.unrouted as u64)
+            .num("mean_stretch", self.mean_stretch)
+            .num("mean_hops", self.mean_hops)
+            .num("max_link_load", self.max_link_load)
+            .num("mean_link_load", self.mean_link_load)
+            .uint("reachable_slots", self.reachable_slots as u64)
+            .uint("slots", self.slots as u64)
+            .uint("handoffs", self.handoffs as u64)
+            .num("mean_delay_ms", self.mean_delay_ms)
+            .build()
+    }
+}
+
+/// Everything the pipeline produced for one system (SS or Walker).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// Design stage (always present).
+    pub design: DesignReport,
+    /// Radiation stage (if enabled).
+    pub fluence: Option<FluenceReport>,
+    /// Attack stage (if `planes_lost > 0`).
+    pub attack: Option<AttackReport>,
+    /// Survivability stage (if enabled).
+    pub survivability: Option<SurvivabilityOutcome>,
+    /// Networking stage (if enabled; SS only).
+    pub network: Option<NetworkReport>,
+}
+
+impl SystemReport {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj().field("design", self.design.to_json());
+        if let Some(f) = &self.fluence {
+            obj = obj.field("fluence", f.to_json());
+        }
+        if let Some(a) = &self.attack {
+            obj = obj.field("attack", a.to_json());
+        }
+        if let Some(s) = &self.survivability {
+            obj = obj.field("survivability", s.to_json());
+        }
+        if let Some(n) = &self.network {
+            obj = obj.field("network", n.to_json());
+        }
+        obj.build()
+    }
+}
+
+/// The complete result of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (base name plus sweep coordinates).
+    pub name: String,
+    /// The seed the scenario ran with.
+    pub seed: u64,
+    /// Total bandwidth demand B the demand grid was normalized to.
+    pub total_demand_b: f64,
+    /// The raw grid multiplier `B / grid.total()` the designers consumed
+    /// (the evaluate-API multiplier).
+    pub demand_multiplier: f64,
+    /// Solar-activity token (`cycle24` / `max` / `min`).
+    pub solar: String,
+    /// Evaluation epoch \[Julian date\] of the radiation stage.
+    pub epoch_jd: f64,
+    /// SS-plane system results (if designed).
+    pub ss: Option<SystemReport>,
+    /// Walker system results (if designed).
+    pub wd: Option<SystemReport>,
+}
+
+impl ScenarioReport {
+    /// One JSON-lines record (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = Json::obj()
+            .str("name", &self.name)
+            .uint("seed", self.seed)
+            .num("total_demand_b", self.total_demand_b)
+            .num("demand_multiplier", self.demand_multiplier)
+            .str("solar", &self.solar)
+            .num("epoch_jd", self.epoch_jd);
+        if let Some(ss) = &self.ss {
+            obj = obj.field("ss", ss.to_json());
+        }
+        if let Some(wd) = &self.wd {
+            obj = obj.field("wd", wd.to_json());
+        }
+        obj.build().to_string_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape() {
+        let report = ScenarioReport {
+            name: "t".to_string(),
+            seed: 1,
+            total_demand_b: 10.0,
+            demand_multiplier: 0.05,
+            solar: "cycle24".to_string(),
+            epoch_jd: 2_456_444.5,
+            ss: Some(SystemReport {
+                design: DesignReport {
+                    sats: 100,
+                    planes: 4,
+                    shells: 4,
+                    sats_per_plane: 25,
+                    inclination_deg: 97.6,
+                    unserved_demand: 0.0,
+                },
+                fluence: None,
+                attack: None,
+                survivability: None,
+                network: None,
+            }),
+            wd: None,
+        };
+        let line = report.to_json_line();
+        assert!(line.starts_with(r#"{"name":"t","seed":1,"total_demand_b":10.0"#), "{line}");
+        assert!(line.contains(r#""ss":{"design":{"sats":100"#), "{line}");
+        assert!(!line.contains("wd"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,613 @@
+//! Scenario execution: the end-to-end pipeline for one spec, and a
+//! thread-pooled runner for sweeps.
+//!
+//! Execution is a pure function of the spec: demand synthesis, both
+//! designers, the fluence integrals, and the survivability simulation are
+//! all seeded, so `execute_scenario` called twice returns identical
+//! reports — and the parallel [`Runner`] preserves that by collecting
+//! results into slot `i` for scenario `i` regardless of which worker ran
+//! it. JSON-lines output is therefore byte-identical across runs **and**
+//! across thread counts.
+//!
+//! Stage plumbing (all through the existing crates, not re-implemented):
+//! `ssplane_demand` (grid) → `ssplane_core::designer` /
+//! `walker_baseline` → `ssplane_core::evaluate` fluence sampling over
+//! `ssplane_radiation` → `ssplane_lsn::{survivability, traffic,
+//! routing}`.
+
+use crate::error::{Result, ScenarioError};
+use crate::report::{
+    AttackReport, DesignReport, FluenceReport, NetworkReport, ScenarioReport, SurvivabilityOutcome,
+    SystemReport,
+};
+use crate::spec::{DesignKind, ScenarioSpec};
+use crate::sweep::SweepSpec;
+use ssplane_astro::geo::GeoPoint;
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::time::Epoch;
+use ssplane_core::designer::{design_ss_constellation, SsConstellation};
+use ssplane_core::evaluate::{plane_fluence_samples, weighted_median_fluence};
+use ssplane_core::walker_baseline::{design_walker_constellation, WalkerConstellation};
+use ssplane_demand::grid::LatTodGrid;
+use ssplane_demand::DemandModel;
+use ssplane_lsn::routing::route_over_time;
+use ssplane_lsn::survivability::simulate;
+use ssplane_lsn::topology::{Constellation, GridTopologyConfig, Topology};
+use ssplane_lsn::traffic::{assign_traffic, sample_flows};
+use ssplane_radiation::fluence::DailyFluence;
+use ssplane_radiation::RadiationEnvironment;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The synthetic demand model, built once per process: it is
+/// parameterless and deterministic (every scenario sees the identical
+/// model), and synthesizing the 0.5° population grid is by far the most
+/// expensive per-scenario fixed cost, so sweeps share it.
+fn shared_demand_model() -> &'static DemandModel {
+    static MODEL: OnceLock<DemandModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        DemandModel::synthetic_default().expect("default demand configuration is valid")
+    })
+}
+
+/// One orbital plane prepared for the attack/survivability stages.
+struct PlaneGroup {
+    /// Satellites in the plane.
+    sats: usize,
+    /// Index into the fluence-evaluation groups this plane's dose comes
+    /// from (its own index for SS; the owning shell's index for Walker).
+    eval_idx: usize,
+}
+
+/// A system's radiation-stage inputs: the fluence-evaluation groups (the
+/// exact Fig. 10 grouping, for numerical parity with the figure
+/// pipeline) plus the per-plane expansion attacks and spares act on.
+struct SystemGroups {
+    /// `(representative elements, satellites)` per evaluation group —
+    /// one per SS plane, one per Walker *shell*.
+    eval: Vec<(OrbitalElements, usize)>,
+    /// The real orbital planes.
+    planes: Vec<PlaneGroup>,
+}
+
+/// Builds the groups of an SS constellation: planes are both the
+/// evaluation unit and the attack unit.
+fn ss_groups(ss: &SsConstellation, epoch: Epoch) -> Result<SystemGroups> {
+    let eval: Vec<(OrbitalElements, usize)> = ss
+        .planes
+        .iter()
+        .map(|p| Ok((p.orbit.elements_at(epoch, 0.0)?, p.n_sats)))
+        .collect::<Result<_>>()?;
+    let planes = ss
+        .planes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PlaneGroup { sats: p.n_sats, eval_idx: i })
+        .collect();
+    Ok(SystemGroups { eval, planes })
+}
+
+/// Builds the groups of a Walker constellation: shells are the evaluation
+/// unit (satellites in a shell share their daily environment), expanded
+/// into the shell's planes so plane-loss attacks and per-plane spare
+/// budgets act on real planes.
+fn wd_groups(wd: &WalkerConstellation) -> Result<SystemGroups> {
+    let mut eval = Vec::with_capacity(wd.shells.len());
+    let mut planes = Vec::new();
+    for (s, shell) in wd.shells.iter().enumerate() {
+        let elements = OrbitalElements::circular(shell.altitude_km, shell.inclination, 0.0, 0.0)
+            .map_err(ssplane_core::CoreError::from)?;
+        eval.push((elements, shell.n_sats));
+        let n_planes = shell.planes.max(1);
+        let base = shell.n_sats / n_planes;
+        let extra = shell.n_sats % n_planes;
+        for k in 0..n_planes {
+            planes.push(PlaneGroup { sats: base + usize::from(k < extra), eval_idx: s });
+        }
+    }
+    Ok(SystemGroups { eval, planes })
+}
+
+/// The indices removed by a `planes_lost`-plane attack on `n` planes:
+/// evenly strided so the loss spreads across the constellation.
+fn attacked_indices(n: usize, planes_lost: usize) -> Vec<usize> {
+    let lost = planes_lost.min(n);
+    if lost == 0 {
+        return Vec::new();
+    }
+    (0..lost).map(|k| k * n / lost).collect()
+}
+
+/// Runs every post-design stage for one system.
+fn system_report(
+    spec: &ScenarioSpec,
+    groups: &SystemGroups,
+    design: DesignReport,
+    env: &RadiationEnvironment,
+    epoch: Epoch,
+    fluence_stage: bool,
+) -> Result<SystemReport> {
+    let mut report =
+        SystemReport { design, fluence: None, attack: None, survivability: None, network: None };
+
+    // Plane-loss attack: pure bookkeeping over plane/satellite counts, so
+    // it runs (and reports capacity retention) even in design-only
+    // scenarios with the radiation stage disabled.
+    let mut surviving: Vec<(usize, &PlaneGroup)> = groups.planes.iter().enumerate().collect();
+    if spec.attack.planes_lost > 0 && !groups.planes.is_empty() {
+        let hit = attacked_indices(groups.planes.len(), spec.attack.planes_lost);
+        let sats_lost: usize = hit.iter().map(|&i| groups.planes[i].sats).sum();
+        let total: usize = groups.planes.iter().map(|g| g.sats).sum();
+        surviving.retain(|(i, _)| !hit.contains(i));
+        report.attack = Some(AttackReport {
+            planes_lost: hit.len(),
+            sats_lost,
+            capacity_retained: if total == 0 { 0.0 } else { 1.0 - sats_lost as f64 / total as f64 },
+        });
+    }
+
+    if !fluence_stage || groups.eval.is_empty() {
+        return Ok(report);
+    }
+
+    // The fig10-parity statistic: `phases` samples per evaluation group,
+    // weighted median across the constellation.
+    let phases = spec.radiation.phases.max(1);
+    let samples = plane_fluence_samples(&groups.eval, env, epoch, phases, spec.radiation.step_s)?;
+    let median = weighted_median_fluence(&samples);
+
+    // Per-evaluation-group dose (mean over its phase samples); planes
+    // inherit the dose of their group.
+    let eval_doses: Vec<DailyFluence> = samples
+        .chunks(phases)
+        .map(|chunk| {
+            let n = chunk.len() as f64;
+            DailyFluence {
+                electron: chunk.iter().map(|(f, _)| f.electron).sum::<f64>() / n,
+                proton: chunk.iter().map(|(f, _)| f.proton).sum::<f64>() / n,
+            }
+        })
+        .collect();
+    let plane_doses: Vec<DailyFluence> =
+        groups.planes.iter().map(|p| eval_doses[p.eval_idx]).collect();
+    let mean = DailyFluence {
+        electron: plane_doses.iter().map(|d| d.electron).sum::<f64>()
+            / plane_doses.len().max(1) as f64,
+        proton: plane_doses.iter().map(|d| d.proton).sum::<f64>() / plane_doses.len().max(1) as f64,
+    };
+    report.fluence = Some(FluenceReport {
+        median_electron: median.electron,
+        median_proton: median.proton,
+        mean_electron: mean.electron,
+        mean_proton: mean.proton,
+        solar_activity: env.solar.activity(epoch),
+    });
+
+    if spec.survivability.enabled {
+        if surviving.is_empty() {
+            // The attack wiped out every plane: that is an availability-0
+            // outcome, not a missing stage — a sweep plotting
+            // availability vs planes_lost must see its extreme point.
+            // `lost_slot_days` counts vacancy-days among *surviving*
+            // slots (the simulation's metric), so it is 0 here, exactly
+            // as attack-destroyed slots are excluded in partial attacks;
+            // the destroyed capacity itself is the attack report's
+            // `sats_lost` / `capacity_retained`.
+            report.survivability = Some(SurvivabilityOutcome {
+                availability: 0.0,
+                failures: 0,
+                replacements: 0,
+                lost_slot_days: 0.0,
+                spares_consumed: 0,
+                initial_spares: 0,
+            });
+        } else {
+            let doses: Vec<DailyFluence> = surviving.iter().map(|&(i, _)| plane_doses[i]).collect();
+            let sats: usize = surviving.iter().map(|(_, g)| g.sats).sum();
+            // Round to nearest: flooring the mean would silently drop up
+            // to one satellite per plane from the simulated fleet (a ~10%
+            // undercount for small uneven Walker shells).
+            let sats_per_plane = ((sats as f64 / surviving.len() as f64).round() as usize).max(1);
+            let sim = simulate(
+                &doses,
+                sats_per_plane,
+                &spec.survivability.failure,
+                &spec.survivability.policy,
+                spec.survivability.sim_config(spec.seed),
+            )?;
+            report.survivability = Some(SurvivabilityOutcome {
+                availability: sim.availability,
+                failures: sim.failures,
+                replacements: sim.replacements,
+                lost_slot_days: sim.lost_slot_days,
+                spares_consumed: sim.spares_consumed,
+                initial_spares: spec.survivability.policy.total_spares(surviving.len()),
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the networking stage over a designed SS constellation.
+fn network_report(
+    spec: &ScenarioSpec,
+    model: &DemandModel,
+    ss: &SsConstellation,
+    epoch: Epoch,
+) -> Result<NetworkReport> {
+    let constellation = Constellation::from_ss(epoch, ss)?;
+    let topo_config = GridTopologyConfig {
+        max_range_km: spec.network.max_range_km,
+        ..GridTopologyConfig::default()
+    };
+    let min_elev = spec.network.min_elevation_deg.to_radians();
+    let t = epoch + spec.network.utc_hour * 3600.0;
+    let topology = Topology::plus_grid(&constellation, t, topo_config)?;
+    // Flow endpoints are demand-weighted; the stream is derived from the
+    // scenario seed so sweeps decorrelate.
+    let flows = sample_flows(
+        model,
+        spec.network.utc_hour,
+        spec.network.n_flows,
+        spec.seed.wrapping_add(0x9E37_79B9),
+    );
+    let traffic = assign_traffic(&constellation, &topology, &flows, t, min_elev)?;
+
+    // The reference pair of every routing walkthrough in this repo:
+    // New York -> London across the configured slots.
+    let src = GeoPoint::from_degrees(40.7, -74.0);
+    let dst = GeoPoint::from_degrees(51.5, -0.1);
+    let routes = route_over_time(
+        &constellation,
+        src,
+        dst,
+        t,
+        spec.network.slots.max(1),
+        spec.network.slot_s,
+        min_elev,
+        topo_config,
+    )?;
+    Ok(NetworkReport {
+        routed: traffic.routed,
+        unrouted: traffic.unrouted,
+        mean_stretch: traffic.mean_stretch,
+        mean_hops: traffic.mean_hops,
+        max_link_load: traffic.max_link_load(),
+        mean_link_load: traffic.mean_link_load(),
+        reachable_slots: routes.reachable_slots(),
+        slots: routes.routes.len(),
+        handoffs: routes.handoffs(),
+        mean_delay_ms: routes.mean_delay_ms(),
+    })
+}
+
+/// Executes one scenario end-to-end.
+///
+/// # Errors
+/// Validation failures and any stage error, tagged with the crate that
+/// produced it.
+pub fn execute_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
+    spec.validate()?;
+
+    // Demand stage.
+    let model = shared_demand_model();
+    let grid = LatTodGrid::from_model(model, spec.demand.lat_bins, spec.demand.tod_bins)?;
+    let total = grid.total();
+    if !total.is_finite() || total <= 0.0 {
+        return Err(ScenarioError::bad_value(
+            "demand.grid",
+            "0",
+            "a demand grid with positive total",
+        ));
+    }
+    let multiplier = spec.demand.total_demand_b / total;
+    let demand = grid.scaled(multiplier);
+
+    let env = RadiationEnvironment::default();
+    let epoch = spec.radiation.epoch();
+
+    // Design + downstream stages per system.
+    let mut ss_report = None;
+    if matches!(spec.design.kind, DesignKind::SsPlane | DesignKind::Both) {
+        let ss = design_ss_constellation(&demand, spec.design.ss)?;
+        let groups = ss_groups(&ss, epoch)?;
+        let design = DesignReport {
+            sats: ss.total_sats(),
+            planes: ss.planes.len(),
+            shells: ss.planes.len(),
+            sats_per_plane: ss.sats_per_plane,
+            inclination_deg: ss.inclination().map_or(0.0, f64::to_degrees),
+            unserved_demand: ss.unserved_demand,
+        };
+        let mut report = system_report(spec, &groups, design, &env, epoch, spec.radiation.enabled)?;
+        if spec.network.enabled && !ss.planes.is_empty() {
+            report.network = Some(network_report(spec, model, &ss, epoch)?);
+        }
+        ss_report = Some(report);
+    }
+
+    let mut wd_report = None;
+    if matches!(spec.design.kind, DesignKind::Walker | DesignKind::Both) {
+        let wd = design_walker_constellation(&demand, spec.design.wd.clone())?;
+        let groups = wd_groups(&wd)?;
+        let total_planes = groups.planes.len();
+        let total_sats = wd.total_sats();
+        let inclination_deg = if total_sats == 0 {
+            0.0
+        } else {
+            wd.shells.iter().map(|s| s.inclination.to_degrees() * s.n_sats as f64).sum::<f64>()
+                / total_sats as f64
+        };
+        let design = DesignReport {
+            sats: total_sats,
+            planes: total_planes,
+            shells: wd.shells.len(),
+            sats_per_plane: total_sats.checked_div(total_planes).unwrap_or(0),
+            inclination_deg,
+            unserved_demand: 0.0,
+        };
+        wd_report =
+            Some(system_report(spec, &groups, design, &env, epoch, spec.radiation.enabled)?);
+    }
+
+    Ok(ScenarioReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        total_demand_b: spec.demand.total_demand_b,
+        demand_multiplier: multiplier,
+        solar: spec.radiation.solar.as_str().to_string(),
+        epoch_jd: epoch.julian_date(),
+        ss: ss_report,
+        wd: wd_report,
+    })
+}
+
+/// A parallel scenario runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Runner {
+    /// Worker threads; `0` (the default) uses the machine's available
+    /// parallelism.
+    pub threads: usize,
+}
+
+/// The result of running a sweep: per-scenario outcomes in **scenario
+/// order** (independent of scheduling), plus accessors for the JSON-lines
+/// and summary forms.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The expanded scenario names, index-aligned with `reports` — kept
+    /// so a *failed* point is still identifiable in the output (its
+    /// error record carries the name even though no report exists).
+    pub names: Vec<String>,
+    /// One outcome per expanded scenario, index-aligned with the
+    /// expansion order.
+    pub reports: Vec<Result<ScenarioReport>>,
+}
+
+impl SweepOutcome {
+    /// The JSON-lines serialization: one line per scenario, in scenario
+    /// order; failed scenarios serialize as `{"name": ..., "error": ...}`
+    /// records so a sweep with one infeasible point still reports the
+    /// other points — and the failing grid point stays identifiable.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, r) in self.reports.iter().enumerate() {
+            match r {
+                Ok(report) => out.push_str(&report.to_json_line()),
+                Err(e) => {
+                    out.push_str(
+                        &crate::json::Json::obj()
+                            .str("name", self.names.get(i).map_or("", String::as_str))
+                            .str("error", &e.to_string())
+                            .build()
+                            .to_string_compact(),
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Scenarios that completed.
+    pub fn ok_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// A human-readable aggregate summary (one row per scenario).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>8} {:>8} {:>10} {:>10}\n",
+            "scenario", "SS sats", "WD sats", "SS avail", "WD avail"
+        ));
+        for (i, r) in self.reports.iter().enumerate() {
+            match r {
+                Ok(rep) => {
+                    let sats = |s: &Option<crate::report::SystemReport>| {
+                        s.as_ref().map_or("-".to_string(), |x| x.design.sats.to_string())
+                    };
+                    let avail = |s: &Option<crate::report::SystemReport>| {
+                        s.as_ref()
+                            .and_then(|x| x.survivability.as_ref())
+                            .map_or("-".to_string(), |v| format!("{:.4}", v.availability))
+                    };
+                    out.push_str(&format!(
+                        "{:<52} {:>8} {:>8} {:>10} {:>10}\n",
+                        rep.name,
+                        sats(&rep.ss),
+                        sats(&rep.wd),
+                        avail(&rep.ss),
+                        avail(&rep.wd)
+                    ));
+                }
+                Err(e) => out.push_str(&format!(
+                    "{:<52} error: {e}\n",
+                    self.names.get(i).map_or("?", String::as_str)
+                )),
+            }
+        }
+        out
+    }
+}
+
+impl Runner {
+    /// A runner using `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Runner { threads }
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        let n = if self.threads == 0 { auto } else { self.threads };
+        n.clamp(1, jobs.max(1))
+    }
+
+    /// Runs every spec, in parallel, returning outcomes in spec order.
+    pub fn run_specs(&self, specs: &[ScenarioSpec]) -> SweepOutcome {
+        let n = specs.len();
+        let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+        let workers = self.worker_count(n);
+        if workers <= 1 || n <= 1 {
+            return SweepOutcome { names, reports: specs.iter().map(execute_scenario).collect() };
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<ScenarioReport>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = execute_scenario(&specs[i]);
+                    *slots[i].lock().expect("runner slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        SweepOutcome {
+            names,
+            reports: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("runner slot poisoned")
+                        .expect("every index claimed exactly once")
+                })
+                .collect(),
+        }
+    }
+
+    /// Expands and runs a sweep.
+    ///
+    /// # Errors
+    /// Propagates expansion failure (unknown parameters, invalid specs);
+    /// per-scenario execution failures are reported per line instead.
+    pub fn run_sweep(&self, sweep: &SweepSpec) -> Result<SweepOutcome> {
+        let specs = sweep.expand()?;
+        Ok(self.run_specs(&specs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn tiny_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::named("tiny");
+        spec.demand.total_demand_b = 10.0;
+        spec.radiation.phases = 1;
+        spec.radiation.step_s = 300.0;
+        spec.survivability.horizon_years = 2.0;
+        spec
+    }
+
+    #[test]
+    fn execute_produces_both_systems() {
+        let report = execute_scenario(&tiny_spec()).unwrap();
+        let ss = report.ss.expect("ss present");
+        let wd = report.wd.expect("wd present");
+        assert!(ss.design.sats > 0);
+        assert!(wd.design.sats > ss.design.sats, "paper's headline: SS smaller");
+        let ssf = ss.fluence.expect("fluence on");
+        let wdf = wd.fluence.expect("fluence on");
+        assert!(ssf.median_proton < wdf.median_proton, "SS sees fewer protons");
+        assert!(ss.survivability.is_some());
+        assert!(wd.survivability.is_some());
+        assert!(ss.network.is_none(), "network off by default");
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let spec = tiny_spec();
+        let a = execute_scenario(&spec).unwrap();
+        let b = execute_scenario(&spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_line(), b.to_json_line());
+    }
+
+    #[test]
+    fn attack_reduces_capacity_and_is_reported() {
+        let mut spec = tiny_spec();
+        spec.design.kind = crate::spec::DesignKind::SsPlane;
+        spec.attack.planes_lost = 2;
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.ss.unwrap();
+        let attack = ss.attack.expect("attack stage ran");
+        assert!(attack.planes_lost <= 2);
+        assert!(attack.capacity_retained < 1.0);
+        assert!(attack.sats_lost > 0);
+    }
+
+    #[test]
+    fn attacked_indices_spread() {
+        assert_eq!(attacked_indices(10, 0), Vec::<usize>::new());
+        assert_eq!(attacked_indices(10, 2), vec![0, 5]);
+        assert_eq!(attacked_indices(4, 9), vec![0, 1, 2, 3]);
+        let idx = attacked_indices(9, 3);
+        assert_eq!(idx.len(), 3);
+        assert!(idx.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn total_wipeout_reports_zero_availability() {
+        let mut spec = tiny_spec();
+        spec.design.kind = crate::spec::DesignKind::SsPlane;
+        spec.attack.planes_lost = 100_000;
+        let ss = execute_scenario(&spec).unwrap().ss.unwrap();
+        let attack = ss.attack.expect("attack ran");
+        assert_eq!(attack.capacity_retained, 0.0);
+        let surv = ss.survivability.expect("wipeout is an availability-0 outcome, not a gap");
+        assert_eq!(surv.availability, 0.0);
+        // Vacancy-days cover surviving slots only (none here) — the
+        // destroyed capacity lives in the attack report.
+        assert_eq!(surv.lost_slot_days, 0.0);
+    }
+
+    #[test]
+    fn attack_runs_without_the_radiation_stage() {
+        // Capacity bookkeeping needs no fluence data: a design-only
+        // scenario still reports the attack outcome.
+        let mut spec = tiny_spec();
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.attack.planes_lost = 2;
+        let ss = execute_scenario(&spec).unwrap().ss.unwrap();
+        assert!(ss.fluence.is_none());
+        let attack = ss.attack.expect("attack must run in design-only scenarios");
+        assert!(attack.capacity_retained < 1.0);
+    }
+
+    #[test]
+    fn design_only_scenario_skips_downstream() {
+        let mut spec = tiny_spec();
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.ss.unwrap();
+        assert!(ss.fluence.is_none());
+        assert!(ss.survivability.is_none());
+    }
+}

@@ -1,0 +1,438 @@
+//! The declarative description of one experiment: which constellation(s)
+//! to design, against what demand, under which radiation environment,
+//! with what failure/spare/mission assumptions, and which pipeline stages
+//! to run.
+//!
+//! A [`ScenarioSpec`] is a plain value: building one never touches the
+//! pipeline, and running one (see [`crate::runner`]) is a pure function
+//! of the spec — the same spec always produces the same
+//! [`crate::report::ScenarioReport`].
+
+use crate::error::{Result, ScenarioError};
+use ssplane_astro::time::Epoch;
+use ssplane_core::designer::{BranchRule, DesignConfig};
+use ssplane_core::walker_baseline::{SupplyModel, WalkerBaselineConfig};
+use ssplane_lsn::failures::FailureModel;
+use ssplane_lsn::spares::SparePolicy;
+use ssplane_lsn::survivability::SurvivabilityConfig;
+
+/// Which constellation design(s) a scenario evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DesignKind {
+    /// Only the SS-plane design.
+    SsPlane,
+    /// Only the demand-aware Walker baseline.
+    Walker,
+    /// Both, side by side (the paper's comparisons).
+    #[default]
+    Both,
+}
+
+impl DesignKind {
+    /// Canonical config-file token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DesignKind::SsPlane => "ss",
+            DesignKind::Walker => "walker",
+            DesignKind::Both => "both",
+        }
+    }
+
+    /// Parses the config-file token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "ss" | "ss-plane" | "ssplane" => Ok(DesignKind::SsPlane),
+            "walker" | "wd" => Ok(DesignKind::Walker),
+            "both" => Ok(DesignKind::Both),
+            other => Err(ScenarioError::bad_value("design.kind", other, "ss | walker | both")),
+        }
+    }
+}
+
+/// Parses a [`BranchRule`] config token.
+pub fn parse_branch_rule(s: &str) -> Result<BranchRule> {
+    match s {
+        "best-of-both" => Ok(BranchRule::BestOfBoth),
+        "ascending-only" => Ok(BranchRule::AscendingOnly),
+        "alternate" => Ok(BranchRule::Alternate),
+        other => Err(ScenarioError::bad_value(
+            "design.branch_rule",
+            other,
+            "best-of-both | ascending-only | alternate",
+        )),
+    }
+}
+
+/// Canonical token for a [`BranchRule`].
+pub fn branch_rule_str(rule: BranchRule) -> &'static str {
+    match rule {
+        BranchRule::BestOfBoth => "best-of-both",
+        BranchRule::AscendingOnly => "ascending-only",
+        BranchRule::Alternate => "alternate",
+    }
+}
+
+/// Parses a [`SupplyModel`] config token.
+pub fn parse_supply_model(s: &str) -> Result<SupplyModel> {
+    match s {
+        "worst-case" => Ok(SupplyModel::WorstCase),
+        "time-average" => Ok(SupplyModel::TimeAverage),
+        other => Err(ScenarioError::bad_value(
+            "design.walker_supply_model",
+            other,
+            "worst-case | time-average",
+        )),
+    }
+}
+
+/// Constellation-design stage configuration: the designer knobs for both
+/// systems, embedded as the *actual* designer config structs so a
+/// scenario run is bit-for-bit the same design the hand-written pipelines
+/// produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Which system(s) to design.
+    pub kind: DesignKind,
+    /// SS-plane designer configuration.
+    pub ss: DesignConfig,
+    /// Walker-baseline designer configuration.
+    pub wd: WalkerBaselineConfig,
+}
+
+impl Default for DesignSpec {
+    fn default() -> Self {
+        DesignSpec {
+            kind: DesignKind::Both,
+            ss: DesignConfig::default(),
+            wd: WalkerBaselineConfig::default(),
+        }
+    }
+}
+
+/// Demand-model stage configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandSpec {
+    /// Total bandwidth demand, in multiples of one satellite's capacity
+    /// (Fig. 9's x-axis). The synthetic demand grid is normalized so its
+    /// total equals this.
+    pub total_demand_b: f64,
+    /// Latitude bins of the sun-relative demand grid.
+    pub lat_bins: usize,
+    /// Time-of-day bins of the sun-relative demand grid.
+    pub tod_bins: usize,
+}
+
+impl Default for DemandSpec {
+    fn default() -> Self {
+        // The paper's Fig. 8 resolution (5° × 1 h) at a mid-range demand.
+        DemandSpec { total_demand_b: 200.0, lat_bins: 36, tod_bins: 24 }
+    }
+}
+
+/// Solar-activity setting of the radiation environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolarActivity {
+    /// Mid solar cycle 24 at the scenario's epoch (the figures' default).
+    #[default]
+    Cycle24,
+    /// Force the epoch to the cycle-24 activity maximum (storm-time
+    /// electron enhancement: the sustainability worst case).
+    Max,
+    /// Force the epoch to deep solar minimum.
+    Min,
+}
+
+impl SolarActivity {
+    /// Canonical config-file token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolarActivity::Cycle24 => "cycle24",
+            SolarActivity::Max => "max",
+            SolarActivity::Min => "min",
+        }
+    }
+
+    /// Parses the config-file token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "cycle24" | "mid" => Ok(SolarActivity::Cycle24),
+            "max" | "solar-max" => Ok(SolarActivity::Max),
+            "min" | "solar-min" => Ok(SolarActivity::Min),
+            other => Err(ScenarioError::bad_value("radiation.solar", other, "cycle24 | max | min")),
+        }
+    }
+}
+
+/// Radiation/fluence stage configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiationSpec {
+    /// Whether to run the fluence stage at all (design-only sweeps skip
+    /// it; survivability requires it).
+    pub enabled: bool,
+    /// Solar-cycle setting; [`SolarActivity::Cycle24`] evaluates at the
+    /// configured epoch, Max/Min override the epoch to the cycle extreme.
+    pub solar: SolarActivity,
+    /// Evaluation epoch as `(year, month, day)` UTC midnight. The default
+    /// is the figures' reference epoch (2013-06-01, mid cycle 24).
+    pub epoch_ymd: (i32, u32, u32),
+    /// Orbit phases sampled per plane for the fluence statistics (the
+    /// Fig. 10 sampling knob).
+    pub phases: usize,
+    /// Fluence integration step \[s\].
+    pub step_s: f64,
+}
+
+impl Default for RadiationSpec {
+    fn default() -> Self {
+        RadiationSpec {
+            enabled: true,
+            solar: SolarActivity::Cycle24,
+            epoch_ymd: (2013, 6, 1),
+            phases: 2,
+            step_s: 60.0,
+        }
+    }
+}
+
+impl RadiationSpec {
+    /// The concrete evaluation epoch: the configured calendar date for
+    /// [`SolarActivity::Cycle24`], or the cycle-24 activity extreme for
+    /// Max/Min (computed from the cycle's phase envelope: the maximum sits
+    /// at 40% of the period, the minimum at its start).
+    pub fn epoch(&self) -> Epoch {
+        let cycle = ssplane_radiation::solar::SolarCycle::cycle24();
+        match self.solar {
+            SolarActivity::Cycle24 => {
+                let (y, m, d) = self.epoch_ymd;
+                Epoch::from_calendar(y, m, d, 0, 0, 0.0)
+            }
+            SolarActivity::Max => cycle.start + 0.4 * cycle.period_days * 86_400.0,
+            SolarActivity::Min => cycle.start + 0.02 * cycle.period_days * 86_400.0,
+        }
+    }
+}
+
+/// Failure-and-spares stage configuration (the survivability simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivabilitySpec {
+    /// Whether to run the survivability simulation (requires the
+    /// radiation stage).
+    pub enabled: bool,
+    /// Radiation-driven failure model.
+    pub failure: FailureModel,
+    /// Spare-provisioning policy.
+    pub policy: SparePolicy,
+    /// Mission horizon \[years\].
+    pub horizon_years: f64,
+    /// Resupply cadence \[days\].
+    pub resupply_days: f64,
+}
+
+impl Default for SurvivabilitySpec {
+    fn default() -> Self {
+        SurvivabilitySpec {
+            enabled: true,
+            failure: FailureModel::default(),
+            policy: SparePolicy::PerPlane { spares_per_plane: 3, replacement_days: 3.0 },
+            horizon_years: 5.0,
+            resupply_days: 180.0,
+        }
+    }
+}
+
+impl SurvivabilitySpec {
+    /// The `ssplane-lsn` simulation config for a scenario seeded with
+    /// `seed`.
+    pub fn sim_config(&self, seed: u64) -> SurvivabilityConfig {
+        SurvivabilityConfig {
+            horizon_years: self.horizon_years,
+            resupply_days: self.resupply_days,
+            seed,
+        }
+    }
+}
+
+/// A plane-loss attack: the given number of whole orbital planes (or
+/// Walker shells) are destroyed before the survivability simulation, and
+/// the capacity the constellation retains is reported. Planes are removed
+/// at a deterministic stride so the loss is spread across the
+/// constellation (the strongest variant of the attack for a +grid
+/// topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AttackSpec {
+    /// Whole planes lost (0 disables the attack).
+    pub planes_lost: usize,
+}
+
+/// Traffic/routing stage configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Whether to run the networking stage (builds ISL topologies per
+    /// slot; only meaningful for the SS design).
+    pub enabled: bool,
+    /// Number of demand-weighted ground flows to route.
+    pub n_flows: usize,
+    /// UTC hour at which flows are sampled.
+    pub utc_hour: f64,
+    /// Minimum terminal elevation \[deg\] for up/downlinks (the routing
+    /// examples' 20°, more permissive than the design elevation).
+    pub min_elevation_deg: f64,
+    /// Maximum ISL range \[km\].
+    pub max_range_km: f64,
+    /// Time slots of the time-expanded reference route.
+    pub slots: usize,
+    /// Slot spacing \[s\].
+    pub slot_s: f64,
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        NetworkSpec {
+            enabled: false,
+            n_flows: 200,
+            utc_hour: 12.0,
+            min_elevation_deg: 20.0,
+            max_range_km: 5000.0,
+            slots: 8,
+            slot_s: 60.0,
+        }
+    }
+}
+
+/// One fully-specified experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioSpec {
+    /// Human-readable scenario name (propagated into the report; sweep
+    /// expansion appends the grid coordinates).
+    pub name: String,
+    /// Base RNG seed. Every stochastic stage derives its stream from this
+    /// and the scenario's sweep coordinates — see
+    /// [`crate::sweep::scenario_seed`].
+    pub seed: u64,
+    /// Constellation design stage.
+    pub design: DesignSpec,
+    /// Demand stage.
+    pub demand: DemandSpec,
+    /// Radiation stage.
+    pub radiation: RadiationSpec,
+    /// Survivability stage.
+    pub survivability: SurvivabilitySpec,
+    /// Plane-loss attack.
+    pub attack: AttackSpec,
+    /// Networking stage.
+    pub network: NetworkSpec,
+}
+
+impl ScenarioSpec {
+    /// A named spec with all defaults (the paper's baseline setup).
+    pub fn named(name: &str) -> Self {
+        ScenarioSpec { name: name.to_string(), seed: 42, ..Default::default() }
+    }
+
+    /// Validates cross-field constraints before a run.
+    ///
+    /// # Errors
+    /// [`ScenarioError::BadValue`] on the first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        // `positive` deliberately rejects NaN alongside non-positives.
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(self.demand.total_demand_b) {
+            return Err(ScenarioError::bad_value(
+                "demand.total_demand_b",
+                &self.demand.total_demand_b.to_string(),
+                "> 0",
+            ));
+        }
+        if self.demand.lat_bins == 0 || self.demand.tod_bins == 0 {
+            return Err(ScenarioError::bad_value("demand.bins", "0", "> 0"));
+        }
+        if self.radiation.enabled && !positive(self.radiation.step_s) {
+            return Err(ScenarioError::bad_value(
+                "radiation.step_s",
+                &self.radiation.step_s.to_string(),
+                "> 0",
+            ));
+        }
+        if self.survivability.enabled && !self.radiation.enabled {
+            return Err(ScenarioError::bad_value(
+                "survivability.enabled",
+                "true",
+                "radiation.enabled = true (the failure model is fluence-driven)",
+            ));
+        }
+        if self.network.enabled && self.design.kind == DesignKind::Walker {
+            return Err(ScenarioError::bad_value(
+                "network.enabled",
+                "true",
+                "design.kind = ss | both (the networking stage is SS-only today — see \
+                 ROADMAP follow-ons — and would otherwise be silently dropped)",
+            ));
+        }
+        if self.survivability.enabled && !positive(self.survivability.horizon_years) {
+            return Err(ScenarioError::bad_value(
+                "survivability.horizon_years",
+                &self.survivability.horizon_years.to_string(),
+                "> 0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ScenarioSpec::named("x").validate().unwrap();
+    }
+
+    #[test]
+    fn token_round_trips() {
+        for kind in [DesignKind::SsPlane, DesignKind::Walker, DesignKind::Both] {
+            assert_eq!(DesignKind::parse(kind.as_str()).unwrap(), kind);
+        }
+        for sol in [SolarActivity::Cycle24, SolarActivity::Max, SolarActivity::Min] {
+            assert_eq!(SolarActivity::parse(sol.as_str()).unwrap(), sol);
+        }
+        for rule in [BranchRule::BestOfBoth, BranchRule::AscendingOnly, BranchRule::Alternate] {
+            assert_eq!(parse_branch_rule(branch_rule_str(rule)).unwrap(), rule);
+        }
+        assert!(DesignKind::parse("sparkle").is_err());
+    }
+
+    #[test]
+    fn survivability_requires_radiation() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.radiation.enabled = false;
+        assert!(spec.validate().is_err());
+        spec.survivability.enabled = false;
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn walker_only_networking_rejected() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.network.enabled = true;
+        spec.design.kind = DesignKind::SsPlane;
+        spec.validate().unwrap();
+        spec.design.kind = DesignKind::Walker;
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("SS-only"), "{err}");
+    }
+
+    #[test]
+    fn solar_extremes_move_the_epoch() {
+        let mut spec = RadiationSpec::default();
+        let mid = spec.epoch();
+        spec.solar = SolarActivity::Max;
+        let max = spec.epoch();
+        spec.solar = SolarActivity::Min;
+        let min = spec.epoch();
+        let cycle = ssplane_radiation::solar::SolarCycle::cycle24();
+        assert!(cycle.activity(max) > 0.8, "max activity {}", cycle.activity(max));
+        assert!(cycle.activity(min) < 0.25, "min activity {}", cycle.activity(min));
+        assert_ne!(mid, max);
+    }
+}

@@ -1,0 +1,468 @@
+//! Sweep expansion: a base [`ScenarioSpec`] plus parameter axes become a
+//! list of concrete scenarios, each with a deterministic seed.
+//!
+//! Two properties the determinism tests pin down:
+//!
+//! * **Seeds ignore grid order.** A scenario's seed is a hash of the base
+//!   seed and its *sorted* `(parameter, value)` overrides, so swapping
+//!   axis declaration order (which permutes the cartesian enumeration)
+//!   still assigns each parameter combination the same seed.
+//! * **Expansion is pure.** The same `SweepSpec` always expands to the
+//!   same scenarios in the same order.
+
+use crate::error::{Result, ScenarioError};
+use crate::spec::{parse_branch_rule, parse_supply_model, DesignKind, ScenarioSpec, SolarActivity};
+use crate::toml::TomlValue;
+use ssplane_lsn::spares::SparePolicy;
+
+/// One sweep axis: a dotted parameter path and the values it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Dotted parameter path, e.g. `demand.total_demand_b`.
+    pub param: String,
+    /// The values the axis enumerates.
+    pub values: Vec<TomlValue>,
+}
+
+/// A parameter grid over a base scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The scenario every grid point starts from.
+    pub base: ScenarioSpec,
+    /// The axes, in declaration order (last axis varies fastest).
+    pub axes: Vec<SweepAxis>,
+}
+
+impl SweepSpec {
+    /// A degenerate sweep: just the base scenario.
+    pub fn single(base: ScenarioSpec) -> Self {
+        SweepSpec { base, axes: Vec::new() }
+    }
+
+    /// Number of grid points (0 if any axis has no values, matching
+    /// [`SweepSpec::expand`]).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Whether the grid is empty (an axis with no values).
+    pub fn is_empty(&self) -> bool {
+        self.axes.iter().any(|a| a.values.is_empty())
+    }
+
+    /// Expands the grid into concrete scenarios (row-major: the last axis
+    /// varies fastest). Each scenario gets `name = base.name +
+    /// sorted-override suffix` and `seed = scenario_seed(...)`; every
+    /// expanded spec is validated.
+    ///
+    /// # Errors
+    /// Unknown parameters, un-coercible values, reserved axes (`name`,
+    /// `seed` — both are assigned by the expansion itself, so sweeping
+    /// them would be silently overwritten), or invalid expanded specs.
+    pub fn expand(&self) -> Result<Vec<ScenarioSpec>> {
+        for axis in &self.axes {
+            if axis.param == "seed" || axis.param == "name" {
+                return Err(ScenarioError::bad_value(
+                    &axis.param,
+                    "a sweep axis",
+                    "a non-reserved parameter (expansion derives per-scenario names and seeds \
+                     from the grid coordinates, so sweeping them would be overwritten)",
+                ));
+            }
+        }
+        if self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for flat in 0..n {
+            // Decode the row-major grid coordinate.
+            let mut rem = flat;
+            let mut overrides: Vec<(String, TomlValue)> = Vec::with_capacity(self.axes.len());
+            for axis in self.axes.iter().rev() {
+                let k = rem % axis.values.len();
+                rem /= axis.values.len();
+                overrides.push((axis.param.clone(), axis.values[k].clone()));
+            }
+            overrides.reverse();
+
+            let mut spec = self.base.clone();
+            for (param, value) in &overrides {
+                apply_param(&mut spec, param, value)?;
+            }
+            let mut sorted: Vec<(String, TomlValue)> = overrides.clone();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            spec.seed = scenario_seed(self.base.seed, &sorted);
+            if !sorted.is_empty() {
+                let suffix: Vec<String> =
+                    sorted.iter().map(|(k, v)| format!("{k}={}", canonical_value(v))).collect();
+                spec.name = format!("{}/{}", self.base.name, suffix.join(","));
+            }
+            spec.validate()?;
+            out.push(spec);
+        }
+        Ok(out)
+    }
+}
+
+/// Canonical textual form of a value — the form hashed into the seed, so
+/// `10`, `10.0`, and `1e1` all mean the same scenario.
+pub fn canonical_value(v: &TomlValue) -> String {
+    match v {
+        TomlValue::Str(s) => s.clone(),
+        TomlValue::Int(i) => format!("{}", *i as f64),
+        TomlValue::Float(x) => format!("{x}"),
+        TomlValue::Bool(b) => b.to_string(),
+        TomlValue::Array(items) => {
+            let inner: Vec<String> = items.iter().map(canonical_value).collect();
+            format!("[{}]", inner.join(","))
+        }
+    }
+}
+
+/// Deterministic per-scenario seed: FNV-1a over the base seed and the
+/// **sorted** `(param, value)` overrides. Stable across axis reordering,
+/// platforms, and thread counts; `[]` returns the base seed unchanged.
+pub fn scenario_seed(base_seed: u64, sorted_overrides: &[(String, TomlValue)]) -> u64 {
+    if sorted_overrides.is_empty() {
+        return base_seed;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(&base_seed.to_le_bytes());
+    for (param, value) in sorted_overrides {
+        eat(param.as_bytes());
+        eat(&[0x1f]);
+        eat(canonical_value(value).as_bytes());
+        eat(&[0x1e]);
+    }
+    h
+}
+
+fn need_f64(key: &str, v: &TomlValue) -> Result<f64> {
+    v.as_f64().ok_or_else(|| ScenarioError::bad_value(key, &canonical_value(v), "a number"))
+}
+
+fn need_usize(key: &str, v: &TomlValue) -> Result<usize> {
+    v.as_usize()
+        .ok_or_else(|| ScenarioError::bad_value(key, &canonical_value(v), "a non-negative integer"))
+}
+
+fn need_str<'v>(key: &str, v: &'v TomlValue) -> Result<&'v str> {
+    v.as_str().ok_or_else(|| ScenarioError::bad_value(key, &canonical_value(v), "a string"))
+}
+
+fn need_bool(key: &str, v: &TomlValue) -> Result<bool> {
+    v.as_bool().ok_or_else(|| ScenarioError::bad_value(key, &canonical_value(v), "a boolean"))
+}
+
+/// Parses `"YYYY-MM-DD"` into `(year, month, day)`.
+fn parse_ymd(key: &str, s: &str) -> Result<(i32, u32, u32)> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let bad = || ScenarioError::bad_value(key, s, "a date 'YYYY-MM-DD'");
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    let y: i32 = parts[0].parse().map_err(|_| bad())?;
+    let m: u32 = parts[1].parse().map_err(|_| bad())?;
+    let d: u32 = parts[2].parse().map_err(|_| bad())?;
+    // The astro crate's calendar conversion (Vallado) is only valid for
+    // 1901-2099 and does no legality checking — an out-of-domain year or
+    // an impossible date like 06-31 would map to a silently shifted
+    // Julian date rather than an error, so both are rejected here.
+    if !(1901..=2099).contains(&y) || !(1..=12).contains(&m) {
+        return Err(ScenarioError::bad_value(key, s, "a date 'YYYY-MM-DD' with year 1901-2099"));
+    }
+    let leap = y % 4 == 0; // exact within 1901-2099 (2000 is a leap year)
+    let days_in_month =
+        [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31][(m - 1) as usize];
+    if d < 1 || d > days_in_month {
+        return Err(ScenarioError::bad_value(
+            key,
+            s,
+            "a calendar-legal date (that month has fewer days)",
+        ));
+    }
+    Ok((y, m, d))
+}
+
+/// Applies one dotted-path override to a spec. This is the *entire*
+/// config surface: the TOML loader funnels every `section.key` pair
+/// through here, so config files and sweep axes can address exactly the
+/// same knobs.
+///
+/// # Errors
+/// [`ScenarioError::UnknownParameter`] for paths outside the surface,
+/// [`ScenarioError::BadValue`] for un-coercible values.
+pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Result<()> {
+    match key {
+        "name" => spec.name = need_str(key, value)?.to_string(),
+        "seed" => {
+            spec.seed = value.as_u64().ok_or_else(|| {
+                ScenarioError::bad_value(key, &canonical_value(value), "a non-negative integer")
+            })?;
+        }
+
+        "design.kind" => spec.design.kind = DesignKind::parse(need_str(key, value)?)?,
+        "design.altitude_km" => {
+            let alt = need_f64(key, value)?;
+            spec.design.ss.altitude_km = alt;
+            spec.design.wd.altitude_km = alt;
+        }
+        "design.min_elevation_deg" => {
+            let elev = need_f64(key, value)?;
+            spec.design.ss.min_elevation_deg = elev;
+            spec.design.wd.min_elevation_deg = elev;
+        }
+        "design.sat_capacity" => {
+            let cap = need_f64(key, value)?;
+            spec.design.ss.sat_capacity = cap;
+            spec.design.wd.sat_capacity = cap;
+        }
+        "design.max_planes" => spec.design.ss.max_planes = need_usize(key, value)?,
+        "design.branch_rule" => {
+            spec.design.ss.branch_rule = parse_branch_rule(need_str(key, value)?)?;
+        }
+        "design.walker_shell_spacing_km" => {
+            spec.design.wd.shell_spacing_km = need_f64(key, value)?;
+        }
+        "design.walker_supply_model" => {
+            spec.design.wd.supply_model = parse_supply_model(need_str(key, value)?)?;
+        }
+        "design.walker_inclinations_deg" => {
+            let arr = value.as_array().ok_or_else(|| {
+                ScenarioError::bad_value(key, &canonical_value(value), "an array of degrees")
+            })?;
+            let mut incs = Vec::with_capacity(arr.len());
+            for item in arr {
+                incs.push(need_f64(key, item)?);
+            }
+            if incs.is_empty() {
+                return Err(ScenarioError::bad_value(key, "[]", "at least one inclination"));
+            }
+            spec.design.wd.candidate_inclinations_deg = incs;
+        }
+
+        "demand.total_demand_b" => spec.demand.total_demand_b = need_f64(key, value)?,
+        "demand.lat_bins" => spec.demand.lat_bins = need_usize(key, value)?,
+        "demand.tod_bins" => spec.demand.tod_bins = need_usize(key, value)?,
+
+        "radiation.enabled" => spec.radiation.enabled = need_bool(key, value)?,
+        "radiation.solar" => spec.radiation.solar = SolarActivity::parse(need_str(key, value)?)?,
+        "radiation.epoch" => spec.radiation.epoch_ymd = parse_ymd(key, need_str(key, value)?)?,
+        "radiation.phases" => spec.radiation.phases = need_usize(key, value)?.max(1),
+        "radiation.step_s" => spec.radiation.step_s = need_f64(key, value)?,
+
+        "survivability.enabled" => spec.survivability.enabled = need_bool(key, value)?,
+        "survivability.horizon_years" => {
+            spec.survivability.horizon_years = need_f64(key, value)?;
+        }
+        "survivability.resupply_days" => {
+            spec.survivability.resupply_days = need_f64(key, value)?;
+        }
+        "failures.baseline_per_year" => {
+            spec.survivability.failure.baseline_per_year = need_f64(key, value)?;
+        }
+        "failures.electron_coeff" => {
+            spec.survivability.failure.electron_coeff = need_f64(key, value)?;
+        }
+        "failures.proton_coeff" => {
+            spec.survivability.failure.proton_coeff = need_f64(key, value)?;
+        }
+
+        "spares.policy" => {
+            let (count, replacement_days) = policy_parts(&spec.survivability.policy);
+            spec.survivability.policy = match need_str(key, value)? {
+                "per-plane" => SparePolicy::PerPlane { spares_per_plane: count, replacement_days },
+                "shared-pool" => SparePolicy::SharedPool { pool_size: count, replacement_days },
+                other => {
+                    return Err(ScenarioError::bad_value(key, other, "per-plane | shared-pool"))
+                }
+            };
+        }
+        "spares.count" => {
+            let n = need_usize(key, value)?;
+            spec.survivability.policy = match spec.survivability.policy {
+                SparePolicy::PerPlane { replacement_days, .. } => {
+                    SparePolicy::PerPlane { spares_per_plane: n, replacement_days }
+                }
+                SparePolicy::SharedPool { replacement_days, .. } => {
+                    SparePolicy::SharedPool { pool_size: n, replacement_days }
+                }
+            };
+        }
+        "spares.replacement_days" => {
+            let days = need_f64(key, value)?;
+            spec.survivability.policy = match spec.survivability.policy {
+                SparePolicy::PerPlane { spares_per_plane, .. } => {
+                    SparePolicy::PerPlane { spares_per_plane, replacement_days: days }
+                }
+                SparePolicy::SharedPool { pool_size, .. } => {
+                    SparePolicy::SharedPool { pool_size, replacement_days: days }
+                }
+            };
+        }
+
+        "attack.planes_lost" => spec.attack.planes_lost = need_usize(key, value)?,
+
+        "network.enabled" => spec.network.enabled = need_bool(key, value)?,
+        "network.n_flows" => spec.network.n_flows = need_usize(key, value)?,
+        "network.utc_hour" => spec.network.utc_hour = need_f64(key, value)?,
+        "network.min_elevation_deg" => spec.network.min_elevation_deg = need_f64(key, value)?,
+        "network.max_range_km" => spec.network.max_range_km = need_f64(key, value)?,
+        "network.slots" => spec.network.slots = need_usize(key, value)?,
+        "network.slot_s" => spec.network.slot_s = need_f64(key, value)?,
+
+        _ => return Err(ScenarioError::UnknownParameter { key: key.to_string() }),
+    }
+    Ok(())
+}
+
+/// The `(count, replacement_days)` of either policy variant.
+fn policy_parts(policy: &SparePolicy) -> (usize, f64) {
+    match *policy {
+        SparePolicy::PerPlane { spares_per_plane, replacement_days } => {
+            (spares_per_plane, replacement_days)
+        }
+        SparePolicy::SharedPool { pool_size, replacement_days } => (pool_size, replacement_days),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis(param: &str, values: &[f64]) -> SweepAxis {
+        SweepAxis {
+            param: param.to_string(),
+            values: values.iter().map(|&x| TomlValue::Float(x)).collect(),
+        }
+    }
+
+    #[test]
+    fn expansion_is_row_major_and_complete() {
+        let sweep = SweepSpec {
+            base: ScenarioSpec::named("g"),
+            axes: vec![
+                axis("demand.total_demand_b", &[10.0, 100.0]),
+                axis("survivability.horizon_years", &[1.0, 2.0, 3.0]),
+            ],
+        };
+        let specs = sweep.expand().unwrap();
+        assert_eq!(specs.len(), 6);
+        assert_eq!(specs[0].demand.total_demand_b, 10.0);
+        assert_eq!(specs[0].survivability.horizon_years, 1.0);
+        assert_eq!(specs[1].survivability.horizon_years, 2.0);
+        assert_eq!(specs[3].demand.total_demand_b, 100.0);
+        assert!(specs[0].name.contains("demand.total_demand_b=10"));
+    }
+
+    #[test]
+    fn seeds_stable_under_axis_reordering() {
+        let a = SweepSpec {
+            base: ScenarioSpec::named("g"),
+            axes: vec![
+                axis("demand.total_demand_b", &[10.0, 100.0]),
+                axis("survivability.horizon_years", &[1.0, 2.0]),
+            ],
+        };
+        let b =
+            SweepSpec { base: a.base.clone(), axes: vec![a.axes[1].clone(), a.axes[0].clone()] };
+        let mut sa: Vec<(String, u64)> =
+            a.expand().unwrap().into_iter().map(|s| (s.name, s.seed)).collect();
+        let mut sb: Vec<(String, u64)> =
+            b.expand().unwrap().into_iter().map(|s| (s.name, s.seed)).collect();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn seeds_distinct_across_points_and_int_float_agree() {
+        let overrides_int = vec![("demand.total_demand_b".to_string(), TomlValue::Int(10))];
+        let overrides_float = vec![("demand.total_demand_b".to_string(), TomlValue::Float(10.0))];
+        assert_eq!(scenario_seed(1, &overrides_int), scenario_seed(1, &overrides_float));
+        let other = vec![("demand.total_demand_b".to_string(), TomlValue::Float(20.0))];
+        assert_ne!(scenario_seed(1, &overrides_int), scenario_seed(1, &other));
+        assert_eq!(scenario_seed(9, &[]), 9);
+    }
+
+    #[test]
+    fn unknown_parameter_rejected() {
+        let mut spec = ScenarioSpec::named("x");
+        let err = apply_param(&mut spec, "demand.flux_capacitor", &TomlValue::Int(1)).unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownParameter { .. }));
+    }
+
+    #[test]
+    fn reserved_axes_rejected() {
+        for reserved in ["seed", "name"] {
+            let sweep = SweepSpec {
+                base: ScenarioSpec::named("g"),
+                axes: vec![SweepAxis {
+                    param: reserved.to_string(),
+                    values: vec![TomlValue::Int(1), TomlValue::Int(2)],
+                }],
+            };
+            let err = sweep.expand().unwrap_err();
+            assert!(matches!(err, ScenarioError::BadValue { .. }), "{reserved}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_axis_means_zero_points() {
+        let sweep = SweepSpec {
+            base: ScenarioSpec::named("g"),
+            axes: vec![SweepAxis { param: "attack.planes_lost".to_string(), values: vec![] }],
+        };
+        assert!(sweep.is_empty());
+        assert_eq!(sweep.len(), 0);
+        assert_eq!(sweep.expand().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn epoch_year_outside_algorithm_domain_rejected() {
+        let mut spec = ScenarioSpec::named("x");
+        for bad in ["2150-06-01", "1850-06-01"] {
+            let err = apply_param(&mut spec, "radiation.epoch", &TomlValue::Str(bad.to_string()))
+                .unwrap_err();
+            assert!(err.to_string().contains("1901-2099"), "{bad}: {err}");
+        }
+        apply_param(&mut spec, "radiation.epoch", &TomlValue::Str("2014-04-01".to_string()))
+            .unwrap();
+        assert_eq!(spec.radiation.epoch_ymd, (2014, 4, 1));
+    }
+
+    #[test]
+    fn impossible_calendar_dates_rejected() {
+        let mut spec = ScenarioSpec::named("x");
+        for bad in ["2013-06-31", "2013-02-30", "2013-02-29", "2013-04-31"] {
+            assert!(
+                apply_param(&mut spec, "radiation.epoch", &TomlValue::Str(bad.to_string()))
+                    .is_err(),
+                "{bad} accepted"
+            );
+        }
+        // Leap day on an actual leap year is fine.
+        apply_param(&mut spec, "radiation.epoch", &TomlValue::Str("2016-02-29".to_string()))
+            .unwrap();
+        assert_eq!(spec.radiation.epoch_ymd, (2016, 2, 29));
+    }
+
+    #[test]
+    fn spares_paths_update_the_policy() {
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "spares.policy", &TomlValue::Str("shared-pool".into())).unwrap();
+        apply_param(&mut spec, "spares.count", &TomlValue::Int(40)).unwrap();
+        apply_param(&mut spec, "spares.replacement_days", &TomlValue::Float(20.0)).unwrap();
+        assert_eq!(
+            spec.survivability.policy,
+            SparePolicy::SharedPool { pool_size: 40, replacement_days: 20.0 }
+        );
+    }
+}

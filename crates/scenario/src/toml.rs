@@ -1,0 +1,396 @@
+//! A minimal TOML-subset parser for scenario files.
+//!
+//! The build environment has no crates.io access, so instead of the real
+//! `toml` crate the engine parses the subset its config format needs:
+//!
+//! * `key = value` pairs with bare or quoted keys;
+//! * `[section]` headers (one level; the scenario schema is flat);
+//! * strings (`"..."` with `\"`, `\\`, `\n`, `\t` escapes), booleans,
+//!   integers, floats (including exponent notation), and single-line
+//!   arrays of these;
+//! * `#` comments and blank lines.
+//!
+//! Anything outside the subset is a hard [`ScenarioError::Parse`] — a
+//! config that silently half-parses would be worse than no parser.
+
+use crate::error::{Result, ScenarioError};
+use std::collections::BTreeMap;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A homogeneous or mixed single-line array.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::Float(x) => Some(*x),
+            TomlValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (rejects negatives and floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            TomlValue::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|u| u as usize)
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            TomlValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[TomlValue]> {
+        match self {
+            TomlValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// One section's key/value pairs, in **declaration order** — sweep axes
+/// derive their grid nesting from the order the file declares them, so
+/// the parser must not sort keys.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Section {
+    pairs: Vec<(String, TomlValue)>,
+}
+
+impl Section {
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, TomlValue)> {
+        self.pairs.iter()
+    }
+
+    /// Appends a pair; `false` if the key is already present.
+    fn insert(&mut self, key: String, value: TomlValue) -> bool {
+        if self.get(&key).is_some() {
+            return false;
+        }
+        self.pairs.push((key, value));
+        true
+    }
+}
+
+impl std::ops::Index<&str> for Section {
+    type Output = TomlValue;
+    fn index(&self, key: &str) -> &TomlValue {
+        self.get(key).unwrap_or_else(|| panic!("no key '{key}' in section"))
+    }
+}
+
+/// A parsed document: section name → ordered pairs. Top-level keys live
+/// under the empty section name `""`.
+pub type TomlDoc = BTreeMap<String, Section>;
+
+/// Parses `source` into a [`TomlDoc`].
+///
+/// # Errors
+/// [`ScenarioError::Parse`] with a 1-based line number on the first
+/// offence.
+pub fn parse(source: &str) -> Result<TomlDoc> {
+    let mut doc: TomlDoc = BTreeMap::new();
+    let mut section = String::new();
+    doc.entry(section.clone()).or_default();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest.strip_suffix(']').ok_or_else(|| ScenarioError::Parse {
+                line: lineno,
+                message: "unterminated section header".to_string(),
+            })?;
+            let name = name.trim();
+            if name.is_empty() || name.starts_with('[') {
+                return Err(ScenarioError::Parse {
+                    line: lineno,
+                    message: "empty or nested section header (arrays of tables are not supported)"
+                        .to_string(),
+                });
+            }
+            section = name.to_string();
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let eq = find_unquoted(line, '=').ok_or_else(|| ScenarioError::Parse {
+            line: lineno,
+            message: "expected 'key = value'".to_string(),
+        })?;
+        let key = parse_key(line[..eq].trim(), lineno)?;
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        let entry = doc.entry(section.clone()).or_default();
+        if !entry.insert(key.clone(), value) {
+            return Err(ScenarioError::Parse {
+                line: lineno,
+                message: format!("duplicate key '{key}'"),
+            });
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Finds the first `needle` outside double quotes.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            c if c == needle && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses a bare or quoted key.
+fn parse_key(text: &str, lineno: usize) -> Result<String> {
+    if let Some(stripped) = text.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or_else(|| ScenarioError::Parse {
+            line: lineno,
+            message: "unterminated quoted key".to_string(),
+        })?;
+        return Ok(inner.to_string());
+    }
+    if text.is_empty()
+        || !text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+    {
+        return Err(ScenarioError::Parse {
+            line: lineno,
+            message: format!("invalid bare key '{text}'"),
+        });
+    }
+    Ok(text.to_string())
+}
+
+/// Parses one scalar or single-line array value.
+fn parse_value(text: &str, lineno: usize) -> Result<TomlValue> {
+    if text.is_empty() {
+        return Err(ScenarioError::Parse { line: lineno, message: "missing value".to_string() });
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| ScenarioError::Parse {
+            line: lineno,
+            message: "unterminated array (arrays must be single-line)".to_string(),
+        })?;
+        let pieces = split_array_items(inner);
+        let mut items = Vec::new();
+        for (k, piece) in pieces.iter().enumerate() {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                // Only a single trailing empty piece is legal TOML (a
+                // trailing comma, or the empty array `[]`); `[1,,2]` and
+                // `[,]` must not silently half-parse.
+                if k + 1 == pieces.len() && (k == 0 || !items.is_empty()) {
+                    continue;
+                }
+                return Err(ScenarioError::Parse {
+                    line: lineno,
+                    message: "empty array element (stray comma?)".to_string(),
+                });
+            }
+            items.push(parse_value(piece, lineno)?);
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    if let Some(stripped) = text.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or_else(|| ScenarioError::Parse {
+            line: lineno,
+            message: "unterminated string".to_string(),
+        })?;
+        return Ok(TomlValue::Str(unescape(inner, lineno)?));
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    // TOML permits underscores in numbers.
+    let numeric: String = text.chars().filter(|&c| c != '_').collect();
+    if !numeric.contains(['.', 'e', 'E']) {
+        if let Ok(i) = numeric.parse::<i64>() {
+            return Ok(TomlValue::Int(i));
+        }
+    }
+    if let Ok(x) = numeric.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(TomlValue::Float(x));
+        }
+    }
+    Err(ScenarioError::Parse { line: lineno, message: format!("cannot parse value '{text}'") })
+}
+
+/// Splits array innards on top-level commas (no nested arrays in the
+/// schema, but quoted strings may contain commas).
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+/// Resolves the string escapes the subset supports.
+fn unescape(s: &str, lineno: usize) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(ScenarioError::Parse {
+                    line: lineno,
+                    message: format!("unsupported escape '\\{}'", other.unwrap_or(' ')),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_scenario_shape() {
+        let doc = parse(
+            r##"
+# top level
+name = "solar max" # trailing comment
+seed = 7
+
+[demand]
+total_demand_b = 2.5e2
+lat_bins = 36
+
+[sweep]
+"demand.total_demand_b" = [10.0, 100, 1_000.0]
+"spares.count" = [1, 3]
+flag = true
+"##,
+        )
+        .unwrap();
+        assert_eq!(doc[""]["name"], TomlValue::Str("solar max".to_string()));
+        assert_eq!(doc[""]["seed"], TomlValue::Int(7));
+        assert_eq!(doc["demand"]["total_demand_b"], TomlValue::Float(250.0));
+        assert_eq!(doc["demand"]["lat_bins"].as_usize(), Some(36));
+        let axis = doc["sweep"]["demand.total_demand_b"].as_array().unwrap();
+        assert_eq!(axis.len(), 3);
+        assert_eq!(axis[1].as_f64(), Some(100.0));
+        assert_eq!(axis[2].as_f64(), Some(1000.0));
+        assert_eq!(doc["sweep"]["flag"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (src, needle) in [
+            ("[unclosed", "unterminated section"),
+            ("key", "expected 'key = value'"),
+            ("key = ", "missing value"),
+            ("key = \"open", "unterminated string"),
+            ("key = [1, 2", "unterminated array"),
+            ("k ey = 1", "invalid bare key"),
+            ("key = nope", "cannot parse value"),
+            ("key = 1\nkey = 2", "duplicate key"),
+            ("[[tables]]", "nested section"),
+            ("key = [2,,6]", "empty array element"),
+            ("key = [,]", "empty array element"),
+            ("key = [,1]", "empty array element"),
+        ] {
+            let err = parse(src).unwrap_err();
+            let text = err.to_string();
+            assert!(text.contains(needle), "source {src:?} gave: {text}");
+        }
+    }
+
+    #[test]
+    fn trailing_comma_and_empty_array_are_legal() {
+        let doc = parse("a = [1, 2,]\nb = []\n").unwrap();
+        assert_eq!(doc[""]["a"].as_array().unwrap().len(), 2);
+        assert_eq!(doc[""]["b"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn strings_with_specials() {
+        let doc = parse(r#"k = "a # not comment, \"quoted\", comma""#).unwrap();
+        assert_eq!(doc[""]["k"].as_str(), Some(r#"a # not comment, "quoted", comma"#));
+    }
+}

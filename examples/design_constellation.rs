@@ -3,7 +3,7 @@
 //! as CSV on stdout.
 //!
 //! ```sh
-//! cargo run --release -p ssplane-core --example design_constellation
+//! cargo run --release --example design_constellation
 //! ```
 
 use ssplane_core::designer::{design_ss_constellation, DesignConfig};

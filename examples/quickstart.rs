@@ -2,7 +2,7 @@
 //! synthetic spatiotemporal demand model and print what you got.
 //!
 //! ```sh
-//! cargo run --release -p ssplane-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use ssplane_core::designer::{design_ss_constellation, DesignConfig};
@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  inclination:      {:.2} deg (sun-synchronous, retrograde)",
         constellation.inclination().map(|i| i.to_degrees()).unwrap_or(f64::NAN)
     );
-    println!(
-        "  swath half-angle: {:.2} deg",
-        constellation.swath_half_angle.to_degrees()
-    );
+    println!("  swath half-angle: {:.2} deg", constellation.swath_half_angle.to_degrees());
     println!("  LTANs of the first planes:");
     for p in constellation.planes.iter().take(8) {
         println!(

@@ -3,7 +3,7 @@
 //! outer-belt horns (Fig. 6 scenario).
 //!
 //! ```sh
-//! cargo run --release -p ssplane-core --example radiation_survey
+//! cargo run --release --example radiation_survey
 //! ```
 
 use ssplane_astro::geo::GeoPoint;

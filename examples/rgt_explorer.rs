@@ -3,7 +3,7 @@
 //! comparison at each altitude.
 //!
 //! ```sh
-//! cargo run --release -p ssplane-core --example rgt_explorer
+//! cargo run --release --example rgt_explorer
 //! ```
 
 use ssplane_astro::coverage::{coverage_half_angle, size_walker_delta};
@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The paper's Fig. 2 anchor orbit in detail.
-    let detail = analyze_rgt(
-        ssplane_astro::rgt::rgt_orbit(15, 1, inclination)?,
-        elevation,
-    )?;
+    let detail = analyze_rgt(ssplane_astro::rgt::rgt_orbit(15, 1, inclination)?, elevation)?;
     println!(
         "\n15:1 RGT detail: altitude {:.1} km, track length {:.1} rad, \
          perpendicular pass gap {:.2} deg, {} satellites for continuous coverage",

@@ -3,7 +3,7 @@
 //! trans-Atlantic flow across time slots, and report delays and handoffs.
 //!
 //! ```sh
-//! cargo run --release -p ssplane-lsn --example routing_demo
+//! cargo run --release --example routing_demo
 //! ```
 
 use ssplane_astro::geo::GeoPoint;

@@ -1,0 +1,38 @@
+//! Drive the scenario engine from code: load a built-in sweep, run it in
+//! parallel, and consume the typed reports (the `scenario-runner` binary
+//! is the CLI version of exactly this).
+//!
+//! ```sh
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use ssplane_scenario::library;
+use ssplane_scenario::runner::Runner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let builtin = library::find("solar-sweep").expect("shipped builtin");
+    let sweep = library::sweep(builtin)?;
+    println!("running '{}' ({} points) on all cores...\n", builtin.name, sweep.len());
+
+    let outcome = Runner::default().run_sweep(&sweep)?;
+    for report in outcome.reports.iter().filter_map(|r| r.as_ref().ok()) {
+        let ss = report.ss.as_ref().expect("both systems designed");
+        let wd = report.wd.as_ref().expect("both systems designed");
+        let (ssf, wdf) = (
+            ss.fluence.as_ref().expect("radiation stage on"),
+            wd.fluence.as_ref().expect("radiation stage on"),
+        );
+        println!(
+            "{:<60} SS {:>5} sats  WD {:>5} sats  proton saving {:>5.1}%",
+            report.name,
+            ss.design.sats,
+            wd.design.sats,
+            100.0 * (1.0 - ssf.median_proton / wdf.median_proton),
+        );
+    }
+
+    // The same data as machine-readable JSON-lines:
+    let jsonl = outcome.to_jsonl();
+    println!("\nfirst JSONL record:\n{}", jsonl.lines().next().unwrap_or(""));
+    Ok(())
+}

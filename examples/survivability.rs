@@ -3,7 +3,7 @@
 //! radiation-driven failures.
 //!
 //! ```sh
-//! cargo run --release -p ssplane-lsn --example survivability
+//! cargo run --release --example survivability
 //! ```
 
 use ssplane_astro::kepler::OrbitalElements;
@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ss_dose = dose_at(sso_inc)?;
     let wd_dose = dose_at(65.0)?;
 
-    println!("daily dose   SS({sso_inc:.2} deg): e {:.3e}  p {:.3e}", ss_dose.electron, ss_dose.proton);
+    println!(
+        "daily dose   SS({sso_inc:.2} deg): e {:.3e}  p {:.3e}",
+        ss_dose.electron, ss_dose.proton
+    );
     println!("daily dose   WD(65 deg):    e {:.3e}  p {:.3e}", wd_dose.electron, wd_dose.proton);
     println!(
         "annual hazard: SS {:.3}/yr  WD {:.3}/yr",
@@ -39,11 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Spares for a 1% per-resupply-period exhaustion probability.
     let sats_per_plane = 25;
     for (name, dose) in [("SS", ss_dose), ("WD", wd_dose)] {
-        let lambda = expected_failures_per_plane(
-            sats_per_plane,
-            model.hazard_per_year(dose),
-            180.0,
-        );
+        let lambda =
+            expected_failures_per_plane(sats_per_plane, model.hazard_per_year(dose), 180.0);
         let spares = spares_for_availability(lambda, 0.01)?;
         println!("{name}: expected failures/plane/resupply = {lambda:.2} -> {spares} spares/plane");
     }

@@ -1,0 +1,29 @@
+//! # ssplane
+//!
+//! Umbrella crate for the `ss-plane` workspace — a reproduction of
+//! *"Sustainability or Survivability? Eliminating the Need to Choose in
+//! LEO Satellite Constellations"* (HotNets 2025) grown into an
+//! experiment platform.
+//!
+//! Re-exports every member crate so downstream code (and the workspace's
+//! own integration tests and examples) can reach the full pipeline from
+//! one dependency:
+//!
+//! * [`astro`] — orbital mechanics (time, Kepler, J2, frames, coverage);
+//! * [`demand`] — the synthetic spatiotemporal demand model;
+//! * [`radiation`] — the trapped-radiation environment;
+//! * [`core`] — SS-plane designer, Walker baseline, evaluation;
+//! * [`lsn`] — ISL topologies, routing, traffic, failures, survivability;
+//! * [`bench`] — figure regeneration;
+//! * [`scenario`] — the config-driven, parallel scenario-sweep engine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ssplane_astro as astro;
+pub use ssplane_bench as bench;
+pub use ssplane_core as core;
+pub use ssplane_demand as demand;
+pub use ssplane_lsn as lsn;
+pub use ssplane_radiation as radiation;
+pub use ssplane_scenario as scenario;

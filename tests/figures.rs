@@ -73,8 +73,8 @@ fn fig4_diurnal_percentiles() {
 
 #[test]
 fn fig5_sun_relative_stationarity() {
-    let d = fig5::data(fig5::Params { rings: 9, sectors: 24, hours: [0.0, 6.0, 12.0, 18.0] })
-        .unwrap();
+    let d =
+        fig5::data(fig5::Params { rings: 9, sectors: 24, hours: [0.0, 6.0, 12.0, 18.0] }).unwrap();
     assert_eq!(d.len(), 4);
     // Day sectors outshine night sectors when summed across all four
     // snapshots (each sector has seen 4 different longitudes).
@@ -158,11 +158,8 @@ fn fig8_demand_grid_structure() {
 
 #[test]
 fn fig9_ss_beats_wd_and_gap_narrows() {
-    let d = fig9::data(fig9::Params {
-        totals: vec![10.0, 200.0, 2000.0],
-        ..Default::default()
-    })
-    .unwrap();
+    let d = fig9::data(fig9::Params { totals: vec![10.0, 200.0, 2000.0], ..Default::default() })
+        .unwrap();
     for p in &d {
         assert!(
             p.row.ss_sats < p.row.wd_sats,

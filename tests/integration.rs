@@ -132,11 +132,7 @@ fn routing_works_on_designed_constellation() {
     .unwrap();
     // A design sized for demand coverage should route trans-Atlantic
     // traffic in at least some slots.
-    assert!(
-        routes.reachable_slots() >= 1,
-        "no reachable slot out of {}",
-        routes.routes.len()
-    );
+    assert!(routes.reachable_slots() >= 1, "no reachable slot out of {}", routes.routes.len());
     if routes.reachable_slots() > 0 {
         assert!(routes.mean_delay_ms() > 18.0, "faster than light?");
         assert!(routes.mean_delay_ms() < 500.0);
@@ -151,17 +147,12 @@ fn survivability_ss_needs_fewer_spares() {
     let epoch = design_epoch();
     let model = FailureModel::default();
 
-    let dose =
-        |inc_deg: f64| {
-            let el = ssplane_astro::kepler::OrbitalElements::circular(
-                560.0,
-                inc_deg.to_radians(),
-                0.0,
-                0.0,
-            )
-            .unwrap();
-            daily_fluence(&env, &el, epoch, 120.0).unwrap()
-        };
+    let dose = |inc_deg: f64| {
+        let el =
+            ssplane_astro::kepler::OrbitalElements::circular(560.0, inc_deg.to_radians(), 0.0, 0.0)
+                .unwrap();
+        daily_fluence(&env, &el, epoch, 120.0).unwrap()
+    };
     let ss_dose = dose(97.64);
     let wd_dose = dose(65.0);
 
