@@ -55,17 +55,17 @@ pub fn data(params: Params) -> Result<Vec<Fig10Row>> {
         .zip(outcome.reports)
         .map(|(&b, report)| {
             let report = report?;
-            let fluence = |sys: &Option<ssplane_scenario::report::SystemReport>| {
+            let fluence = |name: &str| {
                 // A zero-plane design has no fluence stage; the direct
                 // pipeline's behavior for that degenerate case is a zero
                 // median (weighted_median_fluence of no samples), so
                 // mirror it rather than panic.
-                sys.as_ref().and_then(|s| s.fluence.as_ref()).map_or_else(
+                report.system(name).and_then(|s| s.fluence.as_ref()).map_or_else(
                     DailyFluence::default,
                     |f| DailyFluence { electron: f.median_electron, proton: f.median_proton },
                 )
             };
-            Ok(Fig10Row { multiplier: b, ss: fluence(&report.ss), wd: fluence(&report.wd) })
+            Ok(Fig10Row { multiplier: b, ss: fluence("ss"), wd: fluence("wd") })
         })
         .collect()
 }
@@ -74,7 +74,7 @@ pub fn data(params: Params) -> Result<Vec<Fig10Row>> {
 /// axis over the total-demand level.
 pub fn sweep_spec(params: &Params) -> SweepSpec {
     let mut base = ScenarioSpec::named("fig10");
-    base.design.kind = DesignKind::Both;
+    base.design.kinds = vec![DesignKind::SsPlane, DesignKind::Walker];
     base.design.ss = params.ss;
     base.design.wd = params.wd.clone();
     base.radiation.enabled = true;

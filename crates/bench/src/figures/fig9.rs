@@ -60,8 +60,8 @@ pub fn data(params: Params) -> Result<Vec<Fig9Point>> {
         .zip(outcome.reports)
         .map(|(&b, report)| {
             let report = report?;
-            let ss = report.ss.as_ref().expect("fig9 designs both systems");
-            let wd = report.wd.as_ref().expect("fig9 designs both systems");
+            let ss = report.system("ss").expect("fig9 designs both systems");
+            let wd = report.system("wd").expect("fig9 designs both systems");
             Ok(Fig9Point {
                 total_demand: b,
                 row: Fig9Row {
@@ -80,7 +80,7 @@ pub fn data(params: Params) -> Result<Vec<Fig9Point>> {
 /// the total-demand level.
 pub fn sweep_spec(params: &Params) -> SweepSpec {
     let mut base = ScenarioSpec::named("fig9");
-    base.design.kind = DesignKind::Both;
+    base.design.kinds = vec![DesignKind::SsPlane, DesignKind::Walker];
     base.design.ss = params.ss;
     base.design.wd = params.wd.clone();
     base.radiation.enabled = false;

@@ -21,10 +21,14 @@
 //!    of the uniform baseline).
 //! 4. [`rgt_analysis`] — the §2.2 negative result: covering a single
 //!    repeat ground track costs *more* satellites than uniform Walker
-//!    coverage (Fig. 1).
+//!    coverage (Fig. 1) — plus the demand-driven RGT designer that lets
+//!    scenarios evaluate the losing option side by side.
 //! 5. [`evaluate`] — satellite-count sweeps (Fig. 9), simulation-based
 //!    demand-satisfaction verification, and per-satellite radiation
 //!    statistics (Fig. 10).
+//! 6. [`system`] — the pluggable design/evaluation API: the [`Designer`]
+//!    trait and [`DesignedSystem`] output every downstream stage (attack,
+//!    fluence, survivability, networking) consumes generically.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,9 +39,15 @@ pub mod evaluate;
 pub mod rgt_analysis;
 pub mod ssplane;
 pub mod sustainability;
+pub mod system;
 pub mod walker_baseline;
 
 pub use designer::{design_ss_constellation, DesignConfig, SsConstellation};
 pub use error::{CoreError, Result};
+pub use rgt_analysis::{design_rgt_constellation, RgtConstellation, RgtDesignConfig};
 pub use ssplane::SsPlane;
+pub use system::{
+    DesignParams, DesignSummary, DesignedSystem, Designer, RgtDesigner, SsDesigner, SystemPlane,
+    WalkerDesigner,
+};
 pub use walker_baseline::{design_walker_constellation, WalkerConstellation};

@@ -2,12 +2,23 @@
 //! (Fig. 1): covering a single RGT continuously costs more satellites than
 //! a uniform Walker-delta at the same altitude, and most LEO RGTs provide
 //! near-uniform coverage anyway.
+//!
+//! Besides the Fig. 1 dataset, this module hosts the **demand-driven RGT
+//! designer** ([`design_rgt_constellation`]): the same negative result
+//! expressed as a [`crate::system::Designer`]-compatible design point, so
+//! scenario sweeps can put the RGT option side by side with the SS-plane
+//! and Walker systems and watch it lose.
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
+use crate::walker_baseline::latitude_requirements;
+use ssplane_astro::angles::wrap_two_pi;
 use ssplane_astro::coverage::{
     coverage_half_angle, sats_per_plane_half_overlap, size_walker_delta, street_half_width,
 };
-use ssplane_astro::rgt::{enumerate_rgt_orbits, RgtOrbit};
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::rgt::{enumerate_rgt_orbits, rgt_orbit, RgtOrbit};
+use ssplane_demand::grid::LatTodGrid;
+use std::f64::consts::TAU;
 
 /// Coverage cost of one RGT orbit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +108,156 @@ pub fn fig1_data(
         alt += walker_step_km;
     }
     Ok(Fig1Data { rgts, walker })
+}
+
+/// Configuration of the demand-driven RGT designer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgtDesignConfig {
+    /// Revolutions per repeat cycle `k` (the default 15:1 is the paper's
+    /// ~560 km daily repeat, the closest RGT to the SS design altitude).
+    pub revs: u32,
+    /// Nodal days per repeat cycle `m`.
+    pub days: u32,
+    /// Orbit inclination \[deg\] (the paper's comparisons use 65°).
+    pub inclination_deg: f64,
+    /// Minimum user elevation \[deg\].
+    pub min_elevation_deg: f64,
+    /// Capacity of one satellite in demand units.
+    pub sat_capacity: f64,
+}
+
+impl Default for RgtDesignConfig {
+    fn default() -> Self {
+        RgtDesignConfig {
+            revs: 15,
+            days: 1,
+            inclination_deg: 65.0,
+            min_elevation_deg: ssplane_astro::coverage::DEFAULT_MIN_ELEVATION_DEG,
+            sat_capacity: 1.0,
+        }
+    }
+}
+
+/// A designed repeat-ground-track constellation: satellites strung along
+/// one repeating track at the spacing needed for continuous coverage,
+/// replicated to the demand's worst-case multiplicity.
+#[derive(Debug, Clone)]
+pub struct RgtConstellation {
+    /// The underlying repeat-ground-track orbit.
+    pub orbit: RgtOrbit,
+    /// Track-arc groups the satellites are organized into (one per
+    /// revolution of the repeat cycle) — the "plane" unit the attack and
+    /// spare-provisioning stages act on.
+    pub planes: usize,
+    /// Satellites per arc group.
+    pub sats_per_plane: usize,
+    /// Coverage multiplicity the demand required (peak simultaneous
+    /// satellites per track point).
+    pub multiplicity: usize,
+    /// Demand (capacity units) beyond the track's latitude reach.
+    pub unserved_demand: f64,
+    /// The configuration that produced the design.
+    pub config: RgtDesignConfig,
+}
+
+impl RgtConstellation {
+    /// Total satellite count.
+    pub fn total_sats(&self) -> usize {
+        self.planes * self.sats_per_plane
+    }
+
+    /// Orbital elements of every satellite, grouped by track arc.
+    ///
+    /// Satellites are placed at equal time offsets `τ_j = j·P/N` along the
+    /// repeat cycle of period `P` (`N` total satellites). A satellite
+    /// trailing the reference ground track by `τ` must sit at
+    /// `RAAN = (ω⊕ − Ω̇)·τ` and mean anomaly `−n_eff·τ`; with the repeat
+    /// condition `n_eff·P = 2πk`, `(ω⊕ − Ω̇)·P = 2πm` these reduce to the
+    /// closed form `RAAN_j = 2π·m·j/N`, `M_j = −2π·k·j/N`. Group `p` is
+    /// the contiguous arc `j ∈ [p·N/planes, (p+1)·N/planes)` — for a
+    /// track-following constellation the natural analogue of an orbital
+    /// plane (and what a plane-loss attack removes: a stretch of track).
+    ///
+    /// # Errors
+    /// Propagates element validation failure.
+    pub fn satellites(&self) -> Result<Vec<Vec<OrbitalElements>>> {
+        let n = self.total_sats();
+        let mut out = Vec::with_capacity(self.planes);
+        for p in 0..self.planes {
+            let mut arc = Vec::with_capacity(self.sats_per_plane);
+            for s in 0..self.sats_per_plane {
+                let f = (p * self.sats_per_plane + s) as f64 / n as f64;
+                let raan = wrap_two_pi(TAU * self.orbit.days as f64 * f);
+                let u = wrap_two_pi(-TAU * self.orbit.revs as f64 * f);
+                arc.push(
+                    OrbitalElements::circular(
+                        self.orbit.altitude_km,
+                        self.orbit.inclination,
+                        raan,
+                        u,
+                    )
+                    .map_err(CoreError::from)?,
+                );
+            }
+            out.push(arc);
+        }
+        Ok(out)
+    }
+}
+
+/// Designs the RGT constellation for `demand` (scaled to the bandwidth
+/// multiplier): continuous coverage of the `revs:days` repeat track at the
+/// worst-case multiplicity the demand requires, mirroring the Walker
+/// baseline's worst-case supply accounting. Demand poleward of the track's
+/// reach (`|lat| > i_eff + swath`) is reported unserved, as in the
+/// SS designer.
+///
+/// # Errors
+/// * [`CoreError::BadConfig`] for non-positive capacity;
+/// * astrodynamics errors for infeasible `revs:days` requests or geometry.
+pub fn design_rgt_constellation(
+    demand: &LatTodGrid,
+    config: RgtDesignConfig,
+) -> Result<RgtConstellation> {
+    if config.sat_capacity <= 0.0 {
+        return Err(CoreError::BadConfig { name: "sat_capacity", constraint: "> 0" });
+    }
+    let inclination = config.inclination_deg.to_radians();
+    let orbit = rgt_orbit(config.revs, config.days, inclination).map_err(CoreError::from)?;
+    let theta = coverage_half_angle(orbit.altitude_km, config.min_elevation_deg.to_radians())?;
+    let swath = street_half_width(theta, sats_per_plane_half_overlap(theta))?;
+
+    // Worst-case multiplicity over the latitudes the track reaches; demand
+    // beyond reach is unserved (summed over the full grid rows, matching
+    // the SS designer's unserved accounting).
+    let i_eff = inclination.min(core::f64::consts::PI - inclination);
+    let reach = i_eff + swath;
+    let mut multiplicity = 0.0f64;
+    let mut unserved = 0.0f64;
+    for (i, (lat, peak)) in latitude_requirements(demand).into_iter().enumerate() {
+        if lat.abs() <= reach {
+            multiplicity = multiplicity.max(peak / config.sat_capacity);
+        } else {
+            unserved += (0..demand.tod_bins()).map(|j| demand.value(i, j)).sum::<f64>();
+        }
+    }
+
+    let (planes, sats_per_plane, multiplicity) = if multiplicity <= 1e-9 {
+        (0, 0, 0)
+    } else {
+        let m = multiplicity.ceil() as usize;
+        let base = orbit.sats_to_cover_track(theta);
+        let planes = config.revs.max(1) as usize;
+        (planes, (m * base).div_ceil(planes), m)
+    };
+    Ok(RgtConstellation {
+        orbit,
+        planes,
+        sats_per_plane,
+        multiplicity,
+        unserved_demand: unserved,
+        config,
+    })
 }
 
 #[cfg(test)]
@@ -221,5 +382,75 @@ mod tests {
         for pair in daily.windows(2) {
             assert!(pair[0].sats_required > pair[1].sats_required);
         }
+    }
+
+    fn band_demand(rows: &[(usize, f64)]) -> LatTodGrid {
+        let mut v = vec![0.0; 36 * 24];
+        for &(i, val) in rows {
+            for j in 0..24 {
+                v[i * 24 + j] = val;
+            }
+        }
+        LatTodGrid::from_values(36, 24, v).unwrap()
+    }
+
+    #[test]
+    fn rgt_design_scales_with_demand_multiplicity() {
+        let one = design_rgt_constellation(&band_demand(&[(23, 1.0)]), Default::default()).unwrap();
+        let three =
+            design_rgt_constellation(&band_demand(&[(23, 3.0)]), Default::default()).unwrap();
+        assert!(one.total_sats() > 0);
+        assert_eq!(one.multiplicity, 1);
+        assert_eq!(three.multiplicity, 3);
+        assert!(three.total_sats() >= 3 * one.total_sats() - 3 * one.planes);
+        // The §2.2 negative result holds for the designed system too: the
+        // track-coverage floor dwarfs a Walker shell's.
+        assert!(one.total_sats() > 300, "floor = {}", one.total_sats());
+    }
+
+    #[test]
+    fn rgt_design_empty_and_unreachable_demand() {
+        let empty = design_rgt_constellation(&band_demand(&[]), Default::default()).unwrap();
+        assert_eq!(empty.total_sats(), 0);
+        assert_eq!(empty.planes, 0);
+        assert!(empty.satellites().unwrap().is_empty());
+        // Demand at ±87.5° only: beyond a 65° track's reach.
+        let polar =
+            design_rgt_constellation(&band_demand(&[(35, 2.0)]), Default::default()).unwrap();
+        assert_eq!(polar.total_sats(), 0);
+        assert!(polar.unserved_demand > 0.0);
+    }
+
+    #[test]
+    fn rgt_satellites_follow_the_repeat_track_structure() {
+        let c = design_rgt_constellation(&band_demand(&[(23, 1.0)]), Default::default()).unwrap();
+        let arcs = c.satellites().unwrap();
+        assert_eq!(arcs.len(), c.planes);
+        let n = c.total_sats();
+        assert_eq!(arcs.iter().map(Vec::len).sum::<usize>(), n);
+        // The closed-form placement: satellite j at RAAN 2π·m·j/N and
+        // argument −2π·k·j/N, all on the solved altitude/inclination.
+        for (j, el) in arcs.iter().flatten().enumerate() {
+            assert!((el.altitude_km() - c.orbit.altitude_km).abs() < 1e-9);
+            assert!((el.inclination - c.orbit.inclination).abs() < 1e-12);
+            let expect_raan = wrap_two_pi(TAU * c.orbit.days as f64 * j as f64 / n as f64);
+            assert!(
+                ssplane_astro::angles::separation(el.raan, expect_raan) < 1e-9,
+                "sat {j}: raan {} vs {expect_raan}",
+                el.raan
+            );
+        }
+    }
+
+    #[test]
+    fn rgt_design_bad_config_rejected() {
+        let g = band_demand(&[(23, 1.0)]);
+        assert!(design_rgt_constellation(
+            &g,
+            RgtDesignConfig { sat_capacity: 0.0, ..Default::default() }
+        )
+        .is_err());
+        assert!(design_rgt_constellation(&g, RgtDesignConfig { revs: 0, ..Default::default() })
+            .is_err());
     }
 }

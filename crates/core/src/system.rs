@@ -1,0 +1,335 @@
+//! The pluggable design/evaluation API: every constellation family the
+//! pipeline can evaluate is a [`Designer`] producing a [`DesignedSystem`].
+//!
+//! The paper's argument is a head-to-head comparison of constellation
+//! *designs*; the scenario engine therefore runs one generic per-system
+//! pipeline (design → attack → fluence → survivability → network) over
+//! whatever set of designers a scenario selects. A `DesignedSystem`
+//! carries exactly what those downstream stages need:
+//!
+//! * a **design summary** (the satellite/plane/shell counts a report
+//!   prints),
+//! * the **fluence-evaluation groups** — `(representative elements,
+//!   satellites)` per group, the Fig. 10 sampling unit (one per SS plane,
+//!   one per Walker shell, one per RGT track),
+//! * the **plane structure** — the unit plane-loss attacks and per-plane
+//!   spare budgets act on, each plane tagged with the evaluation group
+//!   its radiation dose comes from,
+//! * the **satellite geometry** per plane, so the networking stage can
+//!   build ISL topologies for any system, not just the SS design.
+//!
+//! Three designers ship: [`SsDesigner`] (§4.2 greedy cover),
+//! [`WalkerDesigner`] (the demand-aware multi-shell baseline), and
+//! [`RgtDesigner`] (the §2.2 negative result as a design point).
+
+use crate::designer::{design_ss_constellation, DesignConfig};
+use crate::error::Result;
+use crate::rgt_analysis::{design_rgt_constellation, RgtDesignConfig};
+use crate::walker_baseline::{design_walker_constellation, WalkerBaselineConfig};
+use ssplane_astro::kepler::OrbitalElements;
+use ssplane_astro::time::Epoch;
+use ssplane_demand::grid::LatTodGrid;
+
+/// Inputs shared by every designer besides the demand grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignParams {
+    /// The epoch satellite geometry and evaluation elements are generated
+    /// at (the scenario's radiation epoch, so fluence evaluation and
+    /// networking see one consistent sky).
+    pub epoch: Epoch,
+}
+
+/// One orbital plane (or plane-like group) of a designed system.
+#[derive(Debug, Clone)]
+pub struct SystemPlane {
+    /// Satellites in the plane.
+    pub n_sats: usize,
+    /// Index into [`DesignedSystem::eval_groups`] this plane's radiation
+    /// dose comes from (its own group for SS planes; the owning shell for
+    /// Walker; the single track group for RGT).
+    pub eval_idx: usize,
+    /// Orbital elements of the plane's satellites at the design epoch.
+    pub satellites: Vec<OrbitalElements>,
+}
+
+/// The design-stage outcome a report prints, computed by the designer so
+/// each family controls its own accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignSummary {
+    /// Total satellites.
+    pub sats: usize,
+    /// Orbital planes (for Walker: summed across shells).
+    pub planes: usize,
+    /// Evaluation shells (SS: one per plane; Walker: stacked shells; RGT:
+    /// one track).
+    pub shells: usize,
+    /// Satellites per plane (family-specific: SS street-of-coverage
+    /// sizing, Walker constellation mean, RGT arc size).
+    pub sats_per_plane: usize,
+    /// Representative inclination \[deg\] (SS: the common inclination;
+    /// Walker: satellite-weighted mean; RGT: the track inclination).
+    pub inclination_deg: f64,
+    /// Demand the design could not serve (capacity units).
+    pub unserved_demand: f64,
+}
+
+/// Everything downstream stages need from one designed system.
+#[derive(Debug, Clone)]
+pub struct DesignedSystem {
+    /// The design summary.
+    pub summary: DesignSummary,
+    /// `(representative elements, satellites)` per fluence-evaluation
+    /// group — the exact Fig. 10 grouping, for numerical parity with the
+    /// figure pipeline.
+    pub eval_groups: Vec<(OrbitalElements, usize)>,
+    /// The real orbital planes, in design order (the order attacks and
+    /// spare budgets index).
+    pub planes: Vec<SystemPlane>,
+    /// Permutation of `planes` for ISL-topology construction (SS planes
+    /// sort by LTAN so the +grid links neighbouring local times; Walker
+    /// and RGT use design order).
+    pub network_order: Vec<usize>,
+}
+
+impl DesignedSystem {
+    /// Per-plane satellite elements in network (topology) order.
+    pub fn network_planes(&self) -> Vec<Vec<OrbitalElements>> {
+        self.network_order.iter().map(|&i| self.planes[i].satellites.clone()).collect()
+    }
+
+    /// Total satellites across planes.
+    pub fn total_sats(&self) -> usize {
+        self.planes.iter().map(|p| p.n_sats).sum()
+    }
+}
+
+/// A constellation design family, pluggable into the generic scenario
+/// pipeline.
+pub trait Designer {
+    /// The family's registry name — also the report key its results are
+    /// published under (`"ss"`, `"wd"`, `"rgt"`).
+    fn name(&self) -> &'static str;
+
+    /// Designs the system for `demand` (already scaled to the bandwidth
+    /// multiplier).
+    ///
+    /// # Errors
+    /// Family-specific design failure (bad configuration, infeasible
+    /// geometry, plane-budget exhaustion).
+    fn design(&self, demand: &LatTodGrid, params: &DesignParams) -> Result<DesignedSystem>;
+}
+
+/// The SS-plane greedy designer (§4.2) as a [`Designer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsDesigner {
+    /// The underlying designer configuration.
+    pub config: DesignConfig,
+}
+
+impl Designer for SsDesigner {
+    fn name(&self) -> &'static str {
+        "ss"
+    }
+
+    fn design(&self, demand: &LatTodGrid, params: &DesignParams) -> Result<DesignedSystem> {
+        let ss = design_ss_constellation(demand, self.config)?;
+        let eval_groups: Vec<(OrbitalElements, usize)> = ss
+            .planes
+            .iter()
+            .map(|p| Ok((p.orbit.elements_at(params.epoch, 0.0)?, p.n_sats)))
+            .collect::<Result<_>>()?;
+        let planes: Vec<SystemPlane> = ss
+            .planes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Ok(SystemPlane {
+                    n_sats: p.n_sats,
+                    eval_idx: i,
+                    satellites: p.satellites(params.epoch)?,
+                })
+            })
+            .collect::<Result<_>>()?;
+        // The network stage orders SS planes by LTAN (stable sort, as the
+        // pre-`Designer` pipeline did) so the +grid topology links planes
+        // adjacent in local time.
+        let mut network_order: Vec<usize> = (0..ss.planes.len()).collect();
+        network_order.sort_by(|&a, &b| {
+            ss.planes[a].orbit.ltan_h.partial_cmp(&ss.planes[b].orbit.ltan_h).expect("finite LTAN")
+        });
+        Ok(DesignedSystem {
+            summary: DesignSummary {
+                sats: ss.total_sats(),
+                planes: ss.planes.len(),
+                shells: ss.planes.len(),
+                sats_per_plane: ss.sats_per_plane,
+                inclination_deg: ss.inclination().map_or(0.0, f64::to_degrees),
+                unserved_demand: ss.unserved_demand,
+            },
+            eval_groups,
+            planes,
+            network_order,
+        })
+    }
+}
+
+/// The demand-aware multi-shell Walker baseline as a [`Designer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkerDesigner {
+    /// The underlying designer configuration.
+    pub config: WalkerBaselineConfig,
+}
+
+impl Designer for WalkerDesigner {
+    fn name(&self) -> &'static str {
+        "wd"
+    }
+
+    fn design(&self, demand: &LatTodGrid, _params: &DesignParams) -> Result<DesignedSystem> {
+        let wd = design_walker_constellation(demand, self.config.clone())?;
+        let mut eval_groups = Vec::with_capacity(wd.shells.len());
+        let mut planes: Vec<SystemPlane> = Vec::new();
+        for (s, shell) in wd.shells.iter().enumerate() {
+            let elements =
+                OrbitalElements::circular(shell.altitude_km, shell.inclination, 0.0, 0.0)?;
+            eval_groups.push((elements, shell.n_sats));
+            // The shell's real Walker pattern, one plane per group — the
+            // same geometry `WalkerConstellation::satellites` flattens.
+            for arc in shell.plane_satellites()? {
+                planes.push(SystemPlane { n_sats: arc.len(), eval_idx: s, satellites: arc });
+            }
+        }
+        let total_sats = wd.total_sats();
+        let total_planes = planes.len();
+        let inclination_deg = if total_sats == 0 {
+            0.0
+        } else {
+            wd.shells.iter().map(|s| s.inclination.to_degrees() * s.n_sats as f64).sum::<f64>()
+                / total_sats as f64
+        };
+        let network_order: Vec<usize> = (0..total_planes).collect();
+        Ok(DesignedSystem {
+            summary: DesignSummary {
+                sats: total_sats,
+                planes: total_planes,
+                shells: wd.shells.len(),
+                sats_per_plane: total_sats.checked_div(total_planes).unwrap_or(0),
+                inclination_deg,
+                unserved_demand: 0.0,
+            },
+            eval_groups,
+            planes,
+            network_order,
+        })
+    }
+}
+
+/// The demand-driven repeat-ground-track designer as a [`Designer`] (the
+/// §2.2 negative result, runnable as a scenario design point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgtDesigner {
+    /// The underlying designer configuration.
+    pub config: RgtDesignConfig,
+}
+
+impl Designer for RgtDesigner {
+    fn name(&self) -> &'static str {
+        "rgt"
+    }
+
+    fn design(&self, demand: &LatTodGrid, _params: &DesignParams) -> Result<DesignedSystem> {
+        let rgt = design_rgt_constellation(demand, self.config.clone())?;
+        let total = rgt.total_sats();
+        let eval_groups = if total == 0 {
+            Vec::new()
+        } else {
+            // Satellites share the track's altitude/inclination, so one
+            // evaluation group covers the constellation (phases sample the
+            // orbit, exactly as for a Walker shell).
+            vec![(rgt.orbit.reference_elements(), total)]
+        };
+        let planes: Vec<SystemPlane> = rgt
+            .satellites()?
+            .into_iter()
+            .map(|arc| SystemPlane { n_sats: arc.len(), eval_idx: 0, satellites: arc })
+            .collect();
+        let network_order: Vec<usize> = (0..planes.len()).collect();
+        Ok(DesignedSystem {
+            summary: DesignSummary {
+                sats: total,
+                planes: rgt.planes,
+                shells: usize::from(total > 0),
+                sats_per_plane: rgt.sats_per_plane,
+                inclination_deg: rgt.config.inclination_deg,
+                unserved_demand: rgt.unserved_demand,
+            },
+            eval_groups,
+            planes,
+            network_order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssplane_demand::grid::LatTodGrid;
+
+    fn demand() -> LatTodGrid {
+        let mut v = vec![0.0; 36 * 24];
+        for j in 0..24 {
+            v[23 * 24 + j] = 2.0; // ~27.5°N, flat over the day
+            v[26 * 24 + j] = 1.0; // ~42.5°N
+        }
+        LatTodGrid::from_values(36, 24, v).unwrap()
+    }
+
+    fn params() -> DesignParams {
+        DesignParams { epoch: Epoch::from_calendar(2013, 6, 1, 0, 0, 0.0) }
+    }
+
+    #[test]
+    fn all_three_designers_produce_consistent_systems() {
+        let d = demand();
+        let designers: [&dyn Designer; 3] = [
+            &SsDesigner { config: DesignConfig::default() },
+            &WalkerDesigner { config: WalkerBaselineConfig::default() },
+            &RgtDesigner { config: RgtDesignConfig::default() },
+        ];
+        for designer in designers {
+            let sys = designer.design(&d, &params()).unwrap();
+            assert_eq!(sys.summary.sats, sys.total_sats(), "{}", designer.name());
+            assert_eq!(sys.summary.planes, sys.planes.len(), "{}", designer.name());
+            assert_eq!(sys.network_order.len(), sys.planes.len(), "{}", designer.name());
+            let eval_total: usize = sys.eval_groups.iter().map(|&(_, n)| n).sum();
+            assert_eq!(eval_total, sys.total_sats(), "{}", designer.name());
+            for p in &sys.planes {
+                assert!(p.eval_idx < sys.eval_groups.len(), "{}", designer.name());
+                assert_eq!(p.satellites.len(), p.n_sats, "{}", designer.name());
+            }
+            // network_order is a permutation.
+            let mut order = sys.network_order.clone();
+            order.sort_unstable();
+            assert_eq!(order, (0..sys.planes.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn ss_network_order_sorts_by_ltan() {
+        let sys =
+            SsDesigner { config: DesignConfig::default() }.design(&demand(), &params()).unwrap();
+        assert!(!sys.planes.is_empty());
+        let net = sys.network_planes();
+        assert_eq!(net.len(), sys.planes.len());
+        // RAANs of the first satellite per plane must be non-decreasing in
+        // LTAN order — spot-check via the raw elements being reordered.
+        assert_eq!(net.iter().map(Vec::len).sum::<usize>(), sys.total_sats());
+    }
+
+    #[test]
+    fn registry_names_are_the_report_keys() {
+        assert_eq!(SsDesigner { config: DesignConfig::default() }.name(), "ss");
+        assert_eq!(WalkerDesigner { config: WalkerBaselineConfig::default() }.name(), "wd");
+        assert_eq!(RgtDesigner { config: RgtDesignConfig::default() }.name(), "rgt");
+    }
+}

@@ -87,6 +87,30 @@ pub struct WalkerShell {
     pub planes: usize,
 }
 
+impl WalkerShell {
+    /// The shell's Walker pattern, chunked into its planes (plane-major;
+    /// `n_sats = planes × sats_per_plane` by construction). The single
+    /// home of the shell's phasing convention (`F = 1 mod planes`), so
+    /// every consumer — flat satellite lists, the network stage's plane
+    /// geometry — sees the same orbits.
+    ///
+    /// # Errors
+    /// Propagates Walker-pattern generation failure.
+    pub fn plane_satellites(&self) -> Result<Vec<Vec<OrbitalElements>>> {
+        let n_planes = self.planes.max(1);
+        let pattern = WalkerDelta::new(
+            self.altitude_km,
+            self.inclination,
+            self.n_sats,
+            n_planes,
+            1 % n_planes,
+        )?
+        .generate()?;
+        let per_plane = (self.n_sats / n_planes).max(1);
+        Ok(pattern.chunks(per_plane).map(<[_]>::to_vec).collect())
+    }
+}
+
 /// The designed multi-shell Walker constellation.
 #[derive(Debug, Clone)]
 pub struct WalkerConstellation {
@@ -102,21 +126,14 @@ impl WalkerConstellation {
         self.shells.iter().map(|s| s.n_sats).sum()
     }
 
-    /// Orbital elements of every satellite.
+    /// Orbital elements of every satellite, shell by shell.
     ///
     /// # Errors
     /// Propagates Walker-pattern generation failure.
     pub fn satellites(&self) -> Result<Vec<OrbitalElements>> {
         let mut out = Vec::with_capacity(self.total_sats());
         for shell in &self.shells {
-            let w = WalkerDelta::new(
-                shell.altitude_km,
-                shell.inclination,
-                shell.n_sats,
-                shell.planes,
-                1 % shell.planes.max(1),
-            )?;
-            out.extend(w.generate()?);
+            out.extend(shell.plane_satellites()?.into_iter().flatten());
         }
         Ok(out)
     }

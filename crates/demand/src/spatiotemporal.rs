@@ -31,8 +31,19 @@ impl DemandModel {
     /// # Errors
     /// Propagates population-grid construction failure.
     pub fn synthetic_default() -> Result<Self> {
+        Self::synthetic_seeded(crate::population::PopulationConfig::default().seed)
+    }
+
+    /// Builds the synthetic model at the default resolution but with a
+    /// caller-chosen city-placement seed (every run with the same seed is
+    /// identical; [`Self::synthetic_default`] is seed 42).
+    ///
+    /// # Errors
+    /// Propagates population-grid construction failure.
+    pub fn synthetic_seeded(seed: u64) -> Result<Self> {
+        let config = crate::population::PopulationConfig { seed, ..Default::default() };
         Ok(DemandModel {
-            population: PopulationGrid::synthetic(Default::default())?,
+            population: PopulationGrid::synthetic(config)?,
             diurnal: DiurnalModel::default(),
         })
     }

@@ -50,6 +50,20 @@ impl Constellation {
         Ok(Constellation { planes, epoch })
     }
 
+    /// Builds from the per-plane satellite geometry of *any* designed
+    /// system (SS, Walker, RGT, …), in the caller's network order. Planes
+    /// that carry no satellites are dropped: a design may keep an empty
+    /// plane for bookkeeping, but the topology only links real nodes.
+    ///
+    /// # Errors
+    /// Rejects constellations with no satellites at all, and invalid
+    /// elements.
+    pub fn from_planes(epoch: Epoch, planes: Vec<Vec<OrbitalElements>>) -> Result<Self> {
+        let planes: Vec<Vec<OrbitalElements>> =
+            planes.into_iter().filter(|p| !p.is_empty()).collect();
+        Constellation::new(epoch, planes)
+    }
+
     /// Builds from a designed SS constellation, ordering planes by LTAN.
     ///
     /// # Errors
@@ -61,7 +75,7 @@ impl Constellation {
             .iter()
             .map(|p| p.satellites(epoch).map_err(LsnError::from))
             .collect::<Result<Vec<_>>>()?;
-        Constellation::new(epoch, element_planes)
+        Constellation::from_planes(epoch, element_planes)
     }
 
     /// Construction epoch.
@@ -360,6 +374,30 @@ mod tests {
     fn empty_constellation_rejected() {
         assert!(Constellation::new(Epoch::J2000, vec![]).is_err());
         assert!(Constellation::new(Epoch::J2000, vec![vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn from_planes_drops_empty_planes_and_takes_any_geometry() {
+        let epoch = Epoch::J2000;
+        let orbit = sun_synchronous_orbit(560.0).unwrap();
+        let real = orbit.with_ltan(8.0).plane_elements(epoch, 6).unwrap();
+        let c = Constellation::from_planes(epoch, vec![vec![], real, vec![]]).unwrap();
+        assert_eq!(c.n_planes(), 1);
+        assert_eq!(c.total_sats(), 6);
+        assert!(Constellation::from_planes(epoch, vec![vec![], vec![]]).is_err());
+
+        // Non-sun-synchronous (Walker-delta) geometry builds and routes
+        // through the same +grid machinery (12 sats/plane keeps the
+        // intra-plane spacing under the default ISL range).
+        let pattern = ssplane_astro::walker::WalkerDelta::new(550.0, 53f64.to_radians(), 96, 8, 1)
+            .unwrap()
+            .generate()
+            .unwrap();
+        let planes: Vec<Vec<OrbitalElements>> = pattern.chunks(12).map(<[_]>::to_vec).collect();
+        let walker = Constellation::from_planes(epoch, planes).unwrap();
+        assert_eq!(walker.n_planes(), 8);
+        let topo = Topology::plus_grid(&walker, epoch, Default::default()).unwrap();
+        assert!(topo.is_connected(), "Walker +grid must be connected");
     }
 
     #[test]

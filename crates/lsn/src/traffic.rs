@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use ssplane_astro::geo::GeoPoint;
 use ssplane_astro::time::Epoch;
 use ssplane_demand::DemandModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A ground-to-ground traffic flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,8 +67,12 @@ pub struct TrafficReport {
     pub routed: usize,
     /// Flows with no route (endpoint uncovered or partition).
     pub unrouted: usize,
-    /// Load per directed link (keyed by ordered satellite pair).
-    pub link_load: HashMap<(SatId, SatId), f64>,
+    /// Load per directed link (keyed by ordered satellite pair). A
+    /// `BTreeMap` so iteration — and therefore the floating-point
+    /// summation order of the aggregate statistics — is deterministic:
+    /// the scenario engine's byte-identical-output contract covers the
+    /// network stage too.
+    pub link_load: BTreeMap<(SatId, SatId), f64>,
     /// Mean latency stretch over routed flows: route delay / great-circle
     /// fiber delay.
     pub mean_stretch: f64,
@@ -104,7 +108,7 @@ pub fn assign_traffic(
     t: Epoch,
     min_elevation: f64,
 ) -> Result<TrafficReport> {
-    let mut link_load: HashMap<(SatId, SatId), f64> = HashMap::new();
+    let mut link_load: BTreeMap<(SatId, SatId), f64> = BTreeMap::new();
     let mut routed = 0usize;
     let mut unrouted = 0usize;
     let mut stretch_sum = 0.0;

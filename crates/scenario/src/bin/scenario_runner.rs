@@ -10,6 +10,10 @@
 //! --threads N        worker threads (default: all cores)
 //! --out PATH         write JSON-lines reports to PATH (default: stdout)
 //! --summary          print the per-scenario summary table to stderr
+//! --timings PATH     write per-scenario per-stage wall-clock timings
+//!                    (tab-separated) to PATH, or to stderr for '-'.
+//!                    A side channel: the report JSON stays
+//!                    byte-deterministic with or without it.
 //! ```
 //!
 //! Exit code 0 if every scenario point completed, 1 otherwise.
@@ -19,13 +23,14 @@ use ssplane_scenario::{config, library};
 use std::io::Write;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: scenario-runner [--list] [--threads N] [--out PATH] [--summary] [SOURCE...]";
+const USAGE: &str = "usage: scenario-runner [--list] [--threads N] [--out PATH] [--summary] \
+                     [--timings PATH] [SOURCE...]";
 
 struct Args {
     sources: Vec<String>,
     threads: usize,
     out: Option<String>,
+    timings: Option<String>,
     summary: bool,
     list: bool,
     help: bool,
@@ -36,6 +41,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sources: Vec::new(),
         threads: 0,
         out: None,
+        timings: None,
         summary: false,
         list: false,
         help: false,
@@ -51,6 +57,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out" => {
                 args.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--timings" => {
+                args.timings = Some(it.next().ok_or("--timings needs a path (or '-')")?.clone());
             }
             "--help" | "-h" => args.help = true,
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
@@ -124,6 +133,7 @@ fn main() -> ExitCode {
     let runner = Runner::with_threads(args.threads);
     let mut all_ok = true;
     let mut jsonl = String::new();
+    let mut timings = String::new();
     for (source, sweep) in sources.iter().zip(&sweeps) {
         let points = sweep.len();
         eprintln!("running '{}': {} scenario point(s)", sweep.base.name, points);
@@ -136,6 +146,15 @@ fn main() -> ExitCode {
         };
         all_ok &= outcome.ok_count() == outcome.reports.len();
         jsonl.push_str(&outcome.to_jsonl());
+        if args.timings.is_some() {
+            let table = outcome.timings_table();
+            if timings.is_empty() {
+                timings.push_str(&table);
+            } else {
+                // One shared header across sources: append rows only.
+                timings.push_str(table.split_once('\n').map_or("", |(_, rows)| rows));
+            }
+        }
         if args.summary {
             eprint!("{}", outcome.summary());
         }
@@ -158,6 +177,22 @@ fn main() -> ExitCode {
             eprintln!("wrote {} report line(s) to {path}", jsonl.lines().count());
         }
         None => print!("{jsonl}"),
+    }
+
+    // The timing side channel, kept away from the report stream so the
+    // JSON stays byte-deterministic.
+    match args.timings.as_deref() {
+        Some("-") => eprint!("{timings}"),
+        Some(path) => {
+            if let Err(e) =
+                std::fs::File::create(path).and_then(|mut f| f.write_all(timings.as_bytes()))
+            {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote stage timings to {path}");
+        }
+        None => {}
     }
 
     if all_ok {

@@ -9,11 +9,12 @@
 //! scenario" from copy-pasting a `fig*.rs` pipeline into writing a TOML
 //! file:
 //!
-//! * [`spec`] — [`spec::ScenarioSpec`]: constellation design (SS-plane /
-//!   demand-aware Walker, with the designers' own config structs
-//!   embedded), demand level and grid resolution, solar-cycle setting,
-//!   failure model + spare policy, plane-loss attacks, traffic/routing
-//!   options, and mission horizon;
+//! * [`spec`] — [`spec::ScenarioSpec`]: constellation designs (any
+//!   subset of the SS-plane / demand-aware Walker / RGT designer
+//!   registry via `design.kinds`, with the designers' own config structs
+//!   embedded), demand level, grid resolution and synthesis seed,
+//!   solar-cycle setting, failure model + spare policy, plane-loss
+//!   attacks, traffic/routing options, and mission horizon;
 //! * [`sweep`] — [`sweep::SweepSpec`]: parameter grids expanded into
 //!   concrete scenarios with deterministic per-scenario seeds (stable
 //!   under grid reordering);
@@ -67,7 +68,7 @@ pub mod sweep;
 pub mod toml;
 
 pub use error::{Result, ScenarioError};
-pub use report::ScenarioReport;
-pub use runner::{execute_scenario, Runner, SweepOutcome};
-pub use spec::ScenarioSpec;
+pub use report::{NamedSystemReport, ScenarioReport, SystemReport};
+pub use runner::{execute_scenario, execute_scenario_timed, Runner, ScenarioTimings, SweepOutcome};
+pub use spec::{DesignKind, ScenarioSpec};
 pub use sweep::SweepSpec;

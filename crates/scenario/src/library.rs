@@ -54,6 +54,16 @@ pub const BUILTINS: &[Builtin] = &[
         summary: "traffic assignment + time-expanded NYC->London route over an SS design",
         toml: include_str!("../../../scenarios/routing.toml"),
     },
+    Builtin {
+        name: "walker-network",
+        summary: "the same networking stage over the Walker baseline's plane geometry",
+        toml: include_str!("../../../scenarios/walker-network.toml"),
+    },
+    Builtin {
+        name: "design-shootout",
+        summary: "SS vs Walker vs RGT: the full designer registry on one demand",
+        toml: include_str!("../../../scenarios/design-shootout.toml"),
+    },
 ];
 
 /// Looks a built-in up by name.
@@ -93,9 +103,15 @@ mod tests {
 
     #[test]
     fn library_covers_the_paper_axes() {
-        for name in
-            ["baseline", "solar-sweep", "plane-attack", "spare-budget", "mega-constellation"]
-        {
+        for name in [
+            "baseline",
+            "solar-sweep",
+            "plane-attack",
+            "spare-budget",
+            "mega-constellation",
+            "walker-network",
+            "design-shootout",
+        ] {
             assert!(find(name).is_some(), "missing builtin {name}");
         }
         assert!(find("nope").is_none());

@@ -7,7 +7,7 @@
 
 use crate::json::Json;
 
-/// Design-stage outcome for one system (SS or Walker).
+/// Design-stage outcome for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignReport {
     /// Total satellites.
@@ -120,7 +120,7 @@ impl SurvivabilityOutcome {
     }
 }
 
-/// Networking-stage outcome (SS only).
+/// Networking-stage outcome for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkReport {
     /// Flows routed at the snapshot.
@@ -162,7 +162,7 @@ impl NetworkReport {
     }
 }
 
-/// Everything the pipeline produced for one system (SS or Walker).
+/// Everything the pipeline produced for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemReport {
     /// Design stage (always present).
@@ -173,7 +173,7 @@ pub struct SystemReport {
     pub attack: Option<AttackReport>,
     /// Survivability stage (if enabled).
     pub survivability: Option<SurvivabilityOutcome>,
-    /// Networking stage (if enabled; SS only).
+    /// Networking stage (if enabled and the system has satellites).
     pub network: Option<NetworkReport>,
 }
 
@@ -196,6 +196,16 @@ impl SystemReport {
     }
 }
 
+/// One designed system's results, tagged with its registry name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedSystemReport {
+    /// The designer's registry name (`"ss"`, `"wd"`, `"rgt"`) — also the
+    /// system's JSON key in the report line.
+    pub system: String,
+    /// The system's per-stage results.
+    pub report: SystemReport,
+}
+
 /// The complete result of one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -212,14 +222,21 @@ pub struct ScenarioReport {
     pub solar: String,
     /// Evaluation epoch \[Julian date\] of the radiation stage.
     pub epoch_jd: f64,
-    /// SS-plane system results (if designed).
-    pub ss: Option<SystemReport>,
-    /// Walker system results (if designed).
-    pub wd: Option<SystemReport>,
+    /// Per-system results, always in **registry order** (`ss`, `wd`,
+    /// `rgt`) regardless of how the spec listed its kinds — so the JSON
+    /// bytes are a pure function of the parameter point.
+    pub systems: Vec<NamedSystemReport>,
 }
 
 impl ScenarioReport {
-    /// One JSON-lines record (no trailing newline).
+    /// The results of the system named `name`, if it was designed.
+    pub fn system(&self, name: &str) -> Option<&SystemReport> {
+        self.systems.iter().find(|s| s.system == name).map(|s| &s.report)
+    }
+
+    /// One JSON-lines record (no trailing newline). Each system is one
+    /// top-level field keyed by its registry name, in registry order —
+    /// byte-compatible with the pre-`Designer` fixed `ss`/`wd` layout.
     pub fn to_json_line(&self) -> String {
         let mut obj = Json::obj()
             .str("name", &self.name)
@@ -228,11 +245,8 @@ impl ScenarioReport {
             .num("demand_multiplier", self.demand_multiplier)
             .str("solar", &self.solar)
             .num("epoch_jd", self.epoch_jd);
-        if let Some(ss) = &self.ss {
-            obj = obj.field("ss", ss.to_json());
-        }
-        if let Some(wd) = &self.wd {
-            obj = obj.field("wd", wd.to_json());
+        for sys in &self.systems {
+            obj = obj.field(&sys.system, sys.report.to_json());
         }
         obj.build().to_string_compact()
     }
@@ -251,26 +265,30 @@ mod tests {
             demand_multiplier: 0.05,
             solar: "cycle24".to_string(),
             epoch_jd: 2_456_444.5,
-            ss: Some(SystemReport {
-                design: DesignReport {
-                    sats: 100,
-                    planes: 4,
-                    shells: 4,
-                    sats_per_plane: 25,
-                    inclination_deg: 97.6,
-                    unserved_demand: 0.0,
+            systems: vec![NamedSystemReport {
+                system: "ss".to_string(),
+                report: SystemReport {
+                    design: DesignReport {
+                        sats: 100,
+                        planes: 4,
+                        shells: 4,
+                        sats_per_plane: 25,
+                        inclination_deg: 97.6,
+                        unserved_demand: 0.0,
+                    },
+                    fluence: None,
+                    attack: None,
+                    survivability: None,
+                    network: None,
                 },
-                fluence: None,
-                attack: None,
-                survivability: None,
-                network: None,
-            }),
-            wd: None,
+            }],
         };
         let line = report.to_json_line();
         assert!(line.starts_with(r#"{"name":"t","seed":1,"total_demand_b":10.0"#), "{line}");
         assert!(line.contains(r#""ss":{"design":{"sats":100"#), "{line}");
         assert!(!line.contains("wd"), "{line}");
         assert!(!line.contains('\n'));
+        assert!(report.system("ss").is_some());
+        assert!(report.system("wd").is_none());
     }
 }

@@ -1,33 +1,39 @@
 //! Scenario execution: the end-to-end pipeline for one spec, and a
 //! thread-pooled runner for sweeps.
 //!
-//! Execution is a pure function of the spec: demand synthesis, both
-//! designers, the fluence integrals, and the survivability simulation are
-//! all seeded, so `execute_scenario` called twice returns identical
+//! Execution is a pure function of the spec: demand synthesis, every
+//! designer, the fluence integrals, and the survivability simulation are
+//! all seeded, so [`execute_scenario`] called twice returns identical
 //! reports — and the parallel [`Runner`] preserves that by collecting
 //! results into slot `i` for scenario `i` regardless of which worker ran
 //! it. JSON-lines output is therefore byte-identical across runs **and**
-//! across thread counts.
+//! across thread counts. Wall-clock stage timings are collected on the
+//! side (see [`ScenarioTimings`]) and never enter the report.
 //!
-//! Stage plumbing (all through the existing crates, not re-implemented):
-//! `ssplane_demand` (grid) → `ssplane_core::designer` /
-//! `walker_baseline` → `ssplane_core::evaluate` fluence sampling over
-//! `ssplane_radiation` → `ssplane_lsn::{survivability, traffic,
-//! routing}`.
+//! The pipeline is **design-generic**: every system a scenario selects
+//! (`design.kinds`) is produced by a [`Designer`] from the
+//! `ssplane-core` registry, and one shared sequence of stages — design →
+//! attack → fluence → survivability → network — runs over the resulting
+//! [`DesignedSystem`]s in registry order. Stage plumbing goes through the
+//! existing crates, not re-implementations: `ssplane_demand` (grid) →
+//! `ssplane_core::system` designers → `ssplane_core::evaluate` fluence
+//! sampling over `ssplane_radiation` → `ssplane_lsn::{survivability,
+//! traffic, routing}`.
 
 use crate::error::{Result, ScenarioError};
 use crate::report::{
-    AttackReport, DesignReport, FluenceReport, NetworkReport, ScenarioReport, SurvivabilityOutcome,
-    SystemReport,
+    AttackReport, DesignReport, FluenceReport, NamedSystemReport, NetworkReport, ScenarioReport,
+    SurvivabilityOutcome, SystemReport,
 };
-use crate::spec::{DesignKind, ScenarioSpec};
+use crate::spec::{DesignKind, DesignSpec, ScenarioSpec};
 use crate::sweep::SweepSpec;
 use ssplane_astro::geo::GeoPoint;
-use ssplane_astro::kepler::OrbitalElements;
 use ssplane_astro::time::Epoch;
-use ssplane_core::designer::{design_ss_constellation, SsConstellation};
 use ssplane_core::evaluate::{plane_fluence_samples, weighted_median_fluence};
-use ssplane_core::walker_baseline::{design_walker_constellation, WalkerConstellation};
+use ssplane_core::system::{
+    DesignParams, DesignSummary, DesignedSystem, Designer, RgtDesigner, SsDesigner, SystemPlane,
+    WalkerDesigner,
+};
 use ssplane_demand::grid::LatTodGrid;
 use ssplane_demand::DemandModel;
 use ssplane_lsn::routing::route_over_time;
@@ -36,76 +42,80 @@ use ssplane_lsn::topology::{Constellation, GridTopologyConfig, Topology};
 use ssplane_lsn::traffic::{assign_traffic, sample_flows};
 use ssplane_radiation::fluence::DailyFluence;
 use ssplane_radiation::RadiationEnvironment;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// The synthetic demand model, built once per process: it is
-/// parameterless and deterministic (every scenario sees the identical
-/// model), and synthesizing the 0.5° population grid is by far the most
-/// expensive per-scenario fixed cost, so sweeps share it.
-fn shared_demand_model() -> &'static DemandModel {
-    static MODEL: OnceLock<DemandModel> = OnceLock::new();
-    MODEL.get_or_init(|| {
-        DemandModel::synthetic_default().expect("default demand configuration is valid")
-    })
+/// The synthetic demand model for a given `demand.seed`, built once per
+/// process and shared: synthesizing the 0.5° population grid is by far
+/// the most expensive per-scenario fixed cost, and it depends on nothing
+/// but the seed — so sweeps whose points agree on the seed (the common
+/// case) share one synthesis, while a `demand.seed` axis still gets a
+/// distinct model per value.
+///
+/// Entries live for the process (a few MB per distinct seed; a
+/// `demand.seed` axis re-reads its models on every rerun of the sweep),
+/// and the lock is held across synthesis — deliberately, so concurrent
+/// workers wanting the *same* new seed do the work once rather than
+/// racing on it.
+fn shared_demand_model(seed: u64) -> Arc<DemandModel> {
+    static CACHE: OnceLock<Mutex<BTreeMap<u64, Arc<DemandModel>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut models = cache.lock().expect("demand cache poisoned");
+    models
+        .entry(seed)
+        .or_insert_with(|| {
+            Arc::new(
+                DemandModel::synthetic_seeded(seed)
+                    .expect("default-resolution synthesis is valid for every seed"),
+            )
+        })
+        .clone()
 }
 
-/// One orbital plane prepared for the attack/survivability stages.
-struct PlaneGroup {
-    /// Satellites in the plane.
-    sats: usize,
-    /// Index into the fluence-evaluation groups this plane's dose comes
-    /// from (its own index for SS; the owning shell's index for Walker).
-    eval_idx: usize,
-}
-
-/// A system's radiation-stage inputs: the fluence-evaluation groups (the
-/// exact Fig. 10 grouping, for numerical parity with the figure
-/// pipeline) plus the per-plane expansion attacks and spares act on.
-struct SystemGroups {
-    /// `(representative elements, satellites)` per evaluation group —
-    /// one per SS plane, one per Walker *shell*.
-    eval: Vec<(OrbitalElements, usize)>,
-    /// The real orbital planes.
-    planes: Vec<PlaneGroup>,
-}
-
-/// Builds the groups of an SS constellation: planes are both the
-/// evaluation unit and the attack unit.
-fn ss_groups(ss: &SsConstellation, epoch: Epoch) -> Result<SystemGroups> {
-    let eval: Vec<(OrbitalElements, usize)> = ss
-        .planes
-        .iter()
-        .map(|p| Ok((p.orbit.elements_at(epoch, 0.0)?, p.n_sats)))
-        .collect::<Result<_>>()?;
-    let planes = ss
-        .planes
-        .iter()
-        .enumerate()
-        .map(|(i, p)| PlaneGroup { sats: p.n_sats, eval_idx: i })
-        .collect();
-    Ok(SystemGroups { eval, planes })
-}
-
-/// Builds the groups of a Walker constellation: shells are the evaluation
-/// unit (satellites in a shell share their daily environment), expanded
-/// into the shell's planes so plane-loss attacks and per-plane spare
-/// budgets act on real planes.
-fn wd_groups(wd: &WalkerConstellation) -> Result<SystemGroups> {
-    let mut eval = Vec::with_capacity(wd.shells.len());
-    let mut planes = Vec::new();
-    for (s, shell) in wd.shells.iter().enumerate() {
-        let elements = OrbitalElements::circular(shell.altitude_km, shell.inclination, 0.0, 0.0)
-            .map_err(ssplane_core::CoreError::from)?;
-        eval.push((elements, shell.n_sats));
-        let n_planes = shell.planes.max(1);
-        let base = shell.n_sats / n_planes;
-        let extra = shell.n_sats % n_planes;
-        for k in 0..n_planes {
-            planes.push(PlaneGroup { sats: base + usize::from(k < extra), eval_idx: s });
-        }
+/// The designer registry: the [`Designer`] a [`DesignKind`] names,
+/// configured from the spec.
+fn designer_for(kind: DesignKind, design: &DesignSpec) -> Box<dyn Designer> {
+    match kind {
+        DesignKind::SsPlane => Box::new(SsDesigner { config: design.ss }),
+        DesignKind::Walker => Box::new(WalkerDesigner { config: design.wd.clone() }),
+        DesignKind::Rgt => Box::new(RgtDesigner { config: design.rgt.clone() }),
     }
-    Ok(SystemGroups { eval, planes })
+}
+
+/// Per-stage wall-clock of one scenario — the timing side channel. Kept
+/// strictly out of [`ScenarioReport`] so the report JSON stays a pure
+/// (byte-deterministic) function of the spec; timings go to a separate
+/// file or stderr (`scenario-runner --timings`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioTimings {
+    /// The scenario's name.
+    pub name: String,
+    /// `(stage, seconds)` in execution order. Stages are named
+    /// `demand.model`, `demand.grid`, and `<system>.<stage>` for the
+    /// per-system design/fluence/survivability/network stages.
+    pub stages: Vec<(String, f64)>,
+}
+
+impl ScenarioTimings {
+    /// Total wall-clock across stages \[s\].
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|&(_, s)| s).sum()
+    }
+}
+
+/// Collects `(stage, seconds)` pairs around closures.
+struct StageClock {
+    stages: Vec<(String, f64)>,
+}
+
+impl StageClock {
+    fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.stages.push((stage.to_string(), start.elapsed().as_secs_f64()));
+        out
+    }
 }
 
 /// The indices removed by a `planes_lost`-plane attack on `n` planes:
@@ -118,26 +128,44 @@ fn attacked_indices(n: usize, planes_lost: usize) -> Vec<usize> {
     (0..lost).map(|k| k * n / lost).collect()
 }
 
-/// Runs every post-design stage for one system.
+/// The report row of a design summary.
+fn design_report(summary: &DesignSummary) -> DesignReport {
+    DesignReport {
+        sats: summary.sats,
+        planes: summary.planes,
+        shells: summary.shells,
+        sats_per_plane: summary.sats_per_plane,
+        inclination_deg: summary.inclination_deg,
+        unserved_demand: summary.unserved_demand,
+    }
+}
+
+/// Runs every post-design, pre-network stage for one designed system.
 fn system_report(
     spec: &ScenarioSpec,
-    groups: &SystemGroups,
-    design: DesignReport,
+    name: &str,
+    sys: &DesignedSystem,
     env: &RadiationEnvironment,
     epoch: Epoch,
     fluence_stage: bool,
+    clock: &mut StageClock,
 ) -> Result<SystemReport> {
-    let mut report =
-        SystemReport { design, fluence: None, attack: None, survivability: None, network: None };
+    let mut report = SystemReport {
+        design: design_report(&sys.summary),
+        fluence: None,
+        attack: None,
+        survivability: None,
+        network: None,
+    };
 
     // Plane-loss attack: pure bookkeeping over plane/satellite counts, so
     // it runs (and reports capacity retention) even in design-only
     // scenarios with the radiation stage disabled.
-    let mut surviving: Vec<(usize, &PlaneGroup)> = groups.planes.iter().enumerate().collect();
-    if spec.attack.planes_lost > 0 && !groups.planes.is_empty() {
-        let hit = attacked_indices(groups.planes.len(), spec.attack.planes_lost);
-        let sats_lost: usize = hit.iter().map(|&i| groups.planes[i].sats).sum();
-        let total: usize = groups.planes.iter().map(|g| g.sats).sum();
+    let mut surviving: Vec<(usize, &SystemPlane)> = sys.planes.iter().enumerate().collect();
+    if spec.attack.planes_lost > 0 && !sys.planes.is_empty() {
+        let hit = attacked_indices(sys.planes.len(), spec.attack.planes_lost);
+        let sats_lost: usize = hit.iter().map(|&i| sys.planes[i].n_sats).sum();
+        let total: usize = sys.total_sats();
         surviving.retain(|(i, _)| !hit.contains(i));
         report.attack = Some(AttackReport {
             planes_lost: hit.len(),
@@ -146,14 +174,16 @@ fn system_report(
         });
     }
 
-    if !fluence_stage || groups.eval.is_empty() {
+    if !fluence_stage || sys.eval_groups.is_empty() {
         return Ok(report);
     }
 
     // The fig10-parity statistic: `phases` samples per evaluation group,
     // weighted median across the constellation.
     let phases = spec.radiation.phases.max(1);
-    let samples = plane_fluence_samples(&groups.eval, env, epoch, phases, spec.radiation.step_s)?;
+    let samples = clock.time(&format!("{name}.fluence"), || {
+        plane_fluence_samples(&sys.eval_groups, env, epoch, phases, spec.radiation.step_s)
+    })?;
     let median = weighted_median_fluence(&samples);
 
     // Per-evaluation-group dose (mean over its phase samples); planes
@@ -169,7 +199,7 @@ fn system_report(
         })
         .collect();
     let plane_doses: Vec<DailyFluence> =
-        groups.planes.iter().map(|p| eval_doses[p.eval_idx]).collect();
+        sys.planes.iter().map(|p| eval_doses[p.eval_idx]).collect();
     let mean = DailyFluence {
         electron: plane_doses.iter().map(|d| d.electron).sum::<f64>()
             / plane_doses.len().max(1) as f64,
@@ -203,18 +233,20 @@ fn system_report(
             });
         } else {
             let doses: Vec<DailyFluence> = surviving.iter().map(|&(i, _)| plane_doses[i]).collect();
-            let sats: usize = surviving.iter().map(|(_, g)| g.sats).sum();
+            let sats: usize = surviving.iter().map(|(_, p)| p.n_sats).sum();
             // Round to nearest: flooring the mean would silently drop up
             // to one satellite per plane from the simulated fleet (a ~10%
             // undercount for small uneven Walker shells).
             let sats_per_plane = ((sats as f64 / surviving.len() as f64).round() as usize).max(1);
-            let sim = simulate(
-                &doses,
-                sats_per_plane,
-                &spec.survivability.failure,
-                &spec.survivability.policy,
-                spec.survivability.sim_config(spec.seed),
-            )?;
+            let sim = clock.time(&format!("{name}.survivability"), || {
+                simulate(
+                    &doses,
+                    sats_per_plane,
+                    &spec.survivability.failure,
+                    &spec.survivability.policy,
+                    spec.survivability.sim_config(spec.seed),
+                )
+            })?;
             report.survivability = Some(SurvivabilityOutcome {
                 availability: sim.availability,
                 failures: sim.failures,
@@ -228,14 +260,16 @@ fn system_report(
     Ok(report)
 }
 
-/// Runs the networking stage over a designed SS constellation.
+/// Runs the networking stage over one designed system: ISL topology over
+/// its plane geometry (in the design's network order), demand-weighted
+/// traffic assignment, and the time-expanded reference route.
 fn network_report(
     spec: &ScenarioSpec,
     model: &DemandModel,
-    ss: &SsConstellation,
+    sys: &DesignedSystem,
     epoch: Epoch,
 ) -> Result<NetworkReport> {
-    let constellation = Constellation::from_ss(epoch, ss)?;
+    let constellation = Constellation::from_planes(epoch, sys.network_planes())?;
     let topo_config = GridTopologyConfig {
         max_range_km: spec.network.max_range_km,
         ..GridTopologyConfig::default()
@@ -281,17 +315,15 @@ fn network_report(
     })
 }
 
-/// Executes one scenario end-to-end.
-///
-/// # Errors
-/// Validation failures and any stage error, tagged with the crate that
-/// produced it.
-pub fn execute_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
+/// The scenario pipeline body, writing stage timings into `clock`.
+fn run_scenario(spec: &ScenarioSpec, clock: &mut StageClock) -> Result<ScenarioReport> {
     spec.validate()?;
 
     // Demand stage.
-    let model = shared_demand_model();
-    let grid = LatTodGrid::from_model(model, spec.demand.lat_bins, spec.demand.tod_bins)?;
+    let model = clock.time("demand.model", || shared_demand_model(spec.demand.seed));
+    let grid = clock.time("demand.grid", || {
+        LatTodGrid::from_model(&model, spec.demand.lat_bins, spec.demand.tod_bins)
+    })?;
     let total = grid.total();
     if !total.is_finite() || total <= 0.0 {
         return Err(ScenarioError::bad_value(
@@ -305,49 +337,24 @@ pub fn execute_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
 
     let env = RadiationEnvironment::default();
     let epoch = spec.radiation.epoch();
+    let params = DesignParams { epoch };
 
-    // Design + downstream stages per system.
-    let mut ss_report = None;
-    if matches!(spec.design.kind, DesignKind::SsPlane | DesignKind::Both) {
-        let ss = design_ss_constellation(&demand, spec.design.ss)?;
-        let groups = ss_groups(&ss, epoch)?;
-        let design = DesignReport {
-            sats: ss.total_sats(),
-            planes: ss.planes.len(),
-            shells: ss.planes.len(),
-            sats_per_plane: ss.sats_per_plane,
-            inclination_deg: ss.inclination().map_or(0.0, f64::to_degrees),
-            unserved_demand: ss.unserved_demand,
-        };
-        let mut report = system_report(spec, &groups, design, &env, epoch, spec.radiation.enabled)?;
-        if spec.network.enabled && !ss.planes.is_empty() {
-            report.network = Some(network_report(spec, model, &ss, epoch)?);
+    // One generic pipeline per selected system, in registry order (so the
+    // spec's `kinds` ordering can never change the output bytes).
+    let mut systems = Vec::new();
+    for kind in spec.design.ordered_kinds() {
+        let designer = designer_for(kind, &spec.design);
+        let name = designer.name();
+        let sys = clock.time(&format!("{name}.design"), || designer.design(&demand, &params))?;
+        let mut report =
+            system_report(spec, name, &sys, &env, epoch, spec.radiation.enabled, clock)?;
+        if spec.network.enabled && sys.total_sats() > 0 {
+            report.network =
+                Some(clock.time(&format!("{name}.network"), || {
+                    network_report(spec, &model, &sys, epoch)
+                })?);
         }
-        ss_report = Some(report);
-    }
-
-    let mut wd_report = None;
-    if matches!(spec.design.kind, DesignKind::Walker | DesignKind::Both) {
-        let wd = design_walker_constellation(&demand, spec.design.wd.clone())?;
-        let groups = wd_groups(&wd)?;
-        let total_planes = groups.planes.len();
-        let total_sats = wd.total_sats();
-        let inclination_deg = if total_sats == 0 {
-            0.0
-        } else {
-            wd.shells.iter().map(|s| s.inclination.to_degrees() * s.n_sats as f64).sum::<f64>()
-                / total_sats as f64
-        };
-        let design = DesignReport {
-            sats: total_sats,
-            planes: total_planes,
-            shells: wd.shells.len(),
-            sats_per_plane: total_sats.checked_div(total_planes).unwrap_or(0),
-            inclination_deg,
-            unserved_demand: 0.0,
-        };
-        wd_report =
-            Some(system_report(spec, &groups, design, &env, epoch, spec.radiation.enabled)?);
+        systems.push(NamedSystemReport { system: name.to_string(), report });
     }
 
     Ok(ScenarioReport {
@@ -357,9 +364,26 @@ pub fn execute_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
         demand_multiplier: multiplier,
         solar: spec.radiation.solar.as_str().to_string(),
         epoch_jd: epoch.julian_date(),
-        ss: ss_report,
-        wd: wd_report,
+        systems,
     })
+}
+
+/// Executes one scenario end-to-end.
+///
+/// # Errors
+/// Validation failures and any stage error, tagged with the crate that
+/// produced it.
+pub fn execute_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
+    execute_scenario_timed(spec).0
+}
+
+/// Executes one scenario end-to-end, also returning its stage timings
+/// (collected even when the scenario fails partway: the stages that did
+/// run are reported).
+pub fn execute_scenario_timed(spec: &ScenarioSpec) -> (Result<ScenarioReport>, ScenarioTimings) {
+    let mut clock = StageClock { stages: Vec::new() };
+    let result = run_scenario(spec, &mut clock);
+    (result, ScenarioTimings { name: spec.name.clone(), stages: clock.stages })
 }
 
 /// A parallel scenario runner.
@@ -382,6 +406,10 @@ pub struct SweepOutcome {
     /// One outcome per expanded scenario, index-aligned with the
     /// expansion order.
     pub reports: Vec<Result<ScenarioReport>>,
+    /// Stage timings per scenario, index-aligned with `reports`. Not part
+    /// of the JSON-lines output (wall-clock is nondeterministic); see
+    /// [`SweepOutcome::timings_table`].
+    pub timings: Vec<ScenarioTimings>,
 }
 
 impl SweepOutcome {
@@ -414,32 +442,48 @@ impl SweepOutcome {
         self.reports.iter().filter(|r| r.is_ok()).count()
     }
 
+    /// The timing side channel as tab-separated text: one
+    /// `scenario<TAB>stage<TAB>seconds` row per stage, in scenario order,
+    /// with a per-scenario `total` row. Deliberately a separate artifact
+    /// from the (byte-deterministic) report JSON.
+    pub fn timings_table(&self) -> String {
+        let mut out = String::from("scenario\tstage\tseconds\n");
+        for t in &self.timings {
+            for (stage, secs) in &t.stages {
+                out.push_str(&format!("{}\t{stage}\t{secs:.6}\n", t.name));
+            }
+            out.push_str(&format!("{}\ttotal\t{:.6}\n", t.name, t.total_seconds()));
+        }
+        out
+    }
+
     /// A human-readable aggregate summary (one row per scenario).
     pub fn summary(&self) -> String {
+        const SYSTEMS: [(&str, &str); 3] = [("ss", "SS"), ("wd", "WD"), ("rgt", "RGT")];
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<52} {:>8} {:>8} {:>10} {:>10}\n",
-            "scenario", "SS sats", "WD sats", "SS avail", "WD avail"
-        ));
+        out.push_str(&format!("{:<52}", "scenario"));
+        for (_, label) in SYSTEMS {
+            out.push_str(&format!(
+                " {:>9} {:>10}",
+                format!("{label} sats"),
+                format!("{label} avail")
+            ));
+        }
+        out.push('\n');
         for (i, r) in self.reports.iter().enumerate() {
             match r {
                 Ok(rep) => {
-                    let sats = |s: &Option<crate::report::SystemReport>| {
-                        s.as_ref().map_or("-".to_string(), |x| x.design.sats.to_string())
-                    };
-                    let avail = |s: &Option<crate::report::SystemReport>| {
-                        s.as_ref()
+                    out.push_str(&format!("{:<52}", rep.name));
+                    for (name, _) in SYSTEMS {
+                        let sats =
+                            rep.system(name).map_or("-".to_string(), |x| x.design.sats.to_string());
+                        let avail = rep
+                            .system(name)
                             .and_then(|x| x.survivability.as_ref())
-                            .map_or("-".to_string(), |v| format!("{:.4}", v.availability))
-                    };
-                    out.push_str(&format!(
-                        "{:<52} {:>8} {:>8} {:>10} {:>10}\n",
-                        rep.name,
-                        sats(&rep.ss),
-                        sats(&rep.wd),
-                        avail(&rep.ss),
-                        avail(&rep.wd)
-                    ));
+                            .map_or("-".to_string(), |v| format!("{:.4}", v.availability));
+                        out.push_str(&format!(" {sats:>9} {avail:>10}"));
+                    }
+                    out.push('\n');
                 }
                 Err(e) => out.push_str(&format!(
                     "{:<52} error: {e}\n",
@@ -469,11 +513,12 @@ impl Runner {
         let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
         let workers = self.worker_count(n);
         if workers <= 1 || n <= 1 {
-            return SweepOutcome { names, reports: specs.iter().map(execute_scenario).collect() };
+            let (reports, timings) = specs.iter().map(execute_scenario_timed).unzip();
+            return SweepOutcome { names, reports, timings };
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<ScenarioReport>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        type Slot = Mutex<Option<(Result<ScenarioReport>, ScenarioTimings)>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -481,22 +526,20 @@ impl Runner {
                     if i >= n {
                         break;
                     }
-                    let outcome = execute_scenario(&specs[i]);
+                    let outcome = execute_scenario_timed(&specs[i]);
                     *slots[i].lock().expect("runner slot poisoned") = Some(outcome);
                 });
             }
         });
-        SweepOutcome {
-            names,
-            reports: slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("runner slot poisoned")
-                        .expect("every index claimed exactly once")
-                })
-                .collect(),
-        }
+        let (reports, timings) = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("runner slot poisoned")
+                    .expect("every index claimed exactly once")
+            })
+            .unzip();
+        SweepOutcome { names, reports, timings }
     }
 
     /// Expands and runs a sweep.
@@ -527,12 +570,13 @@ mod tests {
     #[test]
     fn execute_produces_both_systems() {
         let report = execute_scenario(&tiny_spec()).unwrap();
-        let ss = report.ss.expect("ss present");
-        let wd = report.wd.expect("wd present");
+        let ss = report.system("ss").expect("ss present");
+        let wd = report.system("wd").expect("wd present");
+        assert!(report.system("rgt").is_none(), "rgt not selected by default");
         assert!(ss.design.sats > 0);
         assert!(wd.design.sats > ss.design.sats, "paper's headline: SS smaller");
-        let ssf = ss.fluence.expect("fluence on");
-        let wdf = wd.fluence.expect("fluence on");
+        let ssf = ss.fluence.as_ref().expect("fluence on");
+        let wdf = wd.fluence.as_ref().expect("fluence on");
         assert!(ssf.median_proton < wdf.median_proton, "SS sees fewer protons");
         assert!(ss.survivability.is_some());
         assert!(wd.survivability.is_some());
@@ -549,13 +593,100 @@ mod tests {
     }
 
     #[test]
+    fn rgt_kind_runs_end_to_end() {
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane, DesignKind::Walker, DesignKind::Rgt];
+        let report = execute_scenario(&spec).unwrap();
+        assert_eq!(
+            report.systems.iter().map(|s| s.system.as_str()).collect::<Vec<_>>(),
+            vec!["ss", "wd", "rgt"]
+        );
+        let rgt = report.system("rgt").unwrap();
+        assert!(rgt.design.sats > 0);
+        assert!(rgt.fluence.is_some(), "radiation stage covers RGT");
+        assert!(rgt.survivability.is_some(), "survivability covers RGT");
+        // The §2.2 negative result, visible in the report: covering the
+        // repeat track costs more satellites than the SS design.
+        let ss = report.system("ss").unwrap();
+        assert!(rgt.design.sats > ss.design.sats, "rgt {} ss {}", rgt.design.sats, ss.design.sats);
+    }
+
+    #[test]
+    fn kinds_order_never_changes_the_bytes() {
+        let mut forward = tiny_spec();
+        forward.design.kinds = vec![DesignKind::SsPlane, DesignKind::Walker];
+        let mut reversed = tiny_spec();
+        reversed.design.kinds = vec![DesignKind::Walker, DesignKind::SsPlane];
+        let a = execute_scenario(&forward).unwrap().to_json_line();
+        let b = execute_scenario(&reversed).unwrap().to_json_line();
+        assert_eq!(a, b, "registry order must make kinds ordering irrelevant");
+    }
+
+    #[test]
+    fn walker_network_stage_runs() {
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::Walker];
+        spec.survivability.enabled = false;
+        spec.radiation.enabled = false;
+        spec.network.enabled = true;
+        spec.network.n_flows = 40;
+        spec.network.slots = 2;
+        let report = execute_scenario(&spec).unwrap();
+        let net = report.system("wd").unwrap().network.as_ref().expect("Walker networking on");
+        assert!(net.routed + net.unrouted == 40);
+        assert!(net.routed > 0, "a Walker +grid must route some flows");
+    }
+
+    #[test]
+    fn timings_are_collected_per_stage() {
+        let mut spec = tiny_spec();
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        let (report, timings) = execute_scenario_timed(&spec);
+        report.unwrap();
+        let stages: Vec<&str> = timings.stages.iter().map(|(s, _)| s.as_str()).collect();
+        for expected in [
+            "demand.model",
+            "demand.grid",
+            "ss.design",
+            "ss.fluence",
+            "ss.survivability",
+            "ss.network",
+            "wd.design",
+            "wd.fluence",
+            "wd.survivability",
+            "wd.network",
+        ] {
+            assert!(stages.contains(&expected), "missing stage {expected}: {stages:?}");
+        }
+        assert!(timings.stages.iter().all(|&(_, s)| s >= 0.0));
+        assert!(timings.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn demand_seed_changes_the_design() {
+        let mut spec = tiny_spec();
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        let a = execute_scenario(&spec).unwrap();
+        spec.demand.seed = 43;
+        let b = execute_scenario(&spec).unwrap();
+        assert_ne!(
+            a.demand_multiplier, b.demand_multiplier,
+            "a different synthetic world must change the demand normalization"
+        );
+    }
+
+    #[test]
     fn attack_reduces_capacity_and_is_reported() {
         let mut spec = tiny_spec();
-        spec.design.kind = crate::spec::DesignKind::SsPlane;
+        spec.design.kinds = vec![DesignKind::SsPlane];
         spec.attack.planes_lost = 2;
         let report = execute_scenario(&spec).unwrap();
-        let ss = report.ss.unwrap();
-        let attack = ss.attack.expect("attack stage ran");
+        let ss = report.system("ss").unwrap();
+        let attack = ss.attack.as_ref().expect("attack stage ran");
         assert!(attack.planes_lost <= 2);
         assert!(attack.capacity_retained < 1.0);
         assert!(attack.sats_lost > 0);
@@ -574,12 +705,14 @@ mod tests {
     #[test]
     fn total_wipeout_reports_zero_availability() {
         let mut spec = tiny_spec();
-        spec.design.kind = crate::spec::DesignKind::SsPlane;
+        spec.design.kinds = vec![DesignKind::SsPlane];
         spec.attack.planes_lost = 100_000;
-        let ss = execute_scenario(&spec).unwrap().ss.unwrap();
-        let attack = ss.attack.expect("attack ran");
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.system("ss").unwrap();
+        let attack = ss.attack.as_ref().expect("attack ran");
         assert_eq!(attack.capacity_retained, 0.0);
-        let surv = ss.survivability.expect("wipeout is an availability-0 outcome, not a gap");
+        let surv =
+            ss.survivability.as_ref().expect("wipeout is an availability-0 outcome, not a gap");
         assert_eq!(surv.availability, 0.0);
         // Vacancy-days cover surviving slots only (none here) — the
         // destroyed capacity lives in the attack report.
@@ -594,9 +727,10 @@ mod tests {
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         spec.attack.planes_lost = 2;
-        let ss = execute_scenario(&spec).unwrap().ss.unwrap();
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.system("ss").unwrap();
         assert!(ss.fluence.is_none());
-        let attack = ss.attack.expect("attack must run in design-only scenarios");
+        let attack = ss.attack.as_ref().expect("attack must run in design-only scenarios");
         assert!(attack.capacity_retained < 1.0);
     }
 
@@ -606,7 +740,7 @@ mod tests {
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         let report = execute_scenario(&spec).unwrap();
-        let ss = report.ss.unwrap();
+        let ss = report.system("ss").unwrap();
         assert!(ss.fluence.is_none());
         assert!(ss.survivability.is_none());
     }

@@ -11,22 +11,29 @@
 use crate::error::{Result, ScenarioError};
 use ssplane_astro::time::Epoch;
 use ssplane_core::designer::{BranchRule, DesignConfig};
+use ssplane_core::rgt_analysis::RgtDesignConfig;
 use ssplane_core::walker_baseline::{SupplyModel, WalkerBaselineConfig};
 use ssplane_lsn::failures::FailureModel;
 use ssplane_lsn::spares::SparePolicy;
 use ssplane_lsn::survivability::SurvivabilityConfig;
 
-/// Which constellation design(s) a scenario evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// One constellation design family the engine can evaluate — the spec's
+/// name for a [`ssplane_core::system::Designer`] registry entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DesignKind {
-    /// Only the SS-plane design.
+    /// The SS-plane design (§4.2 greedy cover).
     SsPlane,
-    /// Only the demand-aware Walker baseline.
+    /// The demand-aware multi-shell Walker baseline.
     Walker,
-    /// Both, side by side (the paper's comparisons).
-    #[default]
-    Both,
+    /// The repeat-ground-track design (the §2.2 negative result as a
+    /// runnable design point).
+    Rgt,
 }
+
+/// Every kind, in **registry order** — the order systems execute and
+/// appear in reports, regardless of how a spec lists them.
+pub const REGISTRY_ORDER: [DesignKind; 3] =
+    [DesignKind::SsPlane, DesignKind::Walker, DesignKind::Rgt];
 
 impl DesignKind {
     /// Canonical config-file token.
@@ -34,18 +41,30 @@ impl DesignKind {
         match self {
             DesignKind::SsPlane => "ss",
             DesignKind::Walker => "walker",
-            DesignKind::Both => "both",
+            DesignKind::Rgt => "rgt",
         }
     }
 
-    /// Parses the config-file token.
+    /// Parses the config-file token for a single kind.
     pub fn parse(s: &str) -> Result<Self> {
         match s {
             "ss" | "ss-plane" | "ssplane" => Ok(DesignKind::SsPlane),
             "walker" | "wd" => Ok(DesignKind::Walker),
-            "both" => Ok(DesignKind::Both),
-            other => Err(ScenarioError::bad_value("design.kind", other, "ss | walker | both")),
+            "rgt" => Ok(DesignKind::Rgt),
+            other => Err(ScenarioError::bad_value("design.kind", other, "ss | walker | rgt")),
         }
+    }
+
+    /// Parses a `design.kind` token into the kinds list it selects —
+    /// the single kinds plus the legacy `"both"` (= SS + Walker, the
+    /// pre-`design.kinds` spelling of the paper's comparisons).
+    pub fn parse_list(s: &str) -> Result<Vec<Self>> {
+        if s == "both" {
+            return Ok(vec![DesignKind::SsPlane, DesignKind::Walker]);
+        }
+        DesignKind::parse(s)
+            .map(|k| vec![k])
+            .map_err(|_| ScenarioError::bad_value("design.kind", s, "ss | walker | rgt | both"))
     }
 }
 
@@ -85,26 +104,43 @@ pub fn parse_supply_model(s: &str) -> Result<SupplyModel> {
     }
 }
 
-/// Constellation-design stage configuration: the designer knobs for both
-/// systems, embedded as the *actual* designer config structs so a
+/// Constellation-design stage configuration: the designer knobs for every
+/// system, embedded as the *actual* designer config structs so a
 /// scenario run is bit-for-bit the same design the hand-written pipelines
 /// produce.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpec {
-    /// Which system(s) to design.
-    pub kind: DesignKind,
+    /// Which systems to design. Execution and reporting always follow
+    /// [`REGISTRY_ORDER`] with duplicates collapsed, so the list's order
+    /// never changes the output bytes.
+    pub kinds: Vec<DesignKind>,
     /// SS-plane designer configuration.
     pub ss: DesignConfig,
     /// Walker-baseline designer configuration.
     pub wd: WalkerBaselineConfig,
+    /// RGT designer configuration.
+    pub rgt: RgtDesignConfig,
+}
+
+impl DesignSpec {
+    /// The kinds to execute, in registry order with duplicates collapsed.
+    pub fn ordered_kinds(&self) -> Vec<DesignKind> {
+        REGISTRY_ORDER.into_iter().filter(|k| self.kinds.contains(k)).collect()
+    }
+
+    /// Whether `kind` is selected.
+    pub fn includes(&self, kind: DesignKind) -> bool {
+        self.kinds.contains(&kind)
+    }
 }
 
 impl Default for DesignSpec {
     fn default() -> Self {
         DesignSpec {
-            kind: DesignKind::Both,
+            kinds: vec![DesignKind::SsPlane, DesignKind::Walker],
             ss: DesignConfig::default(),
             wd: WalkerBaselineConfig::default(),
+            rgt: RgtDesignConfig::default(),
         }
     }
 }
@@ -120,12 +156,16 @@ pub struct DemandSpec {
     pub lat_bins: usize,
     /// Time-of-day bins of the sun-relative demand grid.
     pub tod_bins: usize,
+    /// Seed of the synthetic demand synthesis (city placement). Scenarios
+    /// sharing a seed share one synthesized model per process.
+    pub seed: u64,
 }
 
 impl Default for DemandSpec {
     fn default() -> Self {
-        // The paper's Fig. 8 resolution (5° × 1 h) at a mid-range demand.
-        DemandSpec { total_demand_b: 200.0, lat_bins: 36, tod_bins: 24 }
+        // The paper's Fig. 8 resolution (5° × 1 h) at a mid-range demand;
+        // seed 42 is the synthetic model's historical default.
+        DemandSpec { total_demand_b: 200.0, lat_bins: 36, tod_bins: 24, seed: 42 }
     }
 }
 
@@ -268,7 +308,7 @@ pub struct AttackSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     /// Whether to run the networking stage (builds ISL topologies per
-    /// slot; only meaningful for the SS design).
+    /// slot, for every designed system with satellites).
     pub enabled: bool,
     /// Number of demand-weighted ground flows to route.
     pub n_flows: usize,
@@ -360,13 +400,8 @@ impl ScenarioSpec {
                 "radiation.enabled = true (the failure model is fluence-driven)",
             ));
         }
-        if self.network.enabled && self.design.kind == DesignKind::Walker {
-            return Err(ScenarioError::bad_value(
-                "network.enabled",
-                "true",
-                "design.kind = ss | both (the networking stage is SS-only today — see \
-                 ROADMAP follow-ons — and would otherwise be silently dropped)",
-            ));
+        if self.design.kinds.is_empty() {
+            return Err(ScenarioError::bad_value("design.kinds", "[]", "at least one design kind"));
         }
         if self.survivability.enabled && !positive(self.survivability.horizon_years) {
             return Err(ScenarioError::bad_value(
@@ -390,9 +425,15 @@ mod tests {
 
     #[test]
     fn token_round_trips() {
-        for kind in [DesignKind::SsPlane, DesignKind::Walker, DesignKind::Both] {
+        for kind in REGISTRY_ORDER {
             assert_eq!(DesignKind::parse(kind.as_str()).unwrap(), kind);
+            assert_eq!(DesignKind::parse_list(kind.as_str()).unwrap(), vec![kind]);
         }
+        assert_eq!(
+            DesignKind::parse_list("both").unwrap(),
+            vec![DesignKind::SsPlane, DesignKind::Walker],
+            "legacy 'both' keeps meaning the paper's SS-vs-Walker pair"
+        );
         for sol in [SolarActivity::Cycle24, SolarActivity::Max, SolarActivity::Min] {
             assert_eq!(SolarActivity::parse(sol.as_str()).unwrap(), sol);
         }
@@ -412,14 +453,27 @@ mod tests {
     }
 
     #[test]
-    fn walker_only_networking_rejected() {
+    fn networking_valid_for_every_design_kind() {
+        // The SS-only restriction is gone: the network stage runs over
+        // any designed system's plane geometry.
         let mut spec = ScenarioSpec::named("x");
         spec.network.enabled = true;
-        spec.design.kind = DesignKind::SsPlane;
+        for kind in REGISTRY_ORDER {
+            spec.design.kinds = vec![kind];
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_kinds_rejected_and_ordering_is_canonical() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.design.kinds = Vec::new();
+        assert!(spec.validate().is_err());
+        spec.design.kinds = vec![DesignKind::Rgt, DesignKind::SsPlane, DesignKind::Rgt];
         spec.validate().unwrap();
-        spec.design.kind = DesignKind::Walker;
-        let err = spec.validate().unwrap_err();
-        assert!(err.to_string().contains("SS-only"), "{err}");
+        assert_eq!(spec.design.ordered_kinds(), vec![DesignKind::SsPlane, DesignKind::Rgt]);
+        assert!(spec.design.includes(DesignKind::Rgt));
+        assert!(!spec.design.includes(DesignKind::Walker));
     }
 
     #[test]

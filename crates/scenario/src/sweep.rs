@@ -208,7 +208,23 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
             })?;
         }
 
-        "design.kind" => spec.design.kind = DesignKind::parse(need_str(key, value)?)?,
+        // `design.kind` is the scalar spelling (kept for back-compat:
+        // `"both"` still selects the paper's SS + Walker pair);
+        // `design.kinds` is the open list form.
+        "design.kind" => spec.design.kinds = DesignKind::parse_list(need_str(key, value)?)?,
+        "design.kinds" => {
+            let arr = value.as_array().ok_or_else(|| {
+                ScenarioError::bad_value(key, &canonical_value(value), "an array of design kinds")
+            })?;
+            let mut kinds = Vec::with_capacity(arr.len());
+            for item in arr {
+                kinds.push(DesignKind::parse(need_str(key, item)?)?);
+            }
+            if kinds.is_empty() {
+                return Err(ScenarioError::bad_value(key, "[]", "at least one design kind"));
+            }
+            spec.design.kinds = kinds;
+        }
         "design.altitude_km" => {
             let alt = need_f64(key, value)?;
             spec.design.ss.altitude_km = alt;
@@ -218,11 +234,26 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
             let elev = need_f64(key, value)?;
             spec.design.ss.min_elevation_deg = elev;
             spec.design.wd.min_elevation_deg = elev;
+            spec.design.rgt.min_elevation_deg = elev;
         }
         "design.sat_capacity" => {
             let cap = need_f64(key, value)?;
             spec.design.ss.sat_capacity = cap;
             spec.design.wd.sat_capacity = cap;
+            spec.design.rgt.sat_capacity = cap;
+        }
+        "design.rgt_revs" => {
+            spec.design.rgt.revs = u32::try_from(need_usize(key, value)?).map_err(|_| {
+                ScenarioError::bad_value(key, &canonical_value(value), "a small positive integer")
+            })?;
+        }
+        "design.rgt_days" => {
+            spec.design.rgt.days = u32::try_from(need_usize(key, value)?).map_err(|_| {
+                ScenarioError::bad_value(key, &canonical_value(value), "a small positive integer")
+            })?;
+        }
+        "design.rgt_inclination_deg" => {
+            spec.design.rgt.inclination_deg = need_f64(key, value)?;
         }
         "design.max_planes" => spec.design.ss.max_planes = need_usize(key, value)?,
         "design.branch_rule" => {
@@ -251,6 +282,11 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         "demand.total_demand_b" => spec.demand.total_demand_b = need_f64(key, value)?,
         "demand.lat_bins" => spec.demand.lat_bins = need_usize(key, value)?,
         "demand.tod_bins" => spec.demand.tod_bins = need_usize(key, value)?,
+        "demand.seed" => {
+            spec.demand.seed = value.as_u64().ok_or_else(|| {
+                ScenarioError::bad_value(key, &canonical_value(value), "a non-negative integer")
+            })?;
+        }
 
         "radiation.enabled" => spec.radiation.enabled = need_bool(key, value)?,
         "radiation.solar" => spec.radiation.solar = SolarActivity::parse(need_str(key, value)?)?,
@@ -397,6 +433,50 @@ mod tests {
         let mut spec = ScenarioSpec::named("x");
         let err = apply_param(&mut spec, "demand.flux_capacitor", &TomlValue::Int(1)).unwrap_err();
         assert!(matches!(err, ScenarioError::UnknownParameter { .. }));
+    }
+
+    #[test]
+    fn design_kind_and_kinds_paths() {
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "design.kind", &TomlValue::Str("rgt".into())).unwrap();
+        assert_eq!(spec.design.kinds, vec![DesignKind::Rgt]);
+        apply_param(&mut spec, "design.kind", &TomlValue::Str("both".into())).unwrap();
+        assert_eq!(spec.design.kinds, vec![DesignKind::SsPlane, DesignKind::Walker]);
+        let all = TomlValue::Array(vec![
+            TomlValue::Str("rgt".into()),
+            TomlValue::Str("ss".into()),
+            TomlValue::Str("walker".into()),
+        ]);
+        apply_param(&mut spec, "design.kinds", &all).unwrap();
+        assert_eq!(
+            spec.design.kinds,
+            vec![DesignKind::Rgt, DesignKind::SsPlane, DesignKind::Walker]
+        );
+        assert!(apply_param(&mut spec, "design.kinds", &TomlValue::Array(vec![])).is_err());
+        assert!(
+            apply_param(&mut spec, "design.kinds", &TomlValue::Str("ss".into())).is_err(),
+            "the list path needs an array (the scalar path is design.kind)"
+        );
+    }
+
+    #[test]
+    fn rgt_and_demand_seed_paths() {
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "design.rgt_revs", &TomlValue::Int(14)).unwrap();
+        apply_param(&mut spec, "design.rgt_days", &TomlValue::Int(1)).unwrap();
+        apply_param(&mut spec, "design.rgt_inclination_deg", &TomlValue::Float(55.0)).unwrap();
+        assert_eq!(spec.design.rgt.revs, 14);
+        assert_eq!(spec.design.rgt.days, 1);
+        assert_eq!(spec.design.rgt.inclination_deg, 55.0);
+        // The shared designer knobs reach the RGT config too.
+        apply_param(&mut spec, "design.sat_capacity", &TomlValue::Float(2.0)).unwrap();
+        apply_param(&mut spec, "design.min_elevation_deg", &TomlValue::Float(30.0)).unwrap();
+        assert_eq!(spec.design.rgt.sat_capacity, 2.0);
+        assert_eq!(spec.design.rgt.min_elevation_deg, 30.0);
+
+        apply_param(&mut spec, "demand.seed", &TomlValue::Int(7)).unwrap();
+        assert_eq!(spec.demand.seed, 7);
+        assert!(apply_param(&mut spec, "demand.seed", &TomlValue::Float(-1.0)).is_err());
     }
 
     #[test]

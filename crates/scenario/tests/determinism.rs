@@ -5,8 +5,9 @@
 //! 2. so does running it under different thread counts;
 //! 3. per-scenario seeds are stable under sweep-axis reordering.
 
-use ssplane_scenario::runner::Runner;
-use ssplane_scenario::spec::ScenarioSpec;
+use proptest::prelude::*;
+use ssplane_scenario::runner::{execute_scenario, Runner};
+use ssplane_scenario::spec::{DesignKind, ScenarioSpec};
 use ssplane_scenario::sweep::{SweepAxis, SweepSpec};
 use ssplane_scenario::toml::TomlValue;
 
@@ -96,4 +97,49 @@ fn distinct_points_get_distinct_seeds() {
     seeds.sort_unstable();
     seeds.dedup();
     assert_eq!(seeds.len(), specs.len(), "seed collision across grid points");
+}
+
+/// A cheap design-only scenario over every registry family.
+fn all_kinds_spec(kinds: Vec<DesignKind>) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("kinds-order");
+    spec.demand.total_demand_b = 4.0;
+    spec.demand.lat_bins = 18;
+    spec.demand.tod_bins = 12;
+    spec.radiation.enabled = false;
+    spec.survivability.enabled = false;
+    spec.design.kinds = kinds;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The redesign's ordering contract as a property: however a spec
+    /// permutes (or duplicates) `design.kinds`, the report bytes are
+    /// those of the canonical registry order.
+    #[test]
+    fn kinds_ordering_never_changes_report_bytes(perm in 0usize..6, dup in 0usize..4) {
+        let canonical = vec![DesignKind::SsPlane, DesignKind::Walker, DesignKind::Rgt];
+        let reference = execute_scenario(&all_kinds_spec(canonical.clone()))
+            .expect("canonical run succeeds")
+            .to_json_line();
+
+        // The `perm`-th permutation of the registry, Lehmer-decoded.
+        let mut pool = canonical.clone();
+        let mut shuffled = Vec::with_capacity(3);
+        let mut code = perm;
+        for radix in (1..=pool.len()).rev() {
+            shuffled.push(pool.remove(code % radix));
+            code /= radix;
+        }
+        if dup < shuffled.len() {
+            let extra = shuffled[dup];
+            shuffled.push(extra);
+        }
+
+        let line = execute_scenario(&all_kinds_spec(shuffled.clone()))
+            .expect("permuted run succeeds")
+            .to_json_line();
+        prop_assert_eq!(&line, &reference, "kinds {:?} changed the bytes", shuffled);
+    }
 }

@@ -1,0 +1,41 @@
+//! Bit-parity pins for the `Designer` redesign: the seven scenarios that
+//! shipped *before* the registry pipeline existed must keep producing
+//! byte-identical JSON-lines through it.
+//!
+//! The fixtures under `tests/golden/` were captured from the
+//! pre-refactor engine (fixed `ss_groups`/`wd_groups` paths, SS-only
+//! networking); the generic design → attack → fluence → survivability →
+//! network pipeline is required to reproduce them exactly — every float,
+//! every field, every byte.
+
+use ssplane_scenario::library;
+use ssplane_scenario::runner::Runner;
+
+/// The pre-refactor scenario set and its pinned output.
+const GOLDEN: &[(&str, &str)] = &[
+    ("baseline", include_str!("golden/baseline.jsonl")),
+    ("paper-grid", include_str!("golden/paper-grid.jsonl")),
+    ("solar-sweep", include_str!("golden/solar-sweep.jsonl")),
+    ("plane-attack", include_str!("golden/plane-attack.jsonl")),
+    ("spare-budget", include_str!("golden/spare-budget.jsonl")),
+    ("mega-constellation", include_str!("golden/mega-constellation.jsonl")),
+    ("routing", include_str!("golden/routing.jsonl")),
+];
+
+#[test]
+fn pre_refactor_scenarios_reproduce_their_pinned_bytes() {
+    let runner = Runner::default();
+    for (name, golden) in GOLDEN {
+        let builtin = library::find(name).expect("pinned scenario still shipped");
+        let sweep = library::sweep(builtin).expect("pinned scenario parses");
+        let outcome = runner.run_sweep(&sweep).expect("pinned scenario expands");
+        assert_eq!(outcome.ok_count(), outcome.reports.len(), "{name}: a point failed");
+        let jsonl = outcome.to_jsonl();
+        // Compare line by line first for a readable failure, then the
+        // full byte string (which also catches line-count drift).
+        for (i, (got, want)) in jsonl.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(got, want, "{name} line {i} diverged from its pre-refactor pin");
+        }
+        assert_eq!(jsonl, *golden, "{name} diverged from its pre-refactor pin");
+    }
+}

@@ -16,8 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = Runner::default().run_sweep(&sweep)?;
     for report in outcome.reports.iter().filter_map(|r| r.as_ref().ok()) {
-        let ss = report.ss.as_ref().expect("both systems designed");
-        let wd = report.wd.as_ref().expect("both systems designed");
+        let ss = report.system("ss").expect("both systems designed");
+        let wd = report.system("wd").expect("both systems designed");
         let (ssf, wdf) = (
             ss.fluence.as_ref().expect("radiation stage on"),
             wd.fluence.as_ref().expect("radiation stage on"),
