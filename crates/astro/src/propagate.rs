@@ -135,6 +135,42 @@ impl J2Propagator {
     }
 }
 
+/// Batch-propagates a satellite set to one epoch, writing ECI positions
+/// \[km\] into parallel structure-of-arrays buffers.
+///
+/// This is the entry point the `ssplane-lsn` snapshot cache builds on:
+/// one call fills a whole constellation's worth of coordinates for one
+/// time slot, and because the output buffers are plain `&mut [f64]`
+/// slices, a caller can carve a larger time-grid allocation into
+/// disjoint per-slot chunks and fill them from parallel workers. Each
+/// position is computed by [`J2Propagator::position_at`], so the values
+/// are bit-identical to per-satellite calls.
+///
+/// # Panics
+/// If the buffer lengths differ from `props.len()`.
+///
+/// # Errors
+/// Propagates Kepler-solver failure (practically unreachable).
+pub fn batch_positions_soa(
+    props: &[J2Propagator],
+    t: Epoch,
+    xs: &mut [f64],
+    ys: &mut [f64],
+    zs: &mut [f64],
+) -> Result<()> {
+    assert!(
+        xs.len() == props.len() && ys.len() == props.len() && zs.len() == props.len(),
+        "SoA buffers must match the propagator count"
+    );
+    for (i, prop) in props.iter().enumerate() {
+        let r = prop.position_at(t)?;
+        xs[i] = r.x;
+        ys[i] = r.y;
+        zs[i] = r.z;
+    }
+    Ok(())
+}
+
 /// Two-body + J2 point-mass acceleration \[km/s²\] at ECI position `r`.
 pub fn acceleration_two_body_j2(r: Vec3) -> Vec3 {
     let rn = r.norm();
@@ -308,6 +344,29 @@ mod tests {
         let (r1, v1) = num.propagate_to(Epoch::J2000 + 86400.0);
         let e1 = energy(r1, v1);
         assert!(((e1 - e0) / e0).abs() < 1e-7, "energy drift {}", (e1 - e0) / e0);
+    }
+
+    #[test]
+    fn batch_positions_match_per_satellite_calls() {
+        let props: Vec<J2Propagator> = (0..7)
+            .map(|k| {
+                let el = OrbitalElements::circular(
+                    560.0 + 10.0 * f64::from(k),
+                    1.7,
+                    0.3,
+                    0.2 * f64::from(k),
+                )
+                .unwrap();
+                J2Propagator::new(Epoch::J2000, el).unwrap()
+            })
+            .collect();
+        let t = Epoch::J2000 + 4321.0;
+        let (mut xs, mut ys, mut zs) = (vec![0.0; 7], vec![0.0; 7], vec![0.0; 7]);
+        batch_positions_soa(&props, t, &mut xs, &mut ys, &mut zs).unwrap();
+        for (i, prop) in props.iter().enumerate() {
+            let r = prop.position_at(t).unwrap();
+            assert_eq!((xs[i], ys[i], zs[i]), (r.x, r.y, r.z), "satellite {i}");
+        }
     }
 
     #[test]

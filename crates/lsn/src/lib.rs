@@ -3,6 +3,11 @@
 //! LEO satellite networking on SS-plane constellations — the paper's §5
 //! research agenda ("Implications for networking") made executable:
 //!
+//! * [`snapshot`] — the shared time-grid propagation cache: a
+//!   [`SnapshotSeries`] batch-propagates the whole constellation over an
+//!   explicit time grid once (in parallel when asked) and every position
+//!   consumer below reads from a [`Snapshot`] view instead of
+//!   re-propagating.
 //! * [`topology`] — inter-satellite-link (ISL) topologies: the classic
 //!   +grid (intra-plane ring + cross-plane neighbors) with line-of-sight
 //!   and range feasibility checks (§5(1): *time-aware satellite network
@@ -29,10 +34,12 @@ pub mod error;
 pub mod failures;
 pub mod routing;
 pub mod schedule;
+pub mod snapshot;
 pub mod spares;
 pub mod survivability;
 pub mod topology;
 pub mod traffic;
 
 pub use error::{LsnError, Result};
+pub use snapshot::{Snapshot, SnapshotSeries};
 pub use topology::{Constellation, SatId, Topology};

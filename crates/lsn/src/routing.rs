@@ -4,10 +4,14 @@
 //! *predictable*, so routes can be precomputed per time slot. This module
 //! provides shortest-propagation-delay routing on topology snapshots, a
 //! time-expanded router that tracks path changes (handoffs) across slots,
-//! and ground-terminal attachment.
+//! and ground-terminal attachment. Everything position-dependent reads
+//! from a [`Snapshot`] of the shared time-grid cache
+//! ([`crate::snapshot::SnapshotSeries`]) — no function here propagates an
+//! orbit.
 
 use crate::error::{LsnError, Result};
-use crate::topology::{Constellation, GridTopologyConfig, SatId, Topology};
+use crate::snapshot::{Snapshot, SnapshotSeries};
+use crate::topology::{GridTopologyConfig, SatId, Topology};
 use ssplane_astro::constants::EARTH_RADIUS_KM;
 use ssplane_astro::coverage::elevation_at_central_angle;
 use ssplane_astro::frames::ecef_to_eci;
@@ -52,18 +56,12 @@ impl PartialOrd for HeapItem {
     }
 }
 
-/// Shortest-length path (km) between two satellites on a topology
-/// snapshot. Returns hop list and length.
-///
-/// # Errors
-/// [`LsnError::UnknownNode`] for unknown endpoints, [`LsnError::NoRoute`]
-/// if disconnected.
-pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec<SatId>, f64)> {
-    let src = topology
-        .index_of(from)
-        .ok_or(LsnError::UnknownNode { plane: from.plane, slot: from.slot })?;
-    let dst =
-        topology.index_of(to).ok_or(LsnError::UnknownNode { plane: to.plane, slot: to.slot })?;
+/// Runs Dijkstra from `src`, optionally stopping once `stop_at` is
+/// finalized. Because link weights are strictly positive and relaxations
+/// use strict `<`, the distance and predecessor entries of every node on
+/// a finalized node's shortest path are themselves final — so an
+/// early-exit run and a full run reconstruct identical paths.
+fn dijkstra(topology: &Topology, src: usize, stop_at: Option<usize>) -> (Vec<f64>, Vec<usize>) {
     let n = topology.n_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![usize::MAX; n];
@@ -71,7 +69,7 @@ pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec
     dist[src] = 0.0;
     heap.push(HeapItem { dist: 0.0, node: src });
     while let Some(HeapItem { dist: d, node }) = heap.pop() {
-        if node == dst {
+        if Some(node) == stop_at {
             break;
         }
         if d > dist[node] {
@@ -86,9 +84,11 @@ pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec
             }
         }
     }
-    if dist[dst].is_infinite() {
-        return Err(LsnError::NoRoute);
-    }
+    (dist, prev)
+}
+
+/// Rebuilds the hop list `src -> dst` from a predecessor array.
+fn reconstruct(topology: &Topology, prev: &[usize], src: usize, dst: usize) -> Vec<SatId> {
     let mut hops = vec![dst];
     let mut cur = dst;
     while cur != src {
@@ -96,25 +96,83 @@ pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec
         hops.push(cur);
     }
     hops.reverse();
-    Ok((hops.into_iter().map(|i| topology.id_of(i).expect("valid index")).collect(), dist[dst]))
+    hops.into_iter().map(|i| topology.id_of(i).expect("valid index")).collect()
 }
 
-/// The satellite best serving a ground point at epoch `t`: the one with
-/// the highest elevation above `min_elevation` \[rad\], if any.
+/// Shortest-length path (km) between two satellites on a topology
+/// snapshot. Returns hop list and length.
 ///
 /// # Errors
-/// Propagates position evaluation failure.
+/// [`LsnError::UnknownNode`] for unknown endpoints, [`LsnError::NoRoute`]
+/// if disconnected.
+pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec<SatId>, f64)> {
+    let src = topology
+        .index_of(from)
+        .ok_or(LsnError::UnknownNode { plane: from.plane, slot: from.slot })?;
+    let dst =
+        topology.index_of(to).ok_or(LsnError::UnknownNode { plane: to.plane, slot: to.slot })?;
+    let (dist, prev) = dijkstra(topology, src, Some(dst));
+    if dist[dst].is_infinite() {
+        return Err(LsnError::NoRoute);
+    }
+    Ok((reconstruct(topology, &prev, src, dst), dist[dst]))
+}
+
+/// All-destinations shortest paths from one source satellite — one full
+/// Dijkstra run, queryable for every destination. Traffic assignment
+/// caches one of these per distinct serving satellite so flows sharing an
+/// uplink attachment share the graph search; by the finalization argument
+/// on [`dijkstra`], every answered path is identical to a fresh
+/// per-pair [`shortest_path`] call.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    src: usize,
+    dist: Vec<f64>,
+    prev: Vec<usize>,
+}
+
+impl ShortestPathTree {
+    /// Computes the tree rooted at `from`.
+    ///
+    /// # Errors
+    /// [`LsnError::UnknownNode`] for an unknown root.
+    pub fn from_source(topology: &Topology, from: SatId) -> Result<Self> {
+        let src = topology
+            .index_of(from)
+            .ok_or(LsnError::UnknownNode { plane: from.plane, slot: from.slot })?;
+        let (dist, prev) = dijkstra(topology, src, None);
+        Ok(ShortestPathTree { src, dist, prev })
+    }
+
+    /// The hop list and length to `to`.
+    ///
+    /// # Errors
+    /// [`LsnError::UnknownNode`] for an unknown destination,
+    /// [`LsnError::NoRoute`] if unreachable.
+    pub fn path_to(&self, topology: &Topology, to: SatId) -> Result<(Vec<SatId>, f64)> {
+        let dst = topology
+            .index_of(to)
+            .ok_or(LsnError::UnknownNode { plane: to.plane, slot: to.slot })?;
+        if self.dist[dst].is_infinite() {
+            return Err(LsnError::NoRoute);
+        }
+        Ok((reconstruct(topology, &self.prev, self.src, dst), self.dist[dst]))
+    }
+}
+
+/// The satellite best serving a ground point at the snapshot's epoch: the
+/// one with the highest elevation above `min_elevation` \[rad\], if any.
 pub fn serving_satellite(
-    constellation: &Constellation,
+    snapshot: &Snapshot<'_>,
     ground: GeoPoint,
-    t: Epoch,
     min_elevation: f64,
-) -> Result<Option<(SatId, f64)>> {
+) -> Option<(SatId, f64)> {
+    let t = snapshot.epoch();
     let g_ecef = ground.to_unit_vector() * EARTH_RADIUS_KM;
     let g_eci = ecef_to_eci(t, g_ecef);
     let mut best: Option<(SatId, f64)> = None;
-    for id in constellation.ids() {
-        let r = constellation.position(id, t)?;
+    for (flat, id) in snapshot.ids().enumerate() {
+        let r = snapshot.position_flat(flat);
         let central = g_eci.angle_to(r);
         let altitude = r.norm() - EARTH_RADIUS_KM;
         let elev = elevation_at_central_angle(altitude, central.max(1e-9));
@@ -122,37 +180,131 @@ pub fn serving_satellite(
             best = Some((id, elev));
         }
     }
-    Ok(best)
+    best
 }
 
-/// Routes ground-to-ground traffic at epoch `t`: uplink to the best
-/// serving satellite at each end, shortest ISL path between them.
+/// A per-snapshot ground-attachment accelerator: precomputes every
+/// satellite's declination and a conservative maximum central angle, so
+/// each query only runs the exact elevation math on the satellites whose
+/// declination band can possibly clear `min_elevation`. A satellite
+/// outside the band has central angle > the band bound >= its own
+/// visibility cap, hence elevation < `min_elevation` — so the pruned
+/// query returns exactly what [`serving_satellite`] returns (candidates
+/// are still evaluated in flat order with the same strict comparison).
+///
+/// Build one per snapshot when answering many queries (traffic
+/// assignment); for a single lookup the plain scan is cheaper.
+#[derive(Debug, Clone)]
+pub struct ServingIndex<'a> {
+    snapshot: Snapshot<'a>,
+    min_elevation: f64,
+    /// Per-satellite declination \[rad\], flat order; empty when pruning
+    /// is disabled and queries fall back to the full scan.
+    declinations: Vec<f64>,
+    /// Conservative band half-width: the largest visibility cap over the
+    /// constellation plus slack for the declination/central-angle bound.
+    band_rad: f64,
+}
+
+impl<'a> ServingIndex<'a> {
+    /// Builds the index. Pruning needs a meaningful elevation mask
+    /// (`0 < min_elevation < pi/2`) and a finite visibility cap; for
+    /// anything else the index degrades to the exact full scan.
+    pub fn new(snapshot: Snapshot<'a>, min_elevation: f64) -> Self {
+        let n = snapshot.total_sats();
+        let mut declinations = Vec::with_capacity(n);
+        let mut max_altitude = f64::NEG_INFINITY;
+        for flat in 0..n {
+            let r = snapshot.position_flat(flat);
+            let norm = r.norm();
+            declinations.push((r.z / norm).asin());
+            max_altitude = max_altitude.max(norm - EARTH_RADIUS_KM);
+        }
+        let cap = if min_elevation > 0.0 && min_elevation < std::f64::consts::FRAC_PI_2 {
+            ssplane_astro::coverage::coverage_half_angle(max_altitude, min_elevation).ok()
+        } else {
+            None
+        };
+        match cap {
+            // 1e-6 rad of slack absorbs the rounding between the
+            // declination-difference bound and the exact central angle.
+            Some(c) => ServingIndex { snapshot, min_elevation, declinations, band_rad: c + 1e-6 },
+            None => {
+                ServingIndex { snapshot, min_elevation, declinations: Vec::new(), band_rad: 0.0 }
+            }
+        }
+    }
+
+    /// The serving satellite for `ground` — identical to
+    /// [`serving_satellite`] on this snapshot.
+    pub fn query(&self, ground: GeoPoint) -> Option<(SatId, f64)> {
+        if self.declinations.is_empty() {
+            return serving_satellite(&self.snapshot, ground, self.min_elevation);
+        }
+        let t = self.snapshot.epoch();
+        let g_eci = ecef_to_eci(t, ground.to_unit_vector() * EARTH_RADIUS_KM);
+        let g_dec = (g_eci.z / g_eci.norm()).asin();
+        let mut best: Option<(SatId, f64)> = None;
+        for (flat, id) in self.snapshot.ids().enumerate() {
+            // Central angle >= |declination difference|: out-of-band
+            // satellites cannot clear the elevation mask.
+            if (self.declinations[flat] - g_dec).abs() > self.band_rad {
+                continue;
+            }
+            let r = self.snapshot.position_flat(flat);
+            let central = g_eci.angle_to(r);
+            let altitude = r.norm() - EARTH_RADIUS_KM;
+            let elev = elevation_at_central_angle(altitude, central.max(1e-9));
+            if elev >= self.min_elevation && best.is_none_or(|(_, be)| elev > be) {
+                best = Some((id, elev));
+            }
+        }
+        best
+    }
+}
+
+/// Assembles the full ground-to-ground route from a serving pair and its
+/// ISL path: up/down link lengths at the snapshot's epoch complete the
+/// delay accounting.
+///
+/// # Errors
+/// [`LsnError::UnknownNode`] for out-of-range serving satellites.
+pub(crate) fn assemble_route(
+    snapshot: &Snapshot<'_>,
+    src: GeoPoint,
+    dst: GeoPoint,
+    s_sat: SatId,
+    d_sat: SatId,
+    hops: Vec<SatId>,
+    isl_km: f64,
+) -> Result<Route> {
+    let t = snapshot.epoch();
+    let up =
+        (snapshot.position(s_sat)? - ecef_to_eci(t, src.to_unit_vector() * EARTH_RADIUS_KM)).norm();
+    let down =
+        (snapshot.position(d_sat)? - ecef_to_eci(t, dst.to_unit_vector() * EARTH_RADIUS_KM)).norm();
+    let length_km = isl_km + up + down;
+    Ok(Route { hops, delay_ms: length_km / SPEED_OF_LIGHT_KM_S * 1e3, length_km })
+}
+
+/// Routes ground-to-ground traffic at the snapshot's epoch: uplink to the
+/// best serving satellite at each end, shortest ISL path between them.
 ///
 /// # Errors
 /// [`LsnError::NoRoute`] if either terminal has no serving satellite or
 /// the satellites are disconnected.
 pub fn route_ground_to_ground(
-    constellation: &Constellation,
+    snapshot: &Snapshot<'_>,
     topology: &Topology,
     src: GeoPoint,
     dst: GeoPoint,
-    t: Epoch,
     min_elevation: f64,
 ) -> Result<Route> {
-    let (s_sat, _) =
-        serving_satellite(constellation, src, t, min_elevation)?.ok_or(LsnError::NoRoute)?;
-    let (d_sat, _) =
-        serving_satellite(constellation, dst, t, min_elevation)?.ok_or(LsnError::NoRoute)?;
+    let (s_sat, _) = serving_satellite(snapshot, src, min_elevation).ok_or(LsnError::NoRoute)?;
+    let (d_sat, _) = serving_satellite(snapshot, dst, min_elevation).ok_or(LsnError::NoRoute)?;
     let (hops, isl_km) =
         if s_sat == d_sat { (vec![s_sat], 0.0) } else { shortest_path(topology, s_sat, d_sat)? };
-    let up = (constellation.position(s_sat, t)?
-        - ecef_to_eci(t, src.to_unit_vector() * EARTH_RADIUS_KM))
-    .norm();
-    let down = (constellation.position(d_sat, t)?
-        - ecef_to_eci(t, dst.to_unit_vector() * EARTH_RADIUS_KM))
-    .norm();
-    let length_km = isl_km + up + down;
-    Ok(Route { hops, delay_ms: length_km / SPEED_OF_LIGHT_KM_S * 1e3, length_km })
+    assemble_route(snapshot, src, dst, s_sat, d_sat, hops, isl_km)
 }
 
 /// A time-expanded routing result: one route per time slot plus handoff
@@ -196,37 +348,32 @@ impl TimeExpandedRoutes {
     }
 }
 
-/// Routes a ground pair over `n_slots` slots spaced `slot_s` seconds,
-/// rebuilding the topology snapshot each slot (the paper's "precomputed
-/// time-aware paths and schedules").
+/// Routes a ground pair over every slot of a prebuilt [`SnapshotSeries`]
+/// (the paper's "precomputed time-aware paths and schedules"). The series
+/// carries the grid; positions are read from its shared buffers, so this
+/// touches no propagator — the refactor that removed the per-slot
+/// re-propagation of all N satellites.
 ///
 /// # Errors
 /// Propagates topology-construction failure; per-slot unreachability is
 /// recorded as `None` rather than an error.
-#[allow(clippy::too_many_arguments)] // a routing request is inherently 8-dimensional
 pub fn route_over_time(
-    constellation: &Constellation,
+    series: &SnapshotSeries,
     src: GeoPoint,
     dst: GeoPoint,
-    start: Epoch,
-    n_slots: usize,
-    slot_s: f64,
     min_elevation: f64,
     topo_config: GridTopologyConfig,
 ) -> Result<TimeExpandedRoutes> {
-    let mut epochs = Vec::with_capacity(n_slots);
-    let mut routes = Vec::with_capacity(n_slots);
-    for k in 0..n_slots {
-        let t = start + k as f64 * slot_s;
-        epochs.push(t);
-        let topology = Topology::plus_grid(constellation, t, topo_config)?;
-        match route_ground_to_ground(constellation, &topology, src, dst, t, min_elevation) {
+    let mut routes = Vec::with_capacity(series.len());
+    for snapshot in series.iter() {
+        let topology = Topology::plus_grid(&snapshot, topo_config)?;
+        match route_ground_to_ground(&snapshot, &topology, src, dst, min_elevation) {
             Ok(r) => routes.push(Some(r)),
             Err(LsnError::NoRoute) => routes.push(None),
             Err(e) => return Err(e),
         }
     }
-    Ok(TimeExpandedRoutes { epochs, routes })
+    Ok(TimeExpandedRoutes { epochs: series.epochs().to_vec(), routes })
 }
 
 /// Great-circle lower bound on ground-to-ground delay \[ms\] (through an
@@ -238,6 +385,8 @@ pub fn great_circle_delay_ms(src: GeoPoint, dst: GeoPoint) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::time_grid;
+    use crate::topology::Constellation;
     use ssplane_astro::kepler::OrbitalElements;
     use ssplane_astro::sunsync::sun_synchronous_orbit;
 
@@ -250,10 +399,15 @@ mod tests {
         Constellation::new(epoch, element_planes).unwrap()
     }
 
+    fn single(c: &Constellation, t: Epoch) -> SnapshotSeries {
+        SnapshotSeries::build(c, &[t]).unwrap()
+    }
+
     #[test]
     fn shortest_path_adjacent_and_self() {
         let c = constellation(3, 12);
-        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let series = single(&c, Epoch::J2000);
+        let topo = Topology::plus_grid(&series.snapshot(0), Default::default()).unwrap();
         let a = SatId { plane: 0, slot: 0 };
         let b = SatId { plane: 0, slot: 1 };
         let (hops, km) = shortest_path(&topo, a, b).unwrap();
@@ -268,7 +422,8 @@ mod tests {
     fn shortest_path_is_optimal_over_ring() {
         // Going 3 slots around a 12-slot ring must cost 3 ring hops.
         let c = constellation(1, 12);
-        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let series = single(&c, Epoch::J2000);
+        let topo = Topology::plus_grid(&series.snapshot(0), Default::default()).unwrap();
         let (hops, _) =
             shortest_path(&topo, SatId { plane: 0, slot: 0 }, SatId { plane: 0, slot: 3 }).unwrap();
         assert_eq!(hops.len(), 4);
@@ -280,12 +435,43 @@ mod tests {
     }
 
     #[test]
+    fn tree_paths_match_per_pair_dijkstra() {
+        let c = constellation(4, 10);
+        let series = single(&c, Epoch::J2000);
+        let topo = Topology::plus_grid(&series.snapshot(0), Default::default()).unwrap();
+        let from = SatId { plane: 1, slot: 3 };
+        let tree = ShortestPathTree::from_source(&topo, from).unwrap();
+        for p in 0..4 {
+            for s in 0..10 {
+                let to = SatId { plane: p, slot: s };
+                match (shortest_path(&topo, from, to), tree.path_to(&topo, to)) {
+                    (Ok((hops_a, km_a)), Ok((hops_b, km_b))) => {
+                        assert_eq!(hops_a, hops_b, "to {to:?}");
+                        assert_eq!(km_a, km_b, "to {to:?}");
+                    }
+                    (Err(LsnError::NoRoute), Err(LsnError::NoRoute)) => {}
+                    (a, b) => panic!("divergent outcomes to {to:?}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        assert!(matches!(
+            tree.path_to(&topo, SatId { plane: 9, slot: 0 }),
+            Err(LsnError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
     fn unknown_endpoints_rejected() {
         let c = constellation(2, 6);
-        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let series = single(&c, Epoch::J2000);
+        let topo = Topology::plus_grid(&series.snapshot(0), Default::default()).unwrap();
         let bad = SatId { plane: 5, slot: 0 };
         assert!(matches!(
             shortest_path(&topo, bad, SatId { plane: 0, slot: 0 }),
+            Err(LsnError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            ShortestPathTree::from_source(&topo, bad),
             Err(LsnError::UnknownNode { .. })
         ));
     }
@@ -294,26 +480,50 @@ mod tests {
     fn serving_satellite_under_track() {
         let c = constellation(6, 20);
         let t = Epoch::J2000;
+        let series = single(&c, t);
+        let snap = series.snapshot(0);
         // Find a sub-satellite point; that ground point must be served.
         let r = c.position(SatId { plane: 2, slot: 5 }, t).unwrap();
         let (gp, _) = ssplane_astro::frames::subsatellite_point(t, r).unwrap();
-        let serving = serving_satellite(&c, gp, t, 30f64.to_radians()).unwrap();
+        let serving = serving_satellite(&snap, gp, 30f64.to_radians());
         let (id, elev) = serving.expect("point under a satellite is served");
         assert_eq!(id, SatId { plane: 2, slot: 5 });
         assert!(elev > 80f64.to_radians());
     }
 
     #[test]
+    fn serving_index_matches_plain_scan() {
+        let c = constellation(8, 25);
+        let series = single(&c, Epoch::J2000 + 1234.0);
+        let snap = series.snapshot(0);
+        for &min_elev in &[0.0, 10f64.to_radians(), 25f64.to_radians(), 70f64.to_radians()] {
+            let index = ServingIndex::new(snap, min_elev);
+            for lat in [-75.0, -40.0, -5.0, 0.0, 33.0, 51.5, 78.0] {
+                for lon in [-170.0, -74.0, 0.1, 60.0, 139.7] {
+                    let g = GeoPoint::from_degrees(lat, lon);
+                    assert_eq!(
+                        index.query(g),
+                        serving_satellite(&snap, g, min_elev),
+                        "diverged at ({lat}, {lon}) min_elev {min_elev}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn ground_route_end_to_end() {
         let c = constellation(8, 25);
         let t = Epoch::J2000;
-        let topo = Topology::plus_grid(&c, t, Default::default()).unwrap();
+        let series = single(&c, t);
+        let snap = series.snapshot(0);
+        let topo = Topology::plus_grid(&snap, Default::default()).unwrap();
         // Two points under the constellation's morning planes.
         let r1 = c.position(SatId { plane: 1, slot: 3 }, t).unwrap();
         let (src, _) = ssplane_astro::frames::subsatellite_point(t, r1).unwrap();
         let r2 = c.position(SatId { plane: 6, slot: 3 }, t).unwrap();
         let (dst, _) = ssplane_astro::frames::subsatellite_point(t, r2).unwrap();
-        let route = route_ground_to_ground(&c, &topo, src, dst, t, 25f64.to_radians()).unwrap();
+        let route = route_ground_to_ground(&snap, &topo, src, dst, 25f64.to_radians()).unwrap();
         assert!(!route.hops.is_empty());
         assert!(route.delay_ms > 0.0);
         // Delay at least the great-circle bound (satellite paths are
@@ -327,14 +537,16 @@ mod tests {
     fn unreachable_ground_gives_no_route() {
         let c = constellation(2, 10);
         let t = Epoch::J2000;
-        let topo = Topology::plus_grid(&c, t, Default::default()).unwrap();
+        let series = single(&c, t);
+        let snap = series.snapshot(0);
+        let topo = Topology::plus_grid(&snap, Default::default()).unwrap();
         // A 2-plane morning constellation leaves the antipodal local
         // evening uncovered: pick the point opposite plane 0's ascending
         // node on the equator.
         let r = c.position(SatId { plane: 0, slot: 0 }, t).unwrap();
         let (sub, _) = ssplane_astro::frames::subsatellite_point(t, r).unwrap();
         let far = GeoPoint::new(-sub.lat, ssplane_astro::angles::wrap_pi(sub.lon + 2.0));
-        let result = route_ground_to_ground(&c, &topo, far, sub, t, 60f64.to_radians());
+        let result = route_ground_to_ground(&snap, &topo, far, sub, 60f64.to_radians());
         assert!(matches!(result, Err(LsnError::NoRoute)) || result.is_ok());
     }
 
@@ -343,17 +555,9 @@ mod tests {
         let c = constellation(8, 25);
         let src = GeoPoint::from_degrees(40.0, -100.0);
         let dst = GeoPoint::from_degrees(50.0, 10.0);
-        let routes = route_over_time(
-            &c,
-            src,
-            dst,
-            Epoch::J2000,
-            10,
-            60.0,
-            20f64.to_radians(),
-            Default::default(),
-        )
-        .unwrap();
+        let series = SnapshotSeries::build(&c, &time_grid(Epoch::J2000, 10, 60.0)).unwrap();
+        let routes =
+            route_over_time(&series, src, dst, 20f64.to_radians(), Default::default()).unwrap();
         assert_eq!(routes.epochs.len(), 10);
         assert_eq!(routes.routes.len(), 10);
         if routes.reachable_slots() >= 2 {
@@ -361,5 +565,20 @@ mod tests {
             // Handoffs bounded by transitions.
             assert!(routes.handoffs() < routes.reachable_slots());
         }
+    }
+
+    #[test]
+    fn route_over_time_handoff_regression() {
+        // Pinned counts for the reference NYC -> London walk: the
+        // snapshot refactor must not change which slots are reachable or
+        // how often the serving pair churns.
+        let c = constellation(8, 25);
+        let src = GeoPoint::from_degrees(40.7, -74.0);
+        let dst = GeoPoint::from_degrees(51.5, -0.1);
+        let series = SnapshotSeries::build(&c, &time_grid(Epoch::J2000, 20, 120.0)).unwrap();
+        let routes =
+            route_over_time(&series, src, dst, 20f64.to_radians(), Default::default()).unwrap();
+        assert_eq!(routes.reachable_slots(), 20);
+        assert_eq!(routes.handoffs(), 15);
     }
 }

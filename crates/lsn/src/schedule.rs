@@ -6,10 +6,13 @@
 //! slot and churns end-satellites; this module computes a schedule that
 //! *sticks* to the current serving pair while it remains feasible within
 //! a delay-stretch budget, switching only when forced — trading a bounded
-//! amount of latency for far fewer handoffs.
+//! amount of latency for far fewer handoffs. All position reads go
+//! through one [`SnapshotSeries`] built up front for the whole planning
+//! horizon.
 
 use crate::error::{LsnError, Result};
 use crate::routing::{route_ground_to_ground, serving_satellite, shortest_path, Route};
+use crate::snapshot::{time_grid, Snapshot, SnapshotSeries};
 use crate::topology::{Constellation, GridTopologyConfig, SatId, Topology};
 use ssplane_astro::constants::EARTH_RADIUS_KM;
 use ssplane_astro::coverage::elevation_at_central_angle;
@@ -67,40 +70,29 @@ impl RouteSchedule {
     }
 }
 
-/// Elevation \[rad\] of satellite `id` from `ground` at `t`.
-fn elevation_of(
-    constellation: &Constellation,
-    id: SatId,
-    ground: GeoPoint,
-    t: Epoch,
-) -> Result<f64> {
+/// Elevation \[rad\] of satellite `id` from `ground` at the snapshot's
+/// epoch.
+fn elevation_of(snapshot: &Snapshot<'_>, id: SatId, ground: GeoPoint) -> Result<f64> {
+    let t = snapshot.epoch();
     let g_eci = ecef_to_eci(t, ground.to_unit_vector() * EARTH_RADIUS_KM);
-    let r = constellation.position(id, t)?;
+    let r = snapshot.position(id)?;
     let central = g_eci.angle_to(r);
     Ok(elevation_at_central_angle(r.norm() - EARTH_RADIUS_KM, central.max(1e-9)))
 }
 
-/// Builds a route with the given serving pair at `t` (ISL shortest path
-/// between them plus up/down links).
+/// Builds a route with the given serving pair (ISL shortest path between
+/// them plus up/down links).
 fn route_via(
-    constellation: &Constellation,
+    snapshot: &Snapshot<'_>,
     topology: &Topology,
     src: GeoPoint,
     dst: GeoPoint,
     s_sat: SatId,
     d_sat: SatId,
-    t: Epoch,
 ) -> Result<Route> {
     let (hops, isl_km) =
         if s_sat == d_sat { (vec![s_sat], 0.0) } else { shortest_path(topology, s_sat, d_sat)? };
-    let up = (constellation.position(s_sat, t)?
-        - ecef_to_eci(t, src.to_unit_vector() * EARTH_RADIUS_KM))
-    .norm();
-    let down = (constellation.position(d_sat, t)?
-        - ecef_to_eci(t, dst.to_unit_vector() * EARTH_RADIUS_KM))
-    .norm();
-    let length_km = isl_km + up + down;
-    Ok(Route { hops, delay_ms: length_km / crate::routing::SPEED_OF_LIGHT_KM_S * 1e3, length_km })
+    crate::routing::assemble_route(snapshot, src, dst, s_sat, d_sat, hops, isl_km)
 }
 
 /// Computes the sticky schedule for a ground pair.
@@ -118,36 +110,37 @@ pub fn plan_schedule(
     if config.max_stretch < 1.0 {
         return Err(LsnError::BadParameter { name: "max_stretch", constraint: ">= 1.0" });
     }
-    let mut epochs = Vec::with_capacity(config.n_slots);
+    if config.n_slots == 0 {
+        return Ok(RouteSchedule {
+            epochs: Vec::new(),
+            routes: Vec::new(),
+            handoffs: 0,
+            naive_handoffs: 0,
+        });
+    }
+    let series =
+        SnapshotSeries::build(constellation, &time_grid(start, config.n_slots, config.slot_s))?;
     let mut routes: Vec<Option<Route>> = Vec::with_capacity(config.n_slots);
     let mut current: Option<(SatId, SatId)> = None;
     let mut naive_prev: Option<(SatId, SatId)> = None;
     let mut handoffs = 0usize;
     let mut naive_handoffs = 0usize;
 
-    for k in 0..config.n_slots {
-        let t = start + k as f64 * config.slot_s;
-        epochs.push(t);
-        let topology = Topology::plus_grid(constellation, t, config.topology)?;
+    for snapshot in series.iter() {
+        let topology = Topology::plus_grid(&snapshot, config.topology)?;
 
         // The per-slot optimum (for the stretch budget and the naive
         // handoff count).
-        let optimal = match route_ground_to_ground(
-            constellation,
-            &topology,
-            src,
-            dst,
-            t,
-            config.min_elevation,
-        ) {
-            Ok(r) => r,
-            Err(LsnError::NoRoute) => {
-                routes.push(None);
-                current = None;
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
+        let optimal =
+            match route_ground_to_ground(&snapshot, &topology, src, dst, config.min_elevation) {
+                Ok(r) => r,
+                Err(LsnError::NoRoute) => {
+                    routes.push(None);
+                    current = None;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
         let optimal_ends = (
             *optimal.hops.first().expect("route has hops"),
             *optimal.hops.last().expect("route has hops"),
@@ -161,10 +154,10 @@ pub fn plan_schedule(
 
         // Try to stick with the current pair.
         let chosen = if let Some((s_sat, d_sat)) = current {
-            let visible = elevation_of(constellation, s_sat, src, t)? >= config.min_elevation
-                && elevation_of(constellation, d_sat, dst, t)? >= config.min_elevation;
+            let visible = elevation_of(&snapshot, s_sat, src)? >= config.min_elevation
+                && elevation_of(&snapshot, d_sat, dst)? >= config.min_elevation;
             if visible {
-                match route_via(constellation, &topology, src, dst, s_sat, d_sat, t) {
+                match route_via(&snapshot, &topology, src, dst, s_sat, d_sat) {
                     Ok(r) if r.delay_ms <= optimal.delay_ms * config.max_stretch => Some(r),
                     _ => None,
                 }
@@ -189,7 +182,7 @@ pub fn plan_schedule(
         ));
         routes.push(Some(route));
     }
-    Ok(RouteSchedule { epochs, routes, handoffs, naive_handoffs })
+    Ok(RouteSchedule { epochs: series.epochs().to_vec(), routes, handoffs, naive_handoffs })
 }
 
 /// Coverage-gap forecast for a terminal: which of the next `n_slots`
@@ -206,12 +199,14 @@ pub fn coverage_forecast(
     slot_s: f64,
     min_elevation: f64,
 ) -> Result<Vec<bool>> {
-    (0..n_slots)
-        .map(|k| {
-            let t = start + k as f64 * slot_s;
-            Ok(serving_satellite(constellation, ground, t, min_elevation)?.is_some())
-        })
-        .collect()
+    if n_slots == 0 {
+        return Ok(Vec::new());
+    }
+    let series = SnapshotSeries::build(constellation, &time_grid(start, n_slots, slot_s))?;
+    Ok(series
+        .iter()
+        .map(|snapshot| serving_satellite(&snapshot, ground, min_elevation).is_some())
+        .collect())
 }
 
 #[cfg(test)]
@@ -264,11 +259,13 @@ mod tests {
             ScheduleConfig { n_slots: 10, slot_s: 90.0, max_stretch: 1.2, ..Default::default() };
         let schedule = plan_schedule(&c, src, dst, Epoch::J2000, cfg).unwrap();
         // Recompute optima and check every chosen route is within budget.
+        let series =
+            SnapshotSeries::build(&c, &time_grid(Epoch::J2000, cfg.n_slots, cfg.slot_s)).unwrap();
         for (k, route) in schedule.routes.iter().enumerate() {
             let Some(route) = route else { continue };
-            let t = schedule.epochs[k];
-            let topo = Topology::plus_grid(&c, t, cfg.topology).unwrap();
-            let opt = route_ground_to_ground(&c, &topo, src, dst, t, cfg.min_elevation).unwrap();
+            let snap = series.snapshot(k);
+            let topo = Topology::plus_grid(&snap, cfg.topology).unwrap();
+            let opt = route_ground_to_ground(&snap, &topo, src, dst, cfg.min_elevation).unwrap();
             assert!(
                 route.delay_ms <= opt.delay_ms * cfg.max_stretch + 1e-9,
                 "slot {k}: {} vs opt {}",
@@ -279,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn invalid_stretch_rejected() {
+    fn invalid_stretch_rejected_and_zero_slots_empty() {
         let c = constellation();
         let g = GeoPoint::from_degrees(0.0, 0.0);
         let cfg = ScheduleConfig { max_stretch: 0.5, ..Default::default() };
@@ -287,6 +284,16 @@ mod tests {
             plan_schedule(&c, g, g, Epoch::J2000, cfg),
             Err(LsnError::BadParameter { .. })
         ));
+        let empty = plan_schedule(
+            &c,
+            g,
+            g,
+            Epoch::J2000,
+            ScheduleConfig { n_slots: 0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(empty.routes.is_empty());
+        assert!(coverage_forecast(&c, g, Epoch::J2000, 0, 60.0, 0.3).unwrap().is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! at construction epochs.
 
 use crate::error::{LsnError, Result};
+use crate::snapshot::Snapshot;
 use ssplane_astro::constants::EARTH_RADIUS_KM;
 use ssplane_astro::kepler::OrbitalElements;
 use ssplane_astro::linalg::Vec3;
@@ -105,6 +106,24 @@ impl Constellation {
             .collect()
     }
 
+    /// Start index per plane in the flat plane-major satellite order,
+    /// with a trailing total — the layout snapshots and topologies share.
+    pub fn plane_offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.planes.len() + 1);
+        let mut total = 0usize;
+        for p in &self.planes {
+            offsets.push(total);
+            total += p.len();
+        }
+        offsets.push(total);
+        offsets
+    }
+
+    /// The propagators in flat plane-major order (the snapshot layout).
+    pub fn propagators(&self) -> Vec<J2Propagator> {
+        self.planes.iter().flatten().copied().collect()
+    }
+
     /// ECI position \[km\] of a satellite at epoch `t`.
     ///
     /// # Errors
@@ -149,10 +168,47 @@ pub struct Link {
 pub struct Topology {
     /// Feasible links at the evaluation epoch.
     pub links: Vec<Link>,
-    /// Adjacency list indexed by flattened satellite index.
-    adjacency: Vec<Vec<(usize, f64)>>,
+    /// CSR adjacency: node `i`'s neighbors live at
+    /// `adj_entries[adj_offsets[i]..adj_offsets[i + 1]]`. One flat
+    /// allocation instead of a `Vec` per node — Dijkstra's inner loop
+    /// walks contiguous memory.
+    adj_offsets: Vec<usize>,
+    adj_entries: Vec<(usize, f64)>,
     /// Flattened index bounds: start index per plane.
     plane_offsets: Vec<usize>,
+}
+
+/// Builds the CSR adjacency from an undirected link list. Entries keep
+/// the per-node insertion order a `Vec<Vec<_>>` build would produce
+/// (links scanned in emission order, both directions appended), so graph
+/// traversal order — and every downstream tie-break — is unchanged.
+fn build_adjacency(
+    links: &[Link],
+    flat: impl Fn(SatId) -> usize,
+    total: usize,
+) -> (Vec<usize>, Vec<(usize, f64)>) {
+    let mut degrees = vec![0usize; total];
+    for l in links {
+        degrees[flat(l.a)] += 1;
+        degrees[flat(l.b)] += 1;
+    }
+    let mut offsets = Vec::with_capacity(total + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &d in &degrees {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor = offsets[..total].to_vec();
+    let mut entries = vec![(0usize, 0.0f64); acc];
+    for l in links {
+        let (ia, ib) = (flat(l.a), flat(l.b));
+        entries[cursor[ia]] = (ib, l.length_km);
+        cursor[ia] += 1;
+        entries[cursor[ib]] = (ia, l.length_km);
+        cursor[ib] += 1;
+    }
+    (offsets, entries)
 }
 
 /// Configuration for +grid topology construction.
@@ -174,26 +230,244 @@ impl Default for GridTopologyConfig {
     }
 }
 
+/// Sorted angular index of one plane's satellites, used to answer
+/// nearest-slot queries in O(log S + window) instead of a full O(S) scan
+/// per query. Built only when the plane really is a common-radius
+/// coplanar circle (always true for mean-element orbital planes); any
+/// other geometry falls back to the exact brute-force scan.
+struct PlaneCircle {
+    /// In-plane orthonormal basis.
+    basis_a: Vec3,
+    basis_b: Vec3,
+    /// Slot indices sorted by angle.
+    order: Vec<usize>,
+    /// The sorted angles \[rad, in `(-pi, pi]`\].
+    angles: Vec<f64>,
+    /// Common orbit radius \[km\].
+    radius: f64,
+}
+
+/// Relative tolerance for the circle check: far above position rounding
+/// (~1e-12 relative) yet far below any genuine geometric deviation.
+const CIRCLE_TOL: f64 = 1e-6;
+
+/// Planes smaller than this are cheaper to brute-force than to index.
+const MIN_INDEXED_SLOTS: usize = 8;
+
+impl PlaneCircle {
+    /// Builds the index for the plane whose flat indices are
+    /// `offset..offset + slots`, or `None` if the satellites do not lie
+    /// on a common circle about the geocenter (within [`CIRCLE_TOL`]).
+    fn build(positions: &impl Fn(usize) -> Vec3, offset: usize, slots: usize) -> Option<Self> {
+        if slots < MIN_INDEXED_SLOTS {
+            return None;
+        }
+        let r0 = positions(offset);
+        let radius = r0.norm();
+        if radius <= 0.0 {
+            return None;
+        }
+        let normal = r0.cross(positions(offset + 1));
+        if normal.norm() <= CIRCLE_TOL * radius * radius {
+            return None; // first two satellites (anti)parallel: no plane
+        }
+        let normal = normal * (1.0 / normal.norm());
+        let basis_a = r0 * (1.0 / radius);
+        let basis_b = normal.cross(basis_a);
+        let tol = CIRCLE_TOL * radius;
+        let mut angles: Vec<(f64, usize)> = Vec::with_capacity(slots);
+        for k in 0..slots {
+            let r = positions(offset + k);
+            if (r.norm() - radius).abs() > tol || r.dot(normal).abs() > tol {
+                return None; // off-radius or out-of-plane satellite
+            }
+            angles.push((r.dot(basis_b).atan2(r.dot(basis_a)), k));
+        }
+        angles.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite angles"));
+        Some(PlaneCircle {
+            basis_a,
+            basis_b,
+            order: angles.iter().map(|&(_, k)| k).collect(),
+            angles: angles.iter().map(|&(a, _)| a).collect(),
+            radius,
+        })
+    }
+
+    /// The slot nearest to `x`, found by locating `x`'s in-plane angle
+    /// among the sorted slot angles and comparing true distances over a
+    /// six-slot window around the insertion point — enough to cover the
+    /// angular nearest and its runners-up, so the winner (including its
+    /// lowest-index tie-break) matches the brute-force scan exactly.
+    /// Returns `None` when `x` is too close to the plane normal for the
+    /// angular ordering to be trustworthy (the caller brute-forces).
+    fn nearest_slot(
+        &self,
+        x: Vec3,
+        positions: &impl Fn(usize) -> Vec3,
+        offset: usize,
+    ) -> Option<usize> {
+        let xa = x.dot(self.basis_a);
+        let xb = x.dot(self.basis_b);
+        if xa.hypot(xb) < 1e-3 * self.radius {
+            return None; // degenerate: all slots nearly equidistant
+        }
+        let phi = xb.atan2(xa);
+        let m = self.order.len();
+        let i = self.angles.partition_point(|&theta| theta < phi);
+        let mut candidates = [0usize; 6];
+        for (d, slot) in candidates.iter_mut().enumerate() {
+            *slot = self.order[(i + m - 3 + d) % m];
+        }
+        candidates.sort_unstable();
+        // The brute-force comparison, restricted to the window: strict
+        // `<` in ascending slot order keeps the lowest-index tie-break
+        // (duplicate candidates are harmless under strict `<`).
+        let mut best: Option<(usize, f64)> = None;
+        for &sq in &candidates {
+            let d = (x - positions(offset + sq)).norm();
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((sq, d));
+            }
+        }
+        best.map(|(sq, _)| sq)
+    }
+}
+
+/// The brute-force nearest-slot scan (the reference semantics): strict
+/// `<` in ascending slot order, so the lowest index wins ties.
+fn nearest_slot_scan(
+    x: Vec3,
+    positions: &impl Fn(usize) -> Vec3,
+    offset: usize,
+    slots: usize,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for sq in 0..slots {
+        let d = (x - positions(offset + sq)).norm();
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((sq, d));
+        }
+    }
+    best.map(|(sq, _)| sq)
+}
+
 impl Topology {
-    /// Builds a +grid topology at epoch `t`: intra-plane ring plus links
-    /// to the nearest slot of each adjacent plane, keeping only links that
-    /// are in range and unoccluded at `t`.
+    /// Builds a +grid topology over one [`Snapshot`]: intra-plane ring
+    /// plus links to the nearest slot of each adjacent plane, keeping
+    /// only links that are in range and unoccluded at the snapshot's
+    /// epoch. Positions come from the snapshot's shared buffers — nothing
+    /// is propagated here.
+    ///
+    /// Links are emitted in canonical `(min, max)` flat order, each
+    /// exactly once: the ring walks `s -> s+1` and closes with `(0,
+    /// slots-1)`, so no post-hoc deduplication pass (and no special case
+    /// for 2-slot planes) is needed. Cross-plane nearest-slot queries go
+    /// through a sorted-by-angle index per target plane instead of a full
+    /// scan per satellite pair — the same links, found in O(log S).
+    ///
+    /// # Errors
+    /// Currently infallible (positions are precomputed); kept fallible
+    /// for signature stability with construction-time feasibility checks.
+    pub fn plus_grid(snapshot: &Snapshot<'_>, config: GridTopologyConfig) -> Result<Topology> {
+        let n_planes = snapshot.n_planes();
+        let plane_offsets = snapshot.plane_offsets().to_vec();
+        let total = snapshot.total_sats();
+        let position = |i: usize| snapshot.position_flat(i);
+
+        let flat = |id: SatId| plane_offsets[id.plane] + id.slot;
+        // Each satellite contributes at most one ring link and one
+        // cross-plane link.
+        let mut links: Vec<Link> = Vec::with_capacity(2 * total);
+        let push_link = |a: SatId, b: SatId, links: &mut Vec<Link>| {
+            debug_assert!(flat(a) < flat(b), "links are emitted in canonical order");
+            let (pa, pb) = (position(flat(a)), position(flat(b)));
+            let length = (pa - pb).norm();
+            if length <= config.max_range_km && line_of_sight(pa, pb, config.occlusion_margin_km) {
+                links.push(Link { a, b, length_km: length });
+            }
+        };
+
+        // Sorted angular index per *target* plane, built on first use (a
+        // plane is a cross-link target at most twice: as successor and as
+        // the wrap target).
+        let mut circles: Vec<Option<Option<PlaneCircle>>> = (0..n_planes).map(|_| None).collect();
+
+        for p in 0..n_planes {
+            let slots = snapshot.slots_in_plane(p);
+            // Intra-plane ring, canonical order, each link once.
+            if slots > 1 {
+                for s in 0..slots - 1 {
+                    push_link(
+                        SatId { plane: p, slot: s },
+                        SatId { plane: p, slot: s + 1 },
+                        &mut links,
+                    );
+                }
+                if slots > 2 {
+                    push_link(
+                        SatId { plane: p, slot: 0 },
+                        SatId { plane: p, slot: slots - 1 },
+                        &mut links,
+                    );
+                }
+            }
+            // Cross-plane to the next plane's nearest slot.
+            let next_plane = if p + 1 < n_planes {
+                Some(p + 1)
+            } else if config.wrap_planes && n_planes > 2 {
+                Some(0)
+            } else {
+                None
+            };
+            if let Some(q) = next_plane {
+                let q_slots = snapshot.slots_in_plane(q);
+                let q_offset = plane_offsets[q];
+                let circle = circles[q]
+                    .get_or_insert_with(|| PlaneCircle::build(&position, q_offset, q_slots));
+                for s in 0..slots {
+                    let from = SatId { plane: p, slot: s };
+                    let x = position(flat(from));
+                    let nearest = circle
+                        .as_ref()
+                        .and_then(|c| c.nearest_slot(x, &position, q_offset))
+                        .or_else(|| nearest_slot_scan(x, &position, q_offset, q_slots));
+                    if let Some(sq) = nearest {
+                        let to = SatId { plane: q, slot: sq };
+                        // Canonicalize (the wrap pair has q < p).
+                        if flat(from) < flat(to) {
+                            push_link(from, to, &mut links);
+                        } else {
+                            push_link(to, from, &mut links);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Build adjacency; emission above is duplicate-free by
+        // construction, so no dedup pass.
+        let (adj_offsets, adj_entries) = build_adjacency(&links, flat, total);
+        Ok(Topology { links, adj_offsets, adj_entries, plane_offsets })
+    }
+
+    /// The legacy single-shot construction: propagates every position on
+    /// demand from `constellation` at epoch `t` and runs the original
+    /// per-pair nearest-slot scan with a post-hoc dedup pass. Kept as the
+    /// reference implementation the snapshot-based [`Topology::plus_grid`]
+    /// is parity-tested and benchmarked against; prefer building a
+    /// [`SnapshotSeries`](crate::snapshot::SnapshotSeries) and using
+    /// [`Topology::plus_grid`].
     ///
     /// # Errors
     /// Propagates position evaluation failure.
-    pub fn plus_grid(
+    pub fn plus_grid_at(
         constellation: &Constellation,
         t: Epoch,
         config: GridTopologyConfig,
     ) -> Result<Topology> {
         let n_planes = constellation.n_planes();
-        let mut plane_offsets = Vec::with_capacity(n_planes + 1);
-        let mut total = 0usize;
-        for p in 0..n_planes {
-            plane_offsets.push(total);
-            total += constellation.slots_in_plane(p);
-        }
-        plane_offsets.push(total);
+        let plane_offsets = constellation.plane_offsets();
+        let total = *plane_offsets.last().expect("offsets non-empty");
 
         // Cache positions.
         let mut positions = Vec::with_capacity(total);
@@ -241,17 +515,10 @@ impl Topology {
                 let q_slots = constellation.slots_in_plane(q);
                 for s in 0..slots {
                     let from = SatId { plane: p, slot: s };
-                    // Nearest slot in plane q at epoch t.
-                    let mut best: Option<(usize, f64)> = None;
-                    for sq in 0..q_slots {
-                        let d = (positions[flat(from)]
-                            - positions[flat(SatId { plane: q, slot: sq })])
-                        .norm();
-                        if best.is_none_or(|(_, bd)| d < bd) {
-                            best = Some((sq, d));
-                        }
-                    }
-                    if let Some((sq, _)) = best {
+                    let x = positions[flat(from)];
+                    if let Some(sq) =
+                        nearest_slot_scan(x, &|i| positions[i], plane_offsets[q], q_slots)
+                    {
                         push_link(from, SatId { plane: q, slot: sq }, &mut links);
                     }
                 }
@@ -259,18 +526,14 @@ impl Topology {
         }
 
         // Build adjacency (deduplicated, undirected).
-        let mut adjacency = vec![Vec::new(); total];
         let mut seen = std::collections::HashSet::new();
         links.retain(|l| {
             let key =
                 if flat(l.a) < flat(l.b) { (flat(l.a), flat(l.b)) } else { (flat(l.b), flat(l.a)) };
             seen.insert(key)
         });
-        for l in &links {
-            adjacency[flat(l.a)].push((flat(l.b), l.length_km));
-            adjacency[flat(l.b)].push((flat(l.a), l.length_km));
-        }
-        Ok(Topology { links, adjacency, plane_offsets })
+        let (adj_offsets, adj_entries) = build_adjacency(&links, flat, total);
+        Ok(Topology { links, adj_offsets, adj_entries, plane_offsets })
     }
 
     /// Number of nodes.
@@ -294,7 +557,7 @@ impl Topology {
 
     /// Neighbors (flattened index, link length km) of a node.
     pub fn neighbors(&self, index: usize) -> &[(usize, f64)] {
-        &self.adjacency[index]
+        &self.adj_entries[self.adj_offsets[index]..self.adj_offsets[index + 1]]
     }
 
     /// Mean node degree.
@@ -332,7 +595,14 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::SnapshotSeries;
     use ssplane_astro::sunsync::sun_synchronous_orbit;
+
+    /// Snapshot-based +grid at one epoch (the test-suite shorthand).
+    fn grid_at(c: &Constellation, t: Epoch, config: GridTopologyConfig) -> Topology {
+        let series = SnapshotSeries::build(c, &[t]).unwrap();
+        Topology::plus_grid(&series.snapshot(0), config).unwrap()
+    }
 
     fn test_constellation(planes: usize, slots: usize) -> Constellation {
         let epoch = Epoch::J2000;
@@ -396,14 +666,14 @@ mod tests {
         let planes: Vec<Vec<OrbitalElements>> = pattern.chunks(12).map(<[_]>::to_vec).collect();
         let walker = Constellation::from_planes(epoch, planes).unwrap();
         assert_eq!(walker.n_planes(), 8);
-        let topo = Topology::plus_grid(&walker, epoch, Default::default()).unwrap();
+        let topo = grid_at(&walker, epoch, Default::default());
         assert!(topo.is_connected(), "Walker +grid must be connected");
     }
 
     #[test]
     fn plus_grid_structure() {
         let c = test_constellation(4, 12);
-        let topo = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let topo = grid_at(&c, Epoch::J2000, Default::default());
         assert_eq!(topo.n_nodes(), 48);
         // Ring links: 12 per plane × 4 planes; cross-plane ≈ 12 × 3.
         assert!(topo.links.len() >= 48 + 24, "links = {}", topo.links.len());
@@ -421,14 +691,13 @@ mod tests {
     #[test]
     fn range_limit_prunes_links() {
         let c = test_constellation(3, 8);
-        let tight = Topology::plus_grid(
+        let tight = grid_at(
             &c,
             Epoch::J2000,
             GridTopologyConfig { max_range_km: 100.0, ..Default::default() },
-        )
-        .unwrap();
+        );
         assert!(tight.links.is_empty(), "no link is under 100 km");
-        let loose = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
+        let loose = grid_at(&c, Epoch::J2000, Default::default());
         assert!(!loose.links.is_empty());
     }
 
@@ -436,7 +705,7 @@ mod tests {
     fn all_links_within_range_and_los() {
         let c = test_constellation(5, 15);
         let cfg = GridTopologyConfig::default();
-        let topo = Topology::plus_grid(&c, Epoch::J2000, cfg).unwrap();
+        let topo = grid_at(&c, Epoch::J2000, cfg);
         for l in &topo.links {
             assert!(l.length_km <= cfg.max_range_km);
             let pa = c.position(l.a, Epoch::J2000).unwrap();
@@ -448,13 +717,12 @@ mod tests {
     #[test]
     fn wrap_planes_adds_links() {
         let c = test_constellation(5, 8);
-        let open = Topology::plus_grid(&c, Epoch::J2000, Default::default()).unwrap();
-        let wrapped = Topology::plus_grid(
+        let open = grid_at(&c, Epoch::J2000, Default::default());
+        let wrapped = grid_at(
             &c,
             Epoch::J2000,
             GridTopologyConfig { wrap_planes: true, ..Default::default() },
-        )
-        .unwrap();
+        );
         assert!(wrapped.links.len() >= open.links.len());
     }
 }

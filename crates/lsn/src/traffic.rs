@@ -7,12 +7,14 @@
 //! traffic engineer would optimize.
 
 use crate::error::{LsnError, Result};
-use crate::routing::{great_circle_delay_ms, route_ground_to_ground, Route};
-use crate::topology::{Constellation, SatId, Topology};
+use crate::routing::{
+    assemble_route, great_circle_delay_ms, shortest_path, Route, ServingIndex, ShortestPathTree,
+};
+use crate::snapshot::Snapshot;
+use crate::topology::{SatId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssplane_astro::geo::GeoPoint;
-use ssplane_astro::time::Epoch;
 use ssplane_demand::DemandModel;
 use std::collections::BTreeMap;
 
@@ -60,6 +62,17 @@ pub fn sample_flows(model: &DemandModel, utc_hour: f64, n: usize, seed: u64) -> 
         .collect()
 }
 
+/// The per-flow routing outcome a time-resolved analysis needs: enough
+/// to compute delay percentiles and serving-pair handoffs across slots
+/// without keeping whole routes alive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOutcome {
+    /// End-to-end delay \[ms\].
+    pub delay_ms: f64,
+    /// The serving pair (first/last hop).
+    pub ends: (SatId, SatId),
+}
+
 /// Result of assigning flows to a snapshot.
 #[derive(Debug, Clone)]
 pub struct TrafficReport {
@@ -78,6 +91,10 @@ pub struct TrafficReport {
     pub mean_stretch: f64,
     /// Mean hop count of routed flows.
     pub mean_hops: f64,
+    /// Per-flow outcomes, index-aligned with the input flow list (`None`
+    /// where unrouted) — the raw material for slot-to-slot handoff and
+    /// delay-distribution statistics.
+    pub flow_outcomes: Vec<Option<FlowOutcome>>,
 }
 
 impl TrafficReport {
@@ -96,35 +113,75 @@ impl TrafficReport {
     }
 }
 
-/// Routes every flow at epoch `t` and accumulates per-link load.
+/// Routes every flow at the snapshot's epoch and accumulates per-link
+/// load. Ground attachment reads positions from the snapshot (no
+/// propagation), and flows sharing a serving satellite share one cached
+/// [`ShortestPathTree`] instead of re-running Dijkstra per pair — both
+/// produce bit-identical routes to the per-flow reference path.
 ///
 /// # Errors
-/// Propagates topology/propagation failure; per-flow unreachability is
-/// counted, not raised.
+/// Propagates topology failure; per-flow unreachability is counted, not
+/// raised.
 pub fn assign_traffic(
-    constellation: &Constellation,
+    snapshot: &Snapshot<'_>,
     topology: &Topology,
     flows: &[Flow],
-    t: Epoch,
     min_elevation: f64,
 ) -> Result<TrafficReport> {
+    // Resolve ground attachment up front: one declination-pruned index
+    // per snapshot, one exact query per *distinct* endpoint (demand
+    // sampling concentrates endpoints in cities, so flows share them).
+    let index = ServingIndex::new(*snapshot, min_elevation);
+    let mut endpoint_cache: BTreeMap<(u64, u64), Option<SatId>> = BTreeMap::new();
+    let mut serve = |p: GeoPoint| -> Option<SatId> {
+        *endpoint_cache
+            .entry((p.lat.to_bits(), p.lon.to_bits()))
+            .or_insert_with(|| index.query(p).map(|(id, _)| id))
+    };
+    let pairs: Vec<Option<(SatId, SatId)>> =
+        flows.iter().map(|f| serve(f.src).zip(serve(f.dst))).collect();
+    // Sources serving several flows amortize one full Dijkstra tree;
+    // one-flow sources keep the cheaper early-exit per-pair search.
+    let mut source_flows: BTreeMap<SatId, usize> = BTreeMap::new();
+    for (s_sat, d_sat) in pairs.iter().flatten() {
+        if s_sat != d_sat {
+            *source_flows.entry(*s_sat).or_insert(0) += 1;
+        }
+    }
+
     let mut link_load: BTreeMap<(SatId, SatId), f64> = BTreeMap::new();
     let mut routed = 0usize;
     let mut unrouted = 0usize;
     let mut stretch_sum = 0.0;
     let mut hop_sum = 0usize;
-    for flow in flows {
-        let route: Route = match route_ground_to_ground(
-            constellation,
-            topology,
-            flow.src,
-            flow.dst,
-            t,
-            min_elevation,
-        ) {
-            Ok(r) => r,
+    let mut flow_outcomes: Vec<Option<FlowOutcome>> = Vec::with_capacity(flows.len());
+    let mut trees: BTreeMap<SatId, ShortestPathTree> = BTreeMap::new();
+    for (flow, pair) in flows.iter().zip(&pairs) {
+        let Some((s_sat, d_sat)) = *pair else {
+            unrouted += 1;
+            flow_outcomes.push(None);
+            continue;
+        };
+        let isl = if s_sat == d_sat {
+            Ok((vec![s_sat], 0.0))
+        } else if source_flows[&s_sat] > 1 {
+            let tree = match trees.entry(s_sat) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(ShortestPathTree::from_source(topology, s_sat)?)
+                }
+            };
+            tree.path_to(topology, d_sat)
+        } else {
+            shortest_path(topology, s_sat, d_sat)
+        };
+        let route: Route = match isl {
+            Ok((hops, isl_km)) => {
+                assemble_route(snapshot, flow.src, flow.dst, s_sat, d_sat, hops, isl_km)?
+            }
             Err(LsnError::NoRoute) => {
                 unrouted += 1;
+                flow_outcomes.push(None);
                 continue;
             }
             Err(e) => return Err(e),
@@ -136,6 +193,7 @@ pub fn assign_traffic(
         for pair in route.hops.windows(2) {
             *link_load.entry((pair[0], pair[1])).or_insert(0.0) += flow.demand;
         }
+        flow_outcomes.push(Some(FlowOutcome { delay_ms: route.delay_ms, ends: (s_sat, d_sat) }));
     }
     Ok(TrafficReport {
         routed,
@@ -143,15 +201,18 @@ pub fn assign_traffic(
         link_load,
         mean_stretch: if routed == 0 { f64::NAN } else { stretch_sum / routed as f64 },
         mean_hops: if routed == 0 { f64::NAN } else { hop_sum as f64 / routed as f64 },
+        flow_outcomes,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::GridTopologyConfig;
+    use crate::snapshot::SnapshotSeries;
+    use crate::topology::{Constellation, GridTopologyConfig};
     use ssplane_astro::kepler::OrbitalElements;
     use ssplane_astro::sunsync::sun_synchronous_orbit;
+    use ssplane_astro::time::Epoch;
     use ssplane_demand::diurnal::DiurnalModel;
     use ssplane_demand::population::{PopulationConfig, PopulationGrid};
 
@@ -195,10 +256,11 @@ mod tests {
     #[test]
     fn traffic_assignment_end_to_end() {
         let c = constellation();
-        let t = Epoch::J2000;
-        let topo = Topology::plus_grid(&c, t, GridTopologyConfig::default()).unwrap();
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        let topo = Topology::plus_grid(&snap, GridTopologyConfig::default()).unwrap();
         let flows = sample_flows(&model(), 12.0, 30, 3);
-        let report = assign_traffic(&c, &topo, &flows, t, 25f64.to_radians()).unwrap();
+        let report = assign_traffic(&snap, &topo, &flows, 25f64.to_radians()).unwrap();
         assert_eq!(report.routed + report.unrouted, 30);
         assert!(report.routed > 0, "some flows must route on a 240-sat constellation");
         if report.routed > 0 {
@@ -206,19 +268,60 @@ mod tests {
             assert!(report.mean_hops >= 1.0);
             assert!(report.max_link_load() >= report.mean_link_load());
         }
+        // Per-flow outcomes line up with the aggregate counts.
+        assert_eq!(report.flow_outcomes.len(), 30);
+        assert_eq!(report.flow_outcomes.iter().flatten().count(), report.routed);
+        for outcome in report.flow_outcomes.iter().flatten() {
+            assert!(outcome.delay_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn cached_trees_match_per_flow_routing() {
+        // The per-source Dijkstra cache must be invisible: routing the
+        // same flow list one flow at a time through the uncached
+        // reference path gives identical aggregates.
+        let c = constellation();
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        let topo = Topology::plus_grid(&snap, GridTopologyConfig::default()).unwrap();
+        let flows = sample_flows(&model(), 9.0, 40, 11);
+        let batched = assign_traffic(&snap, &topo, &flows, 25f64.to_radians()).unwrap();
+        for (flow, outcome) in flows.iter().zip(&batched.flow_outcomes) {
+            let reference = crate::routing::route_ground_to_ground(
+                &snap,
+                &topo,
+                flow.src,
+                flow.dst,
+                25f64.to_radians(),
+            );
+            match (reference, outcome) {
+                (Ok(route), Some(out)) => {
+                    assert_eq!(route.delay_ms, out.delay_ms);
+                    assert_eq!(
+                        (*route.hops.first().unwrap(), *route.hops.last().unwrap()),
+                        out.ends
+                    );
+                }
+                (Err(LsnError::NoRoute), None) => {}
+                (r, o) => panic!("divergent flow outcome: {r:?} vs {o:?}"),
+            }
+        }
     }
 
     #[test]
     fn empty_flow_list() {
         let c = constellation();
-        let t = Epoch::J2000;
-        let topo = Topology::plus_grid(&c, t, GridTopologyConfig::default()).unwrap();
-        let report = assign_traffic(&c, &topo, &[], t, 0.5).unwrap();
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        let topo = Topology::plus_grid(&snap, GridTopologyConfig::default()).unwrap();
+        let report = assign_traffic(&snap, &topo, &[], 0.5).unwrap();
         assert_eq!(report.routed, 0);
         assert_eq!(report.unrouted, 0);
         assert!(report.link_load.is_empty());
         assert!(report.mean_stretch.is_nan());
         assert_eq!(report.max_link_load(), 0.0);
         assert_eq!(report.mean_link_load(), 0.0);
+        assert!(report.flow_outcomes.is_empty());
     }
 }

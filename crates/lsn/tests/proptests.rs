@@ -1,4 +1,8 @@
-//! Property-based tests for the networking layer.
+//! Property-based tests for the networking layer, including the
+//! snapshot-parity suite: the SoA-cached, sorted-search
+//! [`Topology::plus_grid`] must produce exactly the links and adjacency
+//! of the legacy per-call-position construction over arbitrary plane
+//! sets.
 
 use proptest::prelude::*;
 use ssplane_astro::kepler::OrbitalElements;
@@ -6,6 +10,7 @@ use ssplane_astro::linalg::Vec3;
 use ssplane_astro::sunsync::sun_synchronous_orbit;
 use ssplane_astro::time::Epoch;
 use ssplane_lsn::routing::shortest_path;
+use ssplane_lsn::snapshot::SnapshotSeries;
 use ssplane_lsn::spares::spares_for_availability;
 use ssplane_lsn::topology::{line_of_sight, Constellation, GridTopologyConfig, SatId, Topology};
 
@@ -16,6 +21,48 @@ fn small_constellation(planes: usize, slots: usize) -> Constellation {
         .map(|p| orbit.with_ltan(6.0 + 1.3 * p as f64).plane_elements(epoch, slots).unwrap())
         .collect();
     Constellation::new(epoch, element_planes).unwrap()
+}
+
+fn snapshot_grid(c: &Constellation, t: Epoch, config: GridTopologyConfig) -> Topology {
+    let series = SnapshotSeries::build(c, &[t]).unwrap();
+    Topology::plus_grid(&series.snapshot(0), config).unwrap()
+}
+
+/// A constellation of sun-synchronous planes with per-plane LTAN, slot
+/// count, and phase offset drawn from the strategy inputs — "random
+/// plane sets" in the parity property.
+fn random_constellation(altitude_km: f64, plane_params: &[(f64, usize)]) -> Constellation {
+    let epoch = Epoch::J2000;
+    let orbit = sun_synchronous_orbit(altitude_km).unwrap();
+    let element_planes: Vec<Vec<OrbitalElements>> = plane_params
+        .iter()
+        .map(|&(ltan, slots)| orbit.with_ltan(ltan).plane_elements(epoch, slots).unwrap())
+        .collect();
+    Constellation::new(epoch, element_planes).unwrap()
+}
+
+/// Asserts that two topologies are identical: same canonical link list
+/// (order included) and the same adjacency lists entry for entry. The
+/// legacy construction may emit a link's endpoints in either orientation,
+/// so links are compared after canonicalizing to `(min, max)` flat order.
+fn assert_topologies_identical(legacy: &Topology, snapshot: &Topology) {
+    assert_eq!(legacy.n_nodes(), snapshot.n_nodes());
+    assert_eq!(legacy.links.len(), snapshot.links.len(), "link counts diverge");
+    for (l, s) in legacy.links.iter().zip(&snapshot.links) {
+        let (lf, lt) = (legacy.index_of(l.a).unwrap(), legacy.index_of(l.b).unwrap());
+        let canonical = if lf < lt { (l.a, l.b) } else { (l.b, l.a) };
+        assert_eq!((s.a, s.b), canonical, "link endpoint order diverged");
+        assert!(
+            snapshot.index_of(s.a).unwrap() < snapshot.index_of(s.b).unwrap(),
+            "snapshot link not canonical: {:?} -> {:?}",
+            s.a,
+            s.b
+        );
+        assert_eq!(l.length_km, s.length_km, "link length diverged for {:?}-{:?}", s.a, s.b);
+    }
+    for i in 0..legacy.n_nodes() {
+        assert_eq!(legacy.neighbors(i), snapshot.neighbors(i), "adjacency of node {i} diverged");
+    }
 }
 
 proptest! {
@@ -37,7 +84,7 @@ proptest! {
         p2 in 0usize..4, s2 in 0usize..8,
     ) {
         let c = small_constellation(4, 8);
-        let topo = Topology::plus_grid(&c, Epoch::J2000, GridTopologyConfig::default()).unwrap();
+        let topo = snapshot_grid(&c, Epoch::J2000, GridTopologyConfig::default());
         let from = SatId { plane: p1, slot: s1 };
         let to = SatId { plane: p2, slot: s2 };
         match shortest_path(&topo, from, to) {
@@ -70,7 +117,7 @@ proptest! {
         s1 in 0usize..8, s2 in 0usize..8, s3 in 0usize..8,
     ) {
         let c = small_constellation(3, 8);
-        let topo = Topology::plus_grid(&c, Epoch::J2000, GridTopologyConfig::default()).unwrap();
+        let topo = snapshot_grid(&c, Epoch::J2000, GridTopologyConfig::default());
         let a = SatId { plane: 0, slot: s1 };
         let b = SatId { plane: 1, slot: s2 };
         let d = SatId { plane: 2, slot: s3 };
@@ -81,6 +128,68 @@ proptest! {
         ) {
             prop_assert!(ad <= ab + bd + 1e-9, "ad {ad} > ab {ab} + bd {bd}");
         }
+    }
+
+    #[test]
+    fn snapshot_plus_grid_matches_legacy_construction(
+        altitude_km in 450.0f64..1200.0,
+        ltans in collection::vec(0.0f64..24.0, 1usize..7),
+        slot_counts in collection::vec(1usize..45, 1usize..7),
+        dt in 0.0f64..172_800.0,
+        wrap in 0usize..2,
+        max_range_km in 1500.0f64..6000.0,
+    ) {
+        // Pair the sampled LTANs and slot counts into a random plane set
+        // (the shorter list bounds the plane count).
+        // (both vec strategies have minimum length 1, so at least one
+        // plane always survives the zip)
+        let plane_params: Vec<(f64, usize)> =
+            ltans.iter().copied().zip(slot_counts.iter().copied()).collect();
+        let c = random_constellation(altitude_km, &plane_params);
+        let t = Epoch::J2000 + dt;
+        let config = GridTopologyConfig {
+            max_range_km,
+            wrap_planes: wrap == 1,
+            ..GridTopologyConfig::default()
+        };
+        let legacy = Topology::plus_grid_at(&c, t, config).unwrap();
+        let series = SnapshotSeries::build(&c, &[t]).unwrap();
+        let snapshot = Topology::plus_grid(&series.snapshot(0), config).unwrap();
+        assert_topologies_identical(&legacy, &snapshot);
+    }
+
+    #[test]
+    fn snapshot_plus_grid_matches_legacy_on_walker_chunks(
+        total in 40usize..200,
+        planes in 2usize..9,
+        phasing in 0usize..4,
+        inclination_deg in 40.0f64..90.0,
+        dt in 0.0f64..86_400.0,
+    ) {
+        // Walker-delta geometry reaches plus_grid through
+        // `Constellation::from_planes` in the scenario engine; the parity
+        // must hold there too.
+        let per_plane = (total / planes).max(1);
+        let count = per_plane * planes;
+        let pattern = ssplane_astro::walker::WalkerDelta::new(
+            550.0,
+            inclination_deg.to_radians(),
+            count,
+            planes,
+            phasing % planes,
+        )
+        .unwrap()
+        .generate()
+        .unwrap();
+        let element_planes: Vec<Vec<OrbitalElements>> =
+            pattern.chunks(per_plane).map(<[_]>::to_vec).collect();
+        let c = Constellation::from_planes(Epoch::J2000, element_planes).unwrap();
+        let t = Epoch::J2000 + dt;
+        let config = GridTopologyConfig::default();
+        let legacy = Topology::plus_grid_at(&c, t, config).unwrap();
+        let series = SnapshotSeries::build(&c, &[t]).unwrap();
+        let snapshot = Topology::plus_grid(&series.snapshot(0), config).unwrap();
+        assert_topologies_identical(&legacy, &snapshot);
     }
 
     #[test]

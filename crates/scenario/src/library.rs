@@ -64,6 +64,11 @@ pub const BUILTINS: &[Builtin] = &[
         summary: "SS vs Walker vs RGT: the full designer registry on one demand",
         toml: include_str!("../../../scenarios/design-shootout.toml"),
     },
+    Builtin {
+        name: "time-resolved",
+        summary: "multi-slot network.time_grid: per-slot connectivity, load, delay percentiles",
+        toml: include_str!("../../../scenarios/time-resolved.toml"),
+    },
 ];
 
 /// Looks a built-in up by name.
@@ -111,6 +116,7 @@ mod tests {
             "mega-constellation",
             "walker-network",
             "design-shootout",
+            "time-resolved",
         ] {
             assert!(find(name).is_some(), "missing builtin {name}");
         }

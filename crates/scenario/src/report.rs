@@ -120,6 +120,52 @@ impl SurvivabilityOutcome {
     }
 }
 
+/// Time-resolved networking metrics over the `network.time_grid_*` grid:
+/// the whole topology + traffic stage evaluated per slot. Present only
+/// when the grid has more than one slot, so single-instant scenarios —
+/// including every pre-refactor golden — serialize exactly as before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeGridReport {
+    /// Traffic grid slots evaluated.
+    pub slots: usize,
+    /// Slots whose ISL topology was connected.
+    pub connected_slots: usize,
+    /// Fewest flows routed in any slot.
+    pub min_routed: usize,
+    /// Mean flows routed per slot.
+    pub mean_routed: f64,
+    /// Maximum directed-link load over all slots.
+    pub peak_link_load: f64,
+    /// Mean (over slots) of the per-slot mean link load.
+    pub mean_link_load: f64,
+    /// Median delay over all routed (flow, slot) pairs \[ms\].
+    pub delay_p50_ms: f64,
+    /// 90th-percentile delay \[ms\].
+    pub delay_p90_ms: f64,
+    /// 99th-percentile delay \[ms\].
+    pub delay_p99_ms: f64,
+    /// Serving-pair handoffs summed over flows across consecutive
+    /// routable slots.
+    pub handoffs: usize,
+}
+
+impl TimeGridReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("slots", self.slots as u64)
+            .uint("connected_slots", self.connected_slots as u64)
+            .uint("min_routed", self.min_routed as u64)
+            .num("mean_routed", self.mean_routed)
+            .num("peak_link_load", self.peak_link_load)
+            .num("mean_link_load", self.mean_link_load)
+            .num("delay_p50_ms", self.delay_p50_ms)
+            .num("delay_p90_ms", self.delay_p90_ms)
+            .num("delay_p99_ms", self.delay_p99_ms)
+            .uint("handoffs", self.handoffs as u64)
+            .build()
+    }
+}
+
 /// Networking-stage outcome for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkReport {
@@ -143,11 +189,13 @@ pub struct NetworkReport {
     pub handoffs: usize,
     /// Mean delay over reachable slots \[ms\].
     pub mean_delay_ms: f64,
+    /// Time-resolved metrics (only for a multi-slot `network.time_grid`).
+    pub time_grid: Option<TimeGridReport>,
 }
 
 impl NetworkReport {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .uint("routed", self.routed as u64)
             .uint("unrouted", self.unrouted as u64)
             .num("mean_stretch", self.mean_stretch)
@@ -157,8 +205,11 @@ impl NetworkReport {
             .uint("reachable_slots", self.reachable_slots as u64)
             .uint("slots", self.slots as u64)
             .uint("handoffs", self.handoffs as u64)
-            .num("mean_delay_ms", self.mean_delay_ms)
-            .build()
+            .num("mean_delay_ms", self.mean_delay_ms);
+        if let Some(tg) = &self.time_grid {
+            obj = obj.field("time_grid", tg.to_json());
+        }
+        obj.build()
     }
 }
 

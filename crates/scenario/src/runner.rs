@@ -23,7 +23,7 @@
 use crate::error::{Result, ScenarioError};
 use crate::report::{
     AttackReport, DesignReport, FluenceReport, NamedSystemReport, NetworkReport, ScenarioReport,
-    SurvivabilityOutcome, SystemReport,
+    SurvivabilityOutcome, SystemReport, TimeGridReport,
 };
 use crate::spec::{DesignKind, DesignSpec, ScenarioSpec};
 use crate::sweep::SweepSpec;
@@ -36,10 +36,12 @@ use ssplane_core::system::{
 };
 use ssplane_demand::grid::LatTodGrid;
 use ssplane_demand::DemandModel;
-use ssplane_lsn::routing::route_over_time;
+use ssplane_lsn::routing::{route_ground_to_ground, route_over_time, Route, TimeExpandedRoutes};
+use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
 use ssplane_lsn::survivability::simulate;
 use ssplane_lsn::topology::{Constellation, GridTopologyConfig, Topology};
-use ssplane_lsn::traffic::{assign_traffic, sample_flows};
+use ssplane_lsn::traffic::{assign_traffic, sample_flows, TrafficReport};
+use ssplane_lsn::LsnError;
 use ssplane_radiation::fluence::DailyFluence;
 use ssplane_radiation::RadiationEnvironment;
 use std::collections::BTreeMap;
@@ -260,14 +262,81 @@ fn system_report(
     Ok(report)
 }
 
-/// Runs the networking stage over one designed system: ISL topology over
-/// its plane geometry (in the design's network order), demand-weighted
-/// traffic assignment, and the time-expanded reference route.
+/// Nearest-rank percentile of an ascending-sorted sample (NaN if empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The time-resolved aggregate over per-slot traffic reports and
+/// connectivity flags (the `time_grid` report block).
+fn time_grid_report(per_slot: &[(bool, TrafficReport)]) -> TimeGridReport {
+    let slots = per_slot.len();
+    let connected_slots = per_slot.iter().filter(|(connected, _)| *connected).count();
+    let min_routed = per_slot.iter().map(|(_, t)| t.routed).min().unwrap_or(0);
+    let mean_routed =
+        per_slot.iter().map(|(_, t)| t.routed as f64).sum::<f64>() / slots.max(1) as f64;
+    let peak_link_load = per_slot.iter().map(|(_, t)| t.max_link_load()).fold(0.0, f64::max);
+    let mean_link_load =
+        per_slot.iter().map(|(_, t)| t.mean_link_load()).sum::<f64>() / slots.max(1) as f64;
+
+    // Delay distribution over every routed (flow, slot) pair, in
+    // deterministic (slot-major, then flow) collection order before the
+    // total-order sort.
+    let mut delays: Vec<f64> = per_slot
+        .iter()
+        .flat_map(|(_, t)| t.flow_outcomes.iter().flatten().map(|o| o.delay_ms))
+        .collect();
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+
+    // Per-flow serving-pair handoffs across consecutive routable slots.
+    let n_flows = per_slot.first().map_or(0, |(_, t)| t.flow_outcomes.len());
+    let mut handoffs = 0usize;
+    for flow in 0..n_flows {
+        let mut prev = None;
+        for ends in per_slot.iter().filter_map(|(_, t)| t.flow_outcomes[flow].map(|o| o.ends)) {
+            if let Some(p) = prev {
+                if p != ends {
+                    handoffs += 1;
+                }
+            }
+            prev = Some(ends);
+        }
+    }
+
+    TimeGridReport {
+        slots,
+        connected_slots,
+        min_routed,
+        mean_routed,
+        peak_link_load,
+        mean_link_load,
+        delay_p50_ms: percentile(&delays, 0.50),
+        delay_p90_ms: percentile(&delays, 0.90),
+        delay_p99_ms: percentile(&delays, 0.99),
+        handoffs,
+    }
+}
+
+/// Runs the networking stage over one designed system: one shared
+/// [`SnapshotSeries`] propagation cache over the traffic time grid, an
+/// ISL topology and demand-weighted traffic assignment per slot, and the
+/// time-expanded reference route. With `time_grid_slots = 1` this is
+/// byte-identical to the classic single-instant stage; with more slots
+/// the per-slot metrics aggregate into the `time_grid` report block.
+///
+/// `build_threads` bounds the snapshot build's scoped workers (`0` =
+/// the machine; the sweep runner passes its per-worker share so
+/// concurrent scenarios don't oversubscribe the CPU).
 fn network_report(
     spec: &ScenarioSpec,
     model: &DemandModel,
     sys: &DesignedSystem,
     epoch: Epoch,
+    build_threads: usize,
 ) -> Result<NetworkReport> {
     let constellation = Constellation::from_planes(epoch, sys.network_planes())?;
     let topo_config = GridTopologyConfig {
@@ -276,31 +345,56 @@ fn network_report(
     };
     let min_elev = spec.network.min_elevation_deg.to_radians();
     let t = epoch + spec.network.utc_hour * 3600.0;
-    let topology = Topology::plus_grid(&constellation, t, topo_config)?;
+
+    // The traffic grid: propagate the whole constellation over every
+    // slot once, in parallel, into the shared snapshot cache.
+    let grid_slots = spec.network.time_grid_slots.max(1);
+    let grid = time_grid(t, grid_slots, spec.network.time_grid_slot_s);
+    let series = SnapshotSeries::build_parallel(&constellation, &grid, build_threads)?;
+
+    // The reference pair of every routing walkthrough in this repo:
+    // New York -> London across the configured (route-grid) slots. When
+    // the route grid coincides with the traffic grid, the reference
+    // route rides the per-slot topologies below instead of rebuilding
+    // the whole series.
+    let src = GeoPoint::from_degrees(40.7, -74.0);
+    let dst = GeoPoint::from_degrees(51.5, -0.1);
+    let route_grid = time_grid(t, spec.network.slots.max(1), spec.network.slot_s);
+    let shared_grid = route_grid == grid;
+
     // Flow endpoints are demand-weighted; the stream is derived from the
-    // scenario seed so sweeps decorrelate.
+    // scenario seed so sweeps decorrelate. One flow set is routed at
+    // every slot (the grid varies the geometry, not the demand sample).
     let flows = sample_flows(
         model,
         spec.network.utc_hour,
         spec.network.n_flows,
         spec.seed.wrapping_add(0x9E37_79B9),
     );
-    let traffic = assign_traffic(&constellation, &topology, &flows, t, min_elev)?;
+    let mut per_slot: Vec<(bool, TrafficReport)> = Vec::with_capacity(series.len());
+    let mut shared_routes: Vec<Option<Route>> = Vec::new();
+    for snapshot in series.iter() {
+        let topology = Topology::plus_grid(&snapshot, topo_config)?;
+        let traffic = assign_traffic(&snapshot, &topology, &flows, min_elev)?;
+        if shared_grid {
+            match route_ground_to_ground(&snapshot, &topology, src, dst, min_elev) {
+                Ok(r) => shared_routes.push(Some(r)),
+                Err(LsnError::NoRoute) => shared_routes.push(None),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        per_slot.push((topology.is_connected(), traffic));
+    }
 
-    // The reference pair of every routing walkthrough in this repo:
-    // New York -> London across the configured slots.
-    let src = GeoPoint::from_degrees(40.7, -74.0);
-    let dst = GeoPoint::from_degrees(51.5, -0.1);
-    let routes = route_over_time(
-        &constellation,
-        src,
-        dst,
-        t,
-        spec.network.slots.max(1),
-        spec.network.slot_s,
-        min_elev,
-        topo_config,
-    )?;
+    let routes = if shared_grid {
+        TimeExpandedRoutes { epochs: route_grid, routes: shared_routes }
+    } else {
+        let route_series =
+            SnapshotSeries::build_parallel(&constellation, &route_grid, build_threads)?;
+        route_over_time(&route_series, src, dst, min_elev, topo_config)?
+    };
+
+    let (_, traffic) = &per_slot[0];
     Ok(NetworkReport {
         routed: traffic.routed,
         unrouted: traffic.unrouted,
@@ -312,11 +406,17 @@ fn network_report(
         slots: routes.routes.len(),
         handoffs: routes.handoffs(),
         mean_delay_ms: routes.mean_delay_ms(),
+        time_grid: (grid_slots > 1).then(|| time_grid_report(&per_slot)),
     })
 }
 
 /// The scenario pipeline body, writing stage timings into `clock`.
-fn run_scenario(spec: &ScenarioSpec, clock: &mut StageClock) -> Result<ScenarioReport> {
+/// `build_threads` caps the network stage's snapshot-build workers.
+fn run_scenario(
+    spec: &ScenarioSpec,
+    clock: &mut StageClock,
+    build_threads: usize,
+) -> Result<ScenarioReport> {
     spec.validate()?;
 
     // Demand stage.
@@ -349,10 +449,9 @@ fn run_scenario(spec: &ScenarioSpec, clock: &mut StageClock) -> Result<ScenarioR
         let mut report =
             system_report(spec, name, &sys, &env, epoch, spec.radiation.enabled, clock)?;
         if spec.network.enabled && sys.total_sats() > 0 {
-            report.network =
-                Some(clock.time(&format!("{name}.network"), || {
-                    network_report(spec, &model, &sys, epoch)
-                })?);
+            report.network = Some(clock.time(&format!("{name}.network"), || {
+                network_report(spec, &model, &sys, epoch, build_threads)
+            })?);
         }
         systems.push(NamedSystemReport { system: name.to_string(), report });
     }
@@ -379,10 +478,21 @@ pub fn execute_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
 
 /// Executes one scenario end-to-end, also returning its stage timings
 /// (collected even when the scenario fails partway: the stages that did
-/// run are reported).
+/// run are reported). A standalone execution owns the machine, so the
+/// snapshot build may use every core.
 pub fn execute_scenario_timed(spec: &ScenarioSpec) -> (Result<ScenarioReport>, ScenarioTimings) {
+    execute_scenario_timed_with(spec, 0)
+}
+
+/// As [`execute_scenario_timed`], with the network stage's snapshot
+/// build capped at `build_threads` scoped workers (`0` = all cores) —
+/// the sweep runner passes each worker's share of the thread budget.
+fn execute_scenario_timed_with(
+    spec: &ScenarioSpec,
+    build_threads: usize,
+) -> (Result<ScenarioReport>, ScenarioTimings) {
     let mut clock = StageClock { stages: Vec::new() };
-    let result = run_scenario(spec, &mut clock);
+    let result = run_scenario(spec, &mut clock, build_threads);
     (result, ScenarioTimings { name: spec.name.clone(), stages: clock.stages })
 }
 
@@ -495,6 +605,16 @@ impl SweepOutcome {
     }
 }
 
+/// The runner's total thread budget: the configured count, or the
+/// machine's available parallelism when auto (`0`).
+fn workers_total_budget(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
 impl Runner {
     /// A runner using `threads` workers (`0` = auto).
     pub fn with_threads(threads: usize) -> Self {
@@ -502,9 +622,7 @@ impl Runner {
     }
 
     fn worker_count(&self, jobs: usize) -> usize {
-        let auto = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-        let n = if self.threads == 0 { auto } else { self.threads };
-        n.clamp(1, jobs.max(1))
+        workers_total_budget(self.threads).clamp(1, jobs.max(1))
     }
 
     /// Runs every spec, in parallel, returning outcomes in spec order.
@@ -513,12 +631,19 @@ impl Runner {
         let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
         let workers = self.worker_count(n);
         if workers <= 1 || n <= 1 {
-            let (reports, timings) = specs.iter().map(execute_scenario_timed).unzip();
+            // The whole budget goes to intra-scenario parallelism (an
+            // explicit `--threads k` still caps snapshot builds at k).
+            let (reports, timings) =
+                specs.iter().map(|spec| execute_scenario_timed_with(spec, self.threads)).unzip();
             return SweepOutcome { names, reports, timings };
         }
         let next = AtomicUsize::new(0);
         type Slot = Mutex<Option<(Result<ScenarioReport>, ScenarioTimings)>>;
         let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Each concurrent worker gets its share of the thread budget for
+        // intra-scenario parallelism (the network stage's snapshot
+        // build), so a sweep never runs more threads than configured.
+        let build_threads = (workers_total_budget(self.threads) / workers).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -526,7 +651,7 @@ impl Runner {
                     if i >= n {
                         break;
                     }
-                    let outcome = execute_scenario_timed(&specs[i]);
+                    let outcome = execute_scenario_timed_with(&specs[i], build_threads);
                     *slots[i].lock().expect("runner slot poisoned") = Some(outcome);
                 });
             }
@@ -635,6 +760,69 @@ mod tests {
         let net = report.system("wd").unwrap().network.as_ref().expect("Walker networking on");
         assert!(net.routed + net.unrouted == 40);
         assert!(net.routed > 0, "a Walker +grid must route some flows");
+    }
+
+    #[test]
+    fn multi_slot_time_grid_adds_the_time_resolved_block() {
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.network.enabled = true;
+        spec.network.n_flows = 30;
+        spec.network.slots = 2;
+        let single = execute_scenario(&spec).unwrap();
+        let net = single.system("ss").unwrap().network.clone().expect("network on");
+        assert!(net.time_grid.is_none(), "single-slot grid must not add the block");
+
+        spec.network.time_grid_slots = 4;
+        spec.network.time_grid_slot_s = 300.0;
+        let multi = execute_scenario(&spec).unwrap();
+        let mnet = multi.system("ss").unwrap().network.clone().expect("network on");
+        let tg = mnet.time_grid.expect("multi-slot grid adds the block");
+        assert_eq!(tg.slots, 4);
+        assert!(tg.connected_slots <= 4);
+        assert!(tg.min_routed <= net.routed);
+        assert!(tg.mean_routed >= tg.min_routed as f64);
+        assert!(tg.peak_link_load >= mnet.max_link_load);
+        assert!(tg.delay_p50_ms <= tg.delay_p90_ms || tg.delay_p50_ms.is_nan());
+        assert!(tg.delay_p90_ms <= tg.delay_p99_ms || tg.delay_p90_ms.is_nan());
+        // Slot 0 of the grid *is* the classic instant: the headline
+        // fields must be unchanged by widening the grid.
+        assert_eq!(net.routed, mnet.routed);
+        assert_eq!(net.mean_stretch, mnet.mean_stretch);
+        assert_eq!(net.max_link_load, mnet.max_link_load);
+        // The JSON gains exactly one new sub-object.
+        let line = multi.to_json_line();
+        assert!(line.contains(r#""time_grid":{"slots":4"#), "{line}");
+        assert!(!single.to_json_line().contains("time_grid"));
+    }
+
+    #[test]
+    fn shared_route_grid_reuses_topologies_without_changing_routes() {
+        // When the reference-route grid coincides with the traffic grid
+        // the stage rides the already-built per-slot topologies; the
+        // route metrics must be exactly what a separate series yields.
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 3;
+        spec.network.slot_s = 240.0;
+        spec.network.time_grid_slots = 3;
+        spec.network.time_grid_slot_s = 240.0; // shared with the route grid
+        let shared = execute_scenario(&spec).unwrap();
+        spec.network.time_grid_slots = 1; // forces the separate route series
+        let separate = execute_scenario(&spec).unwrap();
+        let s = shared.system("ss").unwrap().network.clone().unwrap();
+        let n = separate.system("ss").unwrap().network.clone().unwrap();
+        assert_eq!(s.reachable_slots, n.reachable_slots);
+        assert_eq!(s.slots, n.slots);
+        assert_eq!(s.handoffs, n.handoffs);
+        assert_eq!(s.mean_delay_ms, n.mean_delay_ms);
+        assert_eq!(s.routed, n.routed);
     }
 
     #[test]

@@ -323,6 +323,16 @@ pub struct NetworkSpec {
     pub slots: usize,
     /// Slot spacing \[s\].
     pub slot_s: f64,
+    /// Slots of the traffic time grid: the whole topology + traffic
+    /// stage is evaluated at this many instants starting at `utc_hour`,
+    /// all fed from one shared [`SnapshotSeries`] propagation cache.
+    /// `1` (the default) is the classic single-instant stage; `> 1` adds
+    /// the time-resolved `time_grid` block to the network report.
+    ///
+    /// [`SnapshotSeries`]: ssplane_lsn::snapshot::SnapshotSeries
+    pub time_grid_slots: usize,
+    /// Spacing of the traffic time grid \[s\].
+    pub time_grid_slot_s: f64,
 }
 
 impl Default for NetworkSpec {
@@ -335,6 +345,8 @@ impl Default for NetworkSpec {
             max_range_km: 5000.0,
             slots: 8,
             slot_s: 60.0,
+            time_grid_slots: 1,
+            time_grid_slot_s: 60.0,
         }
     }
 }
@@ -410,6 +422,18 @@ impl ScenarioSpec {
                 "> 0",
             ));
         }
+        if self.network.enabled {
+            if self.network.time_grid_slots == 0 {
+                return Err(ScenarioError::bad_value("network.time_grid_slots", "0", ">= 1"));
+            }
+            if self.network.time_grid_slots > 1 && !positive(self.network.time_grid_slot_s) {
+                return Err(ScenarioError::bad_value(
+                    "network.time_grid_slot_s",
+                    &self.network.time_grid_slot_s.to_string(),
+                    "> 0 for a multi-slot time grid",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -474,6 +498,24 @@ mod tests {
         assert_eq!(spec.design.ordered_kinds(), vec![DesignKind::SsPlane, DesignKind::Rgt]);
         assert!(spec.design.includes(DesignKind::Rgt));
         assert!(!spec.design.includes(DesignKind::Walker));
+    }
+
+    #[test]
+    fn time_grid_validation() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.network.enabled = true;
+        spec.validate().unwrap();
+        spec.network.time_grid_slots = 0;
+        assert!(spec.validate().is_err());
+        spec.network.time_grid_slots = 4;
+        spec.network.time_grid_slot_s = 0.0;
+        assert!(spec.validate().is_err());
+        spec.network.time_grid_slot_s = 120.0;
+        spec.validate().unwrap();
+        // A disabled network stage does not police its grid.
+        spec.network.enabled = false;
+        spec.network.time_grid_slots = 0;
+        spec.validate().unwrap();
     }
 
     #[test]

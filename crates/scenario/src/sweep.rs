@@ -353,6 +353,8 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         "network.max_range_km" => spec.network.max_range_km = need_f64(key, value)?,
         "network.slots" => spec.network.slots = need_usize(key, value)?,
         "network.slot_s" => spec.network.slot_s = need_f64(key, value)?,
+        "network.time_grid_slots" => spec.network.time_grid_slots = need_usize(key, value)?,
+        "network.time_grid_slot_s" => spec.network.time_grid_slot_s = need_f64(key, value)?,
 
         _ => return Err(ScenarioError::UnknownParameter { key: key.to_string() }),
     }
@@ -532,6 +534,16 @@ mod tests {
         apply_param(&mut spec, "radiation.epoch", &TomlValue::Str("2016-02-29".to_string()))
             .unwrap();
         assert_eq!(spec.radiation.epoch_ymd, (2016, 2, 29));
+    }
+
+    #[test]
+    fn network_time_grid_paths() {
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "network.time_grid_slots", &TomlValue::Int(6)).unwrap();
+        apply_param(&mut spec, "network.time_grid_slot_s", &TomlValue::Float(300.0)).unwrap();
+        assert_eq!(spec.network.time_grid_slots, 6);
+        assert_eq!(spec.network.time_grid_slot_s, 300.0);
+        assert!(apply_param(&mut spec, "network.time_grid_slots", &TomlValue::Float(1.5)).is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use ssplane_core::designer::{design_ss_constellation, DesignConfig};
 use ssplane_demand::grid::LatTodGrid;
 use ssplane_demand::DemandModel;
 use ssplane_lsn::routing::{great_circle_delay_ms, route_over_time};
+use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
 use ssplane_lsn::topology::{Constellation, GridTopologyConfig, Topology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epoch = ssplane_astro::time::Epoch::from_calendar(2013, 6, 1, 0, 0, 0.0);
 
     let constellation = Constellation::from_ss(epoch, &design)?;
-    let topology = Topology::plus_grid(&constellation, epoch, GridTopologyConfig::default())?;
+    // Propagate the whole horizon once into the shared snapshot cache;
+    // every downstream stage reads positions from it.
+    let series = SnapshotSeries::build_parallel(&constellation, &time_grid(epoch, 12, 300.0), 0)?;
+    let topology = Topology::plus_grid(&series.snapshot(0), GridTopologyConfig::default())?;
     println!(
         "constellation: {} planes x {} sats = {} satellites",
         design.planes.len(),
@@ -41,16 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fiber = great_circle_delay_ms(src, dst);
     println!("\nNew York -> London (great-circle fiber bound {fiber:.1} ms):");
 
-    let routes = route_over_time(
-        &constellation,
-        src,
-        dst,
-        epoch,
-        12,
-        300.0,
-        20f64.to_radians(),
-        GridTopologyConfig::default(),
-    )?;
+    let routes =
+        route_over_time(&series, src, dst, 20f64.to_radians(), GridTopologyConfig::default())?;
     for (k, route) in routes.routes.iter().enumerate() {
         match route {
             Some(r) => println!(

@@ -8,6 +8,7 @@ use ssplane_core::evaluate::{verify_earth_fixed_supply, verify_sun_relative_supp
 use ssplane_core::walker_baseline::{design_walker_constellation, WalkerBaselineConfig};
 use ssplane_lsn::failures::FailureModel;
 use ssplane_lsn::routing::route_over_time;
+use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
 use ssplane_lsn::spares::{spares_for_availability, SparePolicy};
 use ssplane_lsn::survivability::{compare, SurvivabilityConfig};
 use ssplane_lsn::topology::{Constellation, GridTopologyConfig, Topology};
@@ -113,23 +114,17 @@ fn routing_works_on_designed_constellation() {
     let epoch = design_epoch();
     let constellation = Constellation::from_ss(epoch, &ss).unwrap();
     assert_eq!(constellation.total_sats(), ss.total_sats());
-    let topo = Topology::plus_grid(&constellation, epoch, GridTopologyConfig::default()).unwrap();
+    // One shared propagation cache feeds topology and routing.
+    let series = SnapshotSeries::build(&constellation, &time_grid(epoch, 5, 120.0)).unwrap();
+    let topo = Topology::plus_grid(&series.snapshot(0), GridTopologyConfig::default()).unwrap();
     assert!(topo.mean_degree() > 2.0);
 
     // Route between two populated places over 5 slots.
     let src = ssplane_astro::geo::GeoPoint::from_degrees(40.7, -74.0); // NYC
     let dst = ssplane_astro::geo::GeoPoint::from_degrees(51.5, -0.1); // London
-    let routes = route_over_time(
-        &constellation,
-        src,
-        dst,
-        epoch,
-        5,
-        120.0,
-        20f64.to_radians(),
-        GridTopologyConfig::default(),
-    )
-    .unwrap();
+    let routes =
+        route_over_time(&series, src, dst, 20f64.to_radians(), GridTopologyConfig::default())
+            .unwrap();
     // A design sized for demand coverage should route trans-Atlantic
     // traffic in at least some slots.
     assert!(routes.reachable_slots() >= 1, "no reachable slot out of {}", routes.routes.len());
