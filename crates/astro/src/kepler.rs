@@ -258,8 +258,8 @@ impl OrbitalElements {
 /// iterations for all elliptical eccentricities.
 ///
 /// # Errors
-/// Returns [`AstroError::NoConvergence`] if the tolerance is not reached in
-/// [`KEPLER_MAX_ITER`] iterations (not observed for `0 <= e < 1`).
+/// Returns [`AstroError::NoConvergence`] if the tolerance is not reached
+/// within the iteration cap (not observed for `0 <= e < 1`).
 pub fn solve_kepler(mean_anomaly: f64, eccentricity: f64) -> Result<f64> {
     let m = wrap_two_pi(mean_anomaly);
     let e = eccentricity;

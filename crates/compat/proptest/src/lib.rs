@@ -142,7 +142,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Something usable as the size argument of [`vec`]: an exact length
+    /// Something usable as the size argument of [`vec()`]: an exact length
     /// or a half-open range of lengths.
     pub trait SizeRange {
         /// Picks a concrete length.

@@ -30,7 +30,7 @@ pub struct SustainabilityParams {
     /// Payload capacity of one launch \[kg\] to the design altitude.
     pub launch_capacity_kg: f64,
     /// Fraction of satellite mass that survives re-entry ablation into
-    /// long-lived upper-atmosphere aerosol (alumina), per its ref. [10].
+    /// long-lived upper-atmosphere aerosol (alumina), per its ref. \[10\].
     pub ablation_aerosol_fraction: f64,
     /// Baseline annual failure hazard per satellite (non-radiation).
     pub baseline_hazard_per_year: f64,

@@ -1,7 +1,7 @@
 //! Diurnal (time-of-day) traffic seasonality.
 //!
 //! A generative stand-in for the CESNET-TimeSeries24 dataset (the paper's
-//! ref. [17]): 283 sites of throughput telemetry whose median-normalized
+//! ref. \[17\]): 283 sites of throughput telemetry whose median-normalized
 //! load exhibits a strong waking/sleeping cycle. The model reproduces the
 //! two curves the paper plots in Fig. 4 — the median and the 95th
 //! percentile of load (as % of each site's median) grouped by local time

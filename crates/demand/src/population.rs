@@ -1,7 +1,7 @@
 //! Synthetic gridded world population density.
 //!
 //! A procedural stand-in for the SEDAC Gridded World Population dataset the
-//! paper uses (its ref. [11]). The generator is calibrated so that the
+//! paper uses (its ref. \[11\]). The generator is calibrated so that the
 //! *maximum density per latitude* profile — the only spatial moment the
 //! paper's Fig. 3 and the constellation designers consume — matches the
 //! published curve: population mass concentrated at intermediate northern

@@ -20,16 +20,28 @@
 //!   human activity*).
 //! * [`failures`] — radiation-driven failure processes: per-satellite
 //!   hazard proportional to accumulated fluence (§3.2's mechanism).
+//! * [`disruption`] — the pluggable disruption API: [`AttackModel`]s
+//!   mapping a constellation to destroyed slots (strided plane loss,
+//!   random loss, declination-band debris events, whole-shell loss),
+//!   [`FailureProcess`]es sampling satellite lifetimes (the radiation
+//!   exponential, a Weibull bathtub), and the [`OutageTimeline`] of
+//!   per-satellite outage intervals that couples both into the network
+//!   stage via [`Snapshot`] alive masks.
 //! * [`spares`] — spare provisioning policies (per-plane hot spares vs a
 //!   shared on-demand pool), the paper's "2–10 spares per plane" practice.
 //! * [`survivability`] — a discrete-event simulation tying it together:
 //!   failures, replacements, and capacity availability over mission time
 //!   (§5(2): *lighter-weight fault tolerance for low-radiation
-//!   constellations*).
+//!   constellations*), now a scalar reduction of the outage timeline.
+//!
+//! [`AttackModel`]: disruption::AttackModel
+//! [`FailureProcess`]: disruption::FailureProcess
+//! [`OutageTimeline`]: disruption::OutageTimeline
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod disruption;
 pub mod error;
 pub mod failures;
 pub mod routing;
@@ -40,6 +52,7 @@ pub mod survivability;
 pub mod topology;
 pub mod traffic;
 
+pub use disruption::{AttackModel, AttackTarget, FailureProcess, OutageTimeline};
 pub use error::{LsnError, Result};
 pub use snapshot::{Snapshot, SnapshotSeries};
 pub use topology::{Constellation, SatId, Topology};

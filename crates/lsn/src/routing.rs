@@ -122,8 +122,8 @@ pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec
 /// Dijkstra run, queryable for every destination. Traffic assignment
 /// caches one of these per distinct serving satellite so flows sharing an
 /// uplink attachment share the graph search; by the finalization argument
-/// on [`dijkstra`], every answered path is identical to a fresh
-/// per-pair [`shortest_path`] call.
+/// on the underlying Dijkstra run, every answered path is identical to a
+/// fresh per-pair [`shortest_path`] call.
 #[derive(Debug, Clone)]
 pub struct ShortestPathTree {
     src: usize,
@@ -162,6 +162,7 @@ impl ShortestPathTree {
 
 /// The satellite best serving a ground point at the snapshot's epoch: the
 /// one with the highest elevation above `min_elevation` \[rad\], if any.
+/// Satellites masked dead by the snapshot's alive mask cannot serve.
 pub fn serving_satellite(
     snapshot: &Snapshot<'_>,
     ground: GeoPoint,
@@ -172,6 +173,9 @@ pub fn serving_satellite(
     let g_eci = ecef_to_eci(t, g_ecef);
     let mut best: Option<(SatId, f64)> = None;
     for (flat, id) in snapshot.ids().enumerate() {
+        if !snapshot.is_alive_flat(flat) {
+            continue;
+        }
         let r = snapshot.position_flat(flat);
         let central = g_eci.angle_to(r);
         let altitude = r.norm() - EARTH_RADIUS_KM;
@@ -247,8 +251,11 @@ impl<'a> ServingIndex<'a> {
         let mut best: Option<(SatId, f64)> = None;
         for (flat, id) in self.snapshot.ids().enumerate() {
             // Central angle >= |declination difference|: out-of-band
-            // satellites cannot clear the elevation mask.
-            if (self.declinations[flat] - g_dec).abs() > self.band_rad {
+            // satellites cannot clear the elevation mask. Dead satellites
+            // cannot serve at all.
+            if !self.snapshot.is_alive_flat(flat)
+                || (self.declinations[flat] - g_dec).abs() > self.band_rad
+            {
                 continue;
             }
             let r = self.snapshot.position_flat(flat);
@@ -509,6 +516,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dead_satellite_cannot_serve() {
+        let c = constellation(6, 20);
+        let t = Epoch::J2000;
+        let series = single(&c, t);
+        let snap = series.snapshot(0);
+        let r = c.position(SatId { plane: 2, slot: 5 }, t).unwrap();
+        let (gp, _) = ssplane_astro::frames::subsatellite_point(t, r).unwrap();
+        let (best, _) = serving_satellite(&snap, gp, 10f64.to_radians()).unwrap();
+        assert_eq!(best, SatId { plane: 2, slot: 5 });
+        // Kill the overhead satellite: the mask must hand the point to a
+        // different (lower-elevation) server, and the pruned index must
+        // agree with the plain scan on the masked snapshot.
+        let mut mask = vec![true; snap.total_sats()];
+        mask[snap.flat_index(best).unwrap()] = false;
+        let masked = snap.with_alive(&mask);
+        let fallback = serving_satellite(&masked, gp, 10f64.to_radians());
+        if let Some((second, _)) = fallback {
+            assert_ne!(second, best);
+        }
+        let index = ServingIndex::new(masked, 10f64.to_radians());
+        assert_eq!(index.query(gp), fallback);
+        // Killing everything leaves the point unserved.
+        let none = vec![false; snap.total_sats()];
+        assert_eq!(serving_satellite(&snap.with_alive(&none), gp, 0.0), None);
     }
 
     #[test]

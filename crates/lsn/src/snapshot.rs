@@ -157,7 +157,7 @@ impl SnapshotSeries {
     /// If `k` is out of range.
     pub fn snapshot(&self, k: usize) -> Snapshot<'_> {
         assert!(k < self.epochs.len(), "slot {k} out of range");
-        Snapshot { series: self, slot: k }
+        Snapshot { series: self, slot: k, alive: None }
     }
 
     /// Iterates the slots in time order.
@@ -168,13 +168,49 @@ impl SnapshotSeries {
 
 /// One time slot of a [`SnapshotSeries`]: every consumer that used to
 /// take `(constellation, t)` now takes one of these.
+///
+/// A snapshot can carry an **alive mask** ([`Snapshot::with_alive`]):
+/// consumers that build the network — topology construction, ground
+/// attachment, traffic assignment — then see only the surviving
+/// satellites, which is how a
+/// [`disruption`](crate::disruption) attack or outage timeline couples
+/// into the network stage. Positions of dead satellites remain
+/// addressable (the buffers are untouched); only network participation
+/// is masked.
 #[derive(Debug, Clone, Copy)]
 pub struct Snapshot<'a> {
     series: &'a SnapshotSeries,
     slot: usize,
+    /// One flag per satellite (flat order); `None` = everything alive.
+    alive: Option<&'a [bool]>,
+}
+
+impl<'a> Snapshot<'a> {
+    /// This view restricted to the satellites flagged `true` in `alive`
+    /// (flat plane-major order, one flag per satellite).
+    ///
+    /// # Panics
+    /// If `alive.len()` is not the satellite count.
+    pub fn with_alive(self, alive: &'a [bool]) -> Snapshot<'a> {
+        assert_eq!(alive.len(), self.series.n_sats, "alive mask length mismatch");
+        Snapshot { alive: Some(alive), ..self }
+    }
 }
 
 impl Snapshot<'_> {
+    /// Whether the satellite at flat index `i` is in service (always
+    /// `true` for an unmasked snapshot).
+    pub fn is_alive_flat(&self, i: usize) -> bool {
+        self.alive.is_none_or(|mask| mask[i])
+    }
+
+    /// Satellites in service at this slot.
+    pub fn alive_count(&self) -> usize {
+        match self.alive {
+            None => self.series.n_sats,
+            Some(mask) => mask.iter().filter(|&&a| a).count(),
+        }
+    }
     /// The slot's epoch.
     pub fn epoch(&self) -> Epoch {
         self.series.epochs[self.slot]
@@ -297,6 +333,35 @@ mod tests {
         assert!(snap.flat_index(SatId { plane: 1, slot: 9 }).is_none());
         assert!(snap.position(SatId { plane: 3, slot: 0 }).is_err());
         assert!(!series.is_empty());
+    }
+
+    #[test]
+    fn alive_mask_view() {
+        let c = constellation(2, 5);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        assert_eq!(snap.alive_count(), 10);
+        assert!(snap.is_alive_flat(3));
+        let mut mask = vec![true; 10];
+        mask[3] = false;
+        mask[7] = false;
+        let masked = snap.with_alive(&mask);
+        assert_eq!(masked.alive_count(), 8);
+        assert!(!masked.is_alive_flat(3));
+        assert!(masked.is_alive_flat(4));
+        // Positions stay addressable for dead satellites.
+        assert_eq!(
+            masked.position(SatId { plane: 0, slot: 3 }).unwrap().x,
+            snap.position(SatId { plane: 0, slot: 3 }).unwrap().x
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask length mismatch")]
+    fn alive_mask_length_checked() {
+        let c = constellation(1, 4);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let _ = series.snapshot(0).with_alive(&[true, false]);
     }
 
     #[test]

@@ -48,6 +48,79 @@ impl SparePolicy {
     }
 }
 
+/// The live spare inventory of a [`SparePolicy`] during a simulation.
+///
+/// Replaces the sentinel arithmetic (`isize::MAX` shared-pool marker,
+/// `1e18`-clamped per-plane floats) the survivability engine used to
+/// carry: each policy's accounting is its own variant, so per-plane and
+/// shared-pool draws can't be silently confused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpareBudget {
+    /// Per-plane hot spares: one independent counter per plane.
+    PerPlane {
+        /// The policy's parked budget per plane (the resupply target).
+        budget: usize,
+        /// Spares currently parked in each plane.
+        remaining: Vec<usize>,
+    },
+    /// One common pool drawn by every plane.
+    SharedPool {
+        /// The policy's pool size (the resupply target).
+        pool_size: usize,
+        /// Spares currently in the pool.
+        remaining: usize,
+    },
+}
+
+impl SpareBudget {
+    /// The starting inventory of `policy` over `planes` planes.
+    pub fn new(policy: &SparePolicy, planes: usize) -> Self {
+        match *policy {
+            SparePolicy::PerPlane { spares_per_plane, .. } => SpareBudget::PerPlane {
+                budget: spares_per_plane,
+                remaining: vec![spares_per_plane; planes],
+            },
+            SparePolicy::SharedPool { pool_size, .. } => {
+                SpareBudget::SharedPool { pool_size, remaining: pool_size }
+            }
+        }
+    }
+
+    /// Draws one spare for a failure in `plane`; `false` if the relevant
+    /// inventory is exhausted.
+    pub fn draw(&mut self, plane: usize) -> bool {
+        match self {
+            SpareBudget::PerPlane { remaining, .. } => {
+                if remaining[plane] > 0 {
+                    remaining[plane] -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            SpareBudget::SharedPool { remaining, .. } => {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A resupply epoch triggered by an exhausted `plane`: tops the
+    /// relevant inventory back up to the policy's budget (the delivered
+    /// replacement for the waiting slot arrives alongside and is not
+    /// drawn from the inventory).
+    pub fn resupply(&mut self, plane: usize) {
+        match self {
+            SpareBudget::PerPlane { budget, remaining } => remaining[plane] = *budget,
+            SpareBudget::SharedPool { pool_size, remaining } => *remaining = *pool_size,
+        }
+    }
+}
+
 /// Expected failures per plane per resupply period, for sizing spares:
 /// with `sats_per_plane` satellites of annual hazard `hazard_per_year`
 /// and resupply every `resupply_days`.
@@ -173,6 +246,38 @@ mod tests {
         let a_low = steady_state_availability(0.04, &fast, 20, 25, 180.0);
         assert!(a_low > a_spared);
         assert!((0.0..=1.0).contains(&a_spared));
+    }
+
+    #[test]
+    fn per_plane_budget_draws_independently_and_resupplies_one_plane() {
+        let policy = SparePolicy::PerPlane { spares_per_plane: 2, replacement_days: 3.0 };
+        let mut budget = SpareBudget::new(&policy, 3);
+        assert!(budget.draw(0));
+        assert!(budget.draw(0));
+        assert!(!budget.draw(0), "plane 0 exhausted");
+        assert!(budget.draw(1), "plane 1 untouched by plane 0's draws");
+        budget.resupply(0);
+        assert!(budget.draw(0) && budget.draw(0) && !budget.draw(0), "topped back to 2");
+        // Resupplying plane 0 must not touch plane 1's count.
+        assert!(budget.draw(1));
+        assert!(!budget.draw(1));
+    }
+
+    #[test]
+    fn shared_pool_resupply_tops_the_pool_back_up() {
+        // The regression the survivability bugfix pins: a resupply epoch
+        // restores the *whole* pool, not a single spare.
+        let policy = SparePolicy::SharedPool { pool_size: 3, replacement_days: 20.0 };
+        let mut budget = SpareBudget::new(&policy, 5);
+        for _ in 0..3 {
+            assert!(budget.draw(4));
+        }
+        assert!(!budget.draw(0), "pool exhausted");
+        budget.resupply(0);
+        for k in 0..3 {
+            assert!(budget.draw(k), "draw {k} after a full top-up");
+        }
+        assert!(!budget.draw(0), "exactly pool_size spares delivered");
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! Discrete-event survivability simulation.
 //!
-//! Ties the failure model and spare policies together over mission time:
-//! satellites fail according to their radiation-driven hazard, spares
+//! Ties a [`FailureProcess`] and the spare policies together over mission
+//! time: satellites fail according to the process's lifetime law, spares
 //! phase in after the policy's latency, exhausted planes wait for
-//! resupply. The output quantifies the paper's §5(2) claim — a
-//! lower-radiation (SS) constellation sustains the same availability with
-//! fewer spares.
+//! resupply. One engine — [`outage_timeline`] — records the resulting
+//! per-satellite `[start, end)` outage intervals; the scalar
+//! [`simulate`] wrapper (the paper's §5(2) claim quantified: a
+//! lower-radiation SS constellation sustains the same availability with
+//! fewer spares) derives its report from the same intervals, so a
+//! timeline and a scalar report built from identical arguments describe
+//! the same realization. (Callers may still run them as independent
+//! draws — the scenario engine deliberately seeds its degraded-network
+//! timeline separately from its aggregate survivability report.)
 
+use crate::disruption::{FailureProcess, OutageInterval, OutageTimeline, RadiationExponential};
 use crate::error::Result;
 use crate::failures::FailureModel;
-use crate::spares::SparePolicy;
+use crate::spares::{SpareBudget, SparePolicy};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use ssplane_radiation::fluence::DailyFluence;
 
 /// Simulation configuration.
@@ -47,25 +54,35 @@ pub struct SurvivabilityReport {
     pub spares_consumed: usize,
 }
 
-/// Event-driven simulation of one constellation.
+/// The renewal engine: runs `process` over every slot of every plane and
+/// records the outage intervals instead of only their sum.
 ///
-/// `plane_doses[p]` is the representative daily fluence of plane `p`;
-/// `sats_per_plane` its slot count. Failed slots consume a spare (if the
-/// plane's budget has one) and return to service after the policy's
-/// replacement latency; otherwise they stay vacant until the next
-/// resupply epoch.
+/// `plane_doses[p]` is the representative daily fluence of plane `p`,
+/// `plane_sats[p]` its slot count. A failed slot consumes a spare from
+/// the policy's [`SpareBudget`] (if one remains) and returns to service
+/// after the replacement latency; otherwise it stays vacant until the
+/// next resupply epoch, which tops the exhausted inventory back up to
+/// the policy's budget. Slots flagged in `dead` (flat plane-major — an
+/// attack's victims) are out for the whole horizon: they draw no
+/// lifetimes and consume no spares, exactly as destroyed capacity is
+/// excluded from the scalar report.
+///
+/// Deterministic in `config.seed`: slots are processed in flat
+/// plane-major order, each failure drawing from one shared stream.
 ///
 /// # Errors
-/// Rejects empty constellations, non-positive horizons, and degenerate
-/// failure models.
-pub fn simulate(
+/// Rejects empty constellations, mismatched `plane_doses`/`plane_sats`
+/// lengths, non-positive horizons, and degenerate failure processes.
+pub fn outage_timeline(
     plane_doses: &[DailyFluence],
-    sats_per_plane: usize,
-    failure_model: &FailureModel,
+    plane_sats: &[usize],
+    dead: Option<&[bool]>,
+    process: &dyn FailureProcess,
     policy: &SparePolicy,
     config: SurvivabilityConfig,
-) -> Result<SurvivabilityReport> {
-    if plane_doses.is_empty() || sats_per_plane == 0 {
+) -> Result<OutageTimeline> {
+    let total: usize = plane_sats.iter().sum();
+    if plane_doses.is_empty() || plane_doses.len() != plane_sats.len() || total == 0 {
         return Err(crate::error::LsnError::BadParameter {
             name: "constellation",
             constraint: "at least one plane and one satellite per plane",
@@ -77,89 +94,136 @@ pub fn simulate(
             constraint: "> 0",
         });
     }
-    // Validate the model once up front (sample_fleet checks coefficients).
-    failure_model.sample_fleet(&plane_doses[..1.min(plane_doses.len())], config.seed)?;
+    if let Some(d) = dead {
+        if d.len() != total {
+            return Err(crate::error::LsnError::BadParameter {
+                name: "dead",
+                constraint: "one flag per satellite slot",
+            });
+        }
+    }
+    process.validate()?;
 
     let planes = plane_doses.len();
     let horizon_days = config.horizon_years * 365.25;
     let replacement_days = policy.replacement_days();
-    let per_plane_budget = match *policy {
-        SparePolicy::PerPlane { spares_per_plane, .. } => spares_per_plane as f64,
-        // Shared pool: express as an average per-plane budget; draws are
-        // made from the common pool below.
-        SparePolicy::SharedPool { .. } => f64::INFINITY,
-    };
-    let mut shared_pool = match *policy {
-        SparePolicy::SharedPool { pool_size, .. } => pool_size as isize,
-        SparePolicy::PerPlane { .. } => isize::MAX,
-    };
+    let mut budget = SpareBudget::new(policy, planes);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut failures = 0usize;
     let mut replacements = 0usize;
-    let mut lost_slot_days = 0.0f64;
     let mut spares_consumed = 0usize;
+    let mut vacancy_slot_days = 0.0f64;
+    let mut destroyed_slots = 0usize;
 
-    let mut plane_spares: Vec<f64> = vec![per_plane_budget.min(1e18); planes];
+    let mut plane_offsets = Vec::with_capacity(planes + 1);
+    let mut outages: Vec<Vec<OutageInterval>> = Vec::with_capacity(total);
 
     for (p, dose) in plane_doses.iter().enumerate() {
-        let hazard_per_day = failure_model.hazard_per_year(*dose) / 365.25;
-        for _slot in 0..sats_per_plane {
+        plane_offsets.push(outages.len());
+        for _slot in 0..plane_sats[p] {
+            if dead.is_some_and(|d| d[outages.len()]) {
+                // Destroyed before the mission: one wall-to-wall outage,
+                // no lifetime draws, no spare consumption.
+                destroyed_slots += 1;
+                outages.push(vec![OutageInterval { start_day: 0.0, end_day: horizon_days }]);
+                continue;
+            }
             // Renewal process for this slot across the horizon.
+            let mut slot_outages = Vec::new();
             let mut t = 0.0f64;
             loop {
-                let u: f64 = rng.gen::<f64>().max(1e-300);
-                let life_days = -u.ln() / hazard_per_day;
-                t += life_days;
+                t += process.sample_lifetime_days(*dose, &mut rng);
                 if t >= horizon_days {
                     break;
                 }
                 failures += 1;
-                // Draw a spare.
-                let have_spare = if shared_pool == isize::MAX {
-                    if plane_spares[p] >= 1.0 {
-                        plane_spares[p] -= 1.0;
-                        true
-                    } else {
-                        false
-                    }
-                } else if shared_pool > 0 {
-                    shared_pool -= 1;
-                    true
-                } else {
-                    false
-                };
-                let vacancy_days = if have_spare {
+                let vacancy_days = if budget.draw(p) {
                     spares_consumed += 1;
                     replacements += 1;
                     replacement_days
                 } else {
-                    // Wait for the next resupply epoch, then replace.
+                    // Wait for the next resupply epoch, which tops the
+                    // exhausted inventory back up; the waiting slot's
+                    // replacement is delivered alongside.
                     let next_resupply = (t / config.resupply_days).ceil() * config.resupply_days;
-                    // Resupply also tops the plane's budget back up.
-                    plane_spares[p] = per_plane_budget.min(1e18);
-                    if shared_pool != isize::MAX {
-                        shared_pool += 1; // one delivered for this slot
-                    }
+                    budget.resupply(p);
                     replacements += 1;
                     spares_consumed += 1;
                     (next_resupply - t) + replacement_days
                 };
                 let vacancy_days = vacancy_days.min(horizon_days - t);
-                lost_slot_days += vacancy_days;
+                vacancy_slot_days += vacancy_days;
+                slot_outages.push(OutageInterval { start_day: t, end_day: t + vacancy_days });
                 t += vacancy_days;
             }
+            outages.push(slot_outages);
         }
     }
+    plane_offsets.push(outages.len());
 
-    let slot_days = planes as f64 * sats_per_plane as f64 * horizon_days;
-    Ok(SurvivabilityReport {
-        availability: 1.0 - lost_slot_days / slot_days,
+    Ok(OutageTimeline {
+        horizon_days,
+        plane_offsets,
+        outages,
         failures,
         replacements,
-        lost_slot_days,
         spares_consumed,
+        vacancy_slot_days,
+        destroyed_slots,
     })
+}
+
+/// Event-driven simulation of one constellation under an arbitrary
+/// [`FailureProcess`]: the [`outage_timeline`] engine reduced to the
+/// scalar report.
+///
+/// # Errors
+/// As [`outage_timeline`].
+pub fn simulate_process(
+    plane_doses: &[DailyFluence],
+    sats_per_plane: usize,
+    process: &dyn FailureProcess,
+    policy: &SparePolicy,
+    config: SurvivabilityConfig,
+) -> Result<SurvivabilityReport> {
+    let plane_sats = vec![sats_per_plane; plane_doses.len()];
+    let timeline = outage_timeline(plane_doses, &plane_sats, None, process, policy, config)?;
+    let lost_slot_days = timeline.lost_slot_days();
+    let slot_days =
+        plane_doses.len() as f64 * sats_per_plane as f64 * (config.horizon_years * 365.25);
+    Ok(SurvivabilityReport {
+        availability: 1.0 - lost_slot_days / slot_days,
+        failures: timeline.failures,
+        replacements: timeline.replacements,
+        lost_slot_days,
+        spares_consumed: timeline.spares_consumed,
+    })
+}
+
+/// Event-driven simulation under the historical radiation-driven
+/// exponential process (`plane_doses[p]` is the representative daily
+/// fluence of plane `p`; `sats_per_plane` its slot count) — a
+/// [`simulate_process`] shorthand, bit-identical to the pre-timeline
+/// closed loop.
+///
+/// # Errors
+/// Rejects empty constellations, non-positive horizons, and degenerate
+/// failure models.
+pub fn simulate(
+    plane_doses: &[DailyFluence],
+    sats_per_plane: usize,
+    failure_model: &FailureModel,
+    policy: &SparePolicy,
+    config: SurvivabilityConfig,
+) -> Result<SurvivabilityReport> {
+    simulate_process(
+        plane_doses,
+        sats_per_plane,
+        &RadiationExponential { model: *failure_model },
+        policy,
+        config,
+    )
 }
 
 /// Convenience comparison: same policy and model, two constellations'
@@ -257,16 +321,149 @@ mod tests {
             simulate(&doses, 20, &FailureModel::default(), &pool, SurvivabilityConfig::default())
                 .unwrap();
         assert!((0.0..=1.0).contains(&report.availability));
-        // Slow pool replacement costs more than fast in-plane spares.
-        let fast = simulate(
-            &doses,
-            20,
-            &FailureModel::default(),
-            &policy(),
-            SurvivabilityConfig::default(),
+        // With resupply topping the whole pool back up, a 30-spare pool
+        // rarely exhausts: vacancies are dominated by the 20-day
+        // delivery latency, so the loss is at least ~one delivery per
+        // failure.
+        assert!(
+            report.lost_slot_days >= report.failures as f64 * 20.0 * 0.9,
+            "lost {} for {} failures",
+            report.lost_slot_days,
+            report.failures
+        );
+        // A faster delivery with the same pool strictly helps.
+        let quick = SparePolicy::SharedPool { pool_size: 30, replacement_days: 2.0 };
+        let fast =
+            simulate(&doses, 20, &FailureModel::default(), &quick, SurvivabilityConfig::default())
+                .unwrap();
+        assert!(fast.availability > report.availability);
+    }
+
+    /// A lifetime law with no randomness: every unit lives exactly
+    /// `life_days`. Lets the resupply arithmetic be pinned in closed
+    /// form.
+    struct ConstLife {
+        life_days: f64,
+    }
+
+    impl FailureProcess for ConstLife {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn validate(&self) -> Result<()> {
+            Ok(())
+        }
+        fn sample_lifetime_days(&self, _dose: DailyFluence, _rng: &mut StdRng) -> f64 {
+            self.life_days
+        }
+    }
+
+    #[test]
+    fn shared_pool_resupply_delivers_the_whole_pool() {
+        // Regression for the single-spare resupply bug: one slot failing
+        // every 10 days against a 2-spare pool with instant replacement
+        // and 1000-day resupply. Failures at t = 10 and 20 draw the
+        // pool; the one at t = 30 waits for day 1000 *and tops the pool
+        // back to 2*, so the failures at 1010 and 1020 draw again and
+        // the one at 1030 waits out the rest of the horizon — the cycle
+        // is draw, draw, wait. Under the old `pool += 1` behavior every
+        // second failure after the first wait would have waited instead.
+        let pool = SparePolicy::SharedPool { pool_size: 2, replacement_days: 0.0 };
+        let cfg =
+            SurvivabilityConfig { horizon_years: 2000.0 / 365.25, resupply_days: 1000.0, seed: 1 };
+        let timeline = outage_timeline(
+            &[dose(0.0, 0.0)],
+            &[1],
+            None,
+            &ConstLife { life_days: 10.0 },
+            &pool,
+            cfg,
         )
         .unwrap();
-        assert!(fast.availability >= report.availability);
+        // Six failures total (10, 20, 30, 1010, 1020, 1030); only the
+        // two exhaustion events lose time, 970 days each.
+        assert_eq!(timeline.failures, 6);
+        let waits: Vec<OutageInterval> =
+            timeline.outages[0].iter().copied().filter(|o| o.days() > 0.0).collect();
+        assert_eq!(waits.len(), 2, "one wait per resupply cycle, not every other failure");
+        assert!((waits[0].start_day - 30.0).abs() < 1e-9);
+        assert!((waits[0].end_day - 1000.0).abs() < 1e-9);
+        assert!((waits[1].start_day - 1030.0).abs() < 1e-9);
+        assert!((waits[1].end_day - 2000.0).abs() < 1e-9);
+        assert!((timeline.lost_slot_days() - (970.0 + 970.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_matches_the_scalar_report() {
+        // simulate() is the timeline reduced: availability, counters, and
+        // lost days must agree exactly.
+        let doses = vec![dose(3.5e10, 2.2e7); 7];
+        let cfg = SurvivabilityConfig { horizon_years: 6.0, ..Default::default() };
+        let report = simulate(&doses, 12, &FailureModel::default(), &policy(), cfg).unwrap();
+        let timeline = outage_timeline(
+            &doses,
+            &[12; 7],
+            None,
+            &RadiationExponential { model: FailureModel::default() },
+            &policy(),
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(timeline.failures, report.failures);
+        assert_eq!(timeline.replacements, report.replacements);
+        assert_eq!(timeline.spares_consumed, report.spares_consumed);
+        assert_eq!(timeline.lost_slot_days(), report.lost_slot_days);
+        assert_eq!(timeline.n_sats(), 84);
+        assert_eq!(timeline.plane_offsets, (0..=7).map(|p| p * 12).collect::<Vec<_>>());
+        // Intervals are chronological, inside the horizon, and match the
+        // aggregate loss.
+        for slot in &timeline.outages {
+            for w in slot.windows(2) {
+                assert!(w[0].end_day <= w[1].start_day);
+            }
+            for o in slot {
+                assert!(o.start_day >= 0.0 && o.end_day <= timeline.horizon_days + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_slots_are_excluded_from_failures_and_spares() {
+        let doses = vec![dose(4e10, 2.5e7); 4];
+        let plane_sats = vec![5usize; 4];
+        let cfg = SurvivabilityConfig { horizon_years: 5.0, ..Default::default() };
+        let process = RadiationExponential { model: FailureModel::default() };
+        let full = outage_timeline(&doses, &plane_sats, None, &process, &policy(), cfg).unwrap();
+        // Kill plane 2 outright.
+        let mut dead = vec![false; 20];
+        dead[10..15].fill(true);
+        let masked =
+            outage_timeline(&doses, &plane_sats, Some(&dead), &process, &policy(), cfg).unwrap();
+        assert!(masked.failures < full.failures, "dead slots draw no lifetimes");
+        for flat in 10..15 {
+            assert_eq!(masked.outages[flat].len(), 1);
+            assert!(!masked.alive_at(flat, 0.0));
+            assert!(!masked.alive_at(flat, masked.horizon_days - 1.0));
+        }
+        // A surviving slot's stream starts where the dead plane's would
+        // have: slot 0 of plane 0 is identical in both runs.
+        assert_eq!(masked.outages[0], full.outages[0]);
+        // Wrong mask length is rejected.
+        assert!(
+            outage_timeline(&doses, &plane_sats, Some(&[true]), &process, &policy(), cfg).is_err()
+        );
+    }
+
+    #[test]
+    fn weibull_process_runs_end_to_end() {
+        use crate::disruption::WeibullBathtub;
+        let doses = vec![dose(3e10, 2e7); 6];
+        let cfg = SurvivabilityConfig::default();
+        let a = simulate_process(&doses, 15, &WeibullBathtub::default(), &policy(), cfg).unwrap();
+        let b = simulate_process(&doses, 15, &WeibullBathtub::default(), &policy(), cfg).unwrap();
+        assert_eq!(a, b, "weibull runs are seed-deterministic");
+        assert!((0.0..=1.0).contains(&a.availability));
+        assert!(a.failures > 0, "a 5-year horizon sees infant mortality at least");
     }
 
     #[test]
@@ -282,6 +479,16 @@ mod tests {
             &FailureModel::default(),
             &policy(),
             SurvivabilityConfig { horizon_years: 0.0, ..Default::default() }
+        )
+        .is_err());
+        // The engine also rejects mismatched plane vectors.
+        assert!(outage_timeline(
+            &doses,
+            &[1, 2],
+            None,
+            &RadiationExponential { model: FailureModel::default() },
+            &policy(),
+            Default::default()
         )
         .is_err());
     }

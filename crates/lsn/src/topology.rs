@@ -365,6 +365,16 @@ impl Topology {
     /// through a sorted-by-angle index per target plane instead of a full
     /// scan per satellite pair — the same links, found in O(log S).
     ///
+    /// If the snapshot carries an alive mask
+    /// ([`Snapshot::with_alive`](crate::snapshot::Snapshot::with_alive)),
+    /// links touching a dead satellite are dropped: +grid laser terminals
+    /// point at fixed fore/aft/cross-plane partners, so a destroyed
+    /// neighbor takes its links down with it rather than being re-pointed
+    /// around — the standard node-failure model on a fixed grid. Dead
+    /// satellites remain zero-degree nodes (indexing is unchanged); use
+    /// [`Topology::is_connected_among`] for connectivity over the
+    /// survivors.
+    ///
     /// # Errors
     /// Currently infallible (positions are precomputed); kept fallible
     /// for signature stability with construction-time feasibility checks.
@@ -380,6 +390,9 @@ impl Topology {
         let mut links: Vec<Link> = Vec::with_capacity(2 * total);
         let push_link = |a: SatId, b: SatId, links: &mut Vec<Link>| {
             debug_assert!(flat(a) < flat(b), "links are emitted in canonical order");
+            if !snapshot.is_alive_flat(flat(a)) || !snapshot.is_alive_flat(flat(b)) {
+                return;
+            }
             let (pa, pb) = (position(flat(a)), position(flat(b)));
             let length = (pa - pb).norm();
             if length <= config.max_range_km && line_of_sight(pa, pb, config.occlusion_margin_km) {
@@ -590,6 +603,36 @@ impl Topology {
         }
         count == n
     }
+
+    /// Whether every satellite flagged alive can reach every other over
+    /// the topology — connectivity of the degraded network, ignoring the
+    /// zero-degree dead nodes a masked
+    /// [`Topology::plus_grid`] leaves behind. A network with no
+    /// survivors is not connected.
+    ///
+    /// # Panics
+    /// If `alive.len()` is not the node count.
+    pub fn is_connected_among(&self, alive: &[bool]) -> bool {
+        assert_eq!(alive.len(), self.n_nodes(), "alive mask length mismatch");
+        let Some(start) = alive.iter().position(|&a| a) else {
+            return false;
+        };
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        let mut seen = vec![false; self.n_nodes()];
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in self.neighbors(u) {
+                if !seen[v] && alive[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == n_alive
+    }
 }
 
 #[cfg(test)]
@@ -712,6 +755,60 @@ mod tests {
             let pb = c.position(l.b, Epoch::J2000).unwrap();
             assert!(line_of_sight(pa, pb, cfg.occlusion_margin_km));
         }
+    }
+
+    #[test]
+    fn alive_mask_drops_incident_links_only() {
+        let c = test_constellation(4, 12);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        let intact = Topology::plus_grid(&snap, Default::default()).unwrap();
+
+        // An all-alive mask is byte-identical to no mask.
+        let all = vec![true; 48];
+        let same = Topology::plus_grid(&snap.with_alive(&all), Default::default()).unwrap();
+        assert_eq!(same.links.len(), intact.links.len());
+        for (a, b) in same.links.iter().zip(&intact.links) {
+            assert_eq!((a.a, a.b, a.length_km), (b.a, b.b, b.length_km));
+        }
+
+        // Kill one satellite: exactly its incident links disappear, no
+        // others move.
+        let victim = SatId { plane: 1, slot: 5 };
+        let mut mask = all.clone();
+        mask[intact.index_of(victim).unwrap()] = false;
+        let degraded = Topology::plus_grid(&snap.with_alive(&mask), Default::default()).unwrap();
+        let expected: Vec<&Link> =
+            intact.links.iter().filter(|l| l.a != victim && l.b != victim).collect();
+        assert_eq!(degraded.links.len(), expected.len());
+        for (got, want) in degraded.links.iter().zip(expected) {
+            assert_eq!((got.a, got.b), (want.a, want.b));
+        }
+        assert!(degraded.neighbors(intact.index_of(victim).unwrap()).is_empty());
+
+        // The survivors stay connected; the full node set (dead node
+        // included) does not.
+        assert!(degraded.is_connected_among(&mask));
+        assert!(!degraded.is_connected());
+    }
+
+    #[test]
+    fn connectivity_among_survivors() {
+        let c = test_constellation(3, 10);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        // Kill the whole middle plane: planes 0 and 2 are only bridged
+        // through plane 1, so the survivors split.
+        let mut mask = vec![true; 30];
+        mask[10..20].fill(false);
+        let degraded = Topology::plus_grid(&snap.with_alive(&mask), Default::default()).unwrap();
+        assert!(!degraded.is_connected_among(&mask), "severed planes must disconnect");
+        // Nobody alive: not connected by definition.
+        assert!(!degraded.is_connected_among(&[false; 30]));
+        // A single survivor is trivially connected.
+        let mut lone = vec![false; 30];
+        lone[0] = true;
+        assert!(degraded.is_connected_among(&lone));
     }
 
     #[test]

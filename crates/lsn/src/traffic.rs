@@ -310,6 +310,40 @@ mod tests {
     }
 
     #[test]
+    fn masked_assignment_routes_around_dead_satellites() {
+        // The degraded-network coupling: the same flows over the same
+        // snapshot with half a plane destroyed must route no *more*
+        // flows, never transit a dead satellite, and still be
+        // deterministic.
+        let c = constellation();
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        let flows = sample_flows(&model(), 12.0, 40, 5);
+        let intact_topo = Topology::plus_grid(&snap, GridTopologyConfig::default()).unwrap();
+        let intact = assign_traffic(&snap, &intact_topo, &flows, 25f64.to_radians()).unwrap();
+
+        let mut mask = vec![true; snap.total_sats()];
+        for (flat, alive) in mask.iter_mut().enumerate() {
+            if flat % 24 < 12 && flat < 5 * 24 {
+                *alive = false; // half of each of the first 5 planes
+            }
+        }
+        let masked = snap.with_alive(&mask);
+        let degraded_topo = Topology::plus_grid(&masked, GridTopologyConfig::default()).unwrap();
+        let degraded = assign_traffic(&masked, &degraded_topo, &flows, 25f64.to_radians()).unwrap();
+        assert!(degraded.routed <= intact.routed);
+        assert_eq!(degraded.routed + degraded.unrouted, 40);
+        for (a, b) in degraded.link_load.keys().map(|&(a, b)| (a, b)) {
+            for end in [a, b] {
+                assert!(mask[snap.flat_index(end).unwrap()], "load crosses dead sat {end:?}");
+            }
+        }
+        let rerun = assign_traffic(&masked, &degraded_topo, &flows, 25f64.to_radians()).unwrap();
+        assert_eq!(rerun.routed, degraded.routed);
+        assert_eq!(rerun.link_load, degraded.link_load);
+    }
+
+    #[test]
     fn empty_flow_list() {
         let c = constellation();
         let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();

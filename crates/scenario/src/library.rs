@@ -69,6 +69,11 @@ pub const BUILTINS: &[Builtin] = &[
         summary: "multi-slot network.time_grid: per-slot connectivity, load, delay percentiles",
         toml: include_str!("../../../scenarios/time-resolved.toml"),
     },
+    Builtin {
+        name: "disruption",
+        summary: "attack kinds x weibull failures: the outage-coupled degraded network stage",
+        toml: include_str!("../../../scenarios/disruption.toml"),
+    },
 ];
 
 /// Looks a built-in up by name.
@@ -117,6 +122,7 @@ mod tests {
             "walker-network",
             "design-shootout",
             "time-resolved",
+            "disruption",
         ] {
             assert!(find(name).is_some(), "missing builtin {name}");
         }

@@ -166,6 +166,65 @@ impl TimeGridReport {
     }
 }
 
+/// Degraded-network metrics over the same time grid as the intact
+/// stage: every slot's snapshot masked by the attack's destroyed set
+/// plus (when survivability is enabled) the outage timeline sampled at
+/// the slot's mission fraction. Present only with
+/// `network.with_outages`, so every scenario without the key — including
+/// all pre-disruption goldens — serializes exactly as before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedNetworkReport {
+    /// Grid slots evaluated (same grid as the intact stage).
+    pub slots: usize,
+    /// Mean fraction of satellites in service over the slots.
+    pub mean_alive_fraction: f64,
+    /// Fewest satellites in service in any slot.
+    pub min_alive: usize,
+    /// Slots whose *surviving* subgraph was connected.
+    pub connected_slots: usize,
+    /// Fewest flows routed in any slot.
+    pub min_routed: usize,
+    /// Mean flows routed per slot.
+    pub mean_routed: f64,
+    /// Mean routed fraction: `mean_routed / flows offered`.
+    pub routed_fraction: f64,
+    /// Maximum directed-link load over all slots.
+    pub peak_link_load: f64,
+    /// Mean (over slots) of the per-slot mean link load.
+    pub mean_link_load: f64,
+    /// Load inflation vs the intact baseline: degraded `mean_link_load`
+    /// over intact `mean_link_load` (surviving links carry the detoured
+    /// traffic). Non-finite (serialized `null`) when the intact grid
+    /// carries no load.
+    pub load_inflation: f64,
+    /// Median delay over routed (flow, slot) pairs \[ms\].
+    pub delay_p50_ms: f64,
+    /// 90th-percentile delay \[ms\].
+    pub delay_p90_ms: f64,
+    /// 99th-percentile delay \[ms\].
+    pub delay_p99_ms: f64,
+}
+
+impl DegradedNetworkReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("slots", self.slots as u64)
+            .num("mean_alive_fraction", self.mean_alive_fraction)
+            .uint("min_alive", self.min_alive as u64)
+            .uint("connected_slots", self.connected_slots as u64)
+            .uint("min_routed", self.min_routed as u64)
+            .num("mean_routed", self.mean_routed)
+            .num("routed_fraction", self.routed_fraction)
+            .num("peak_link_load", self.peak_link_load)
+            .num("mean_link_load", self.mean_link_load)
+            .num("load_inflation", self.load_inflation)
+            .num("delay_p50_ms", self.delay_p50_ms)
+            .num("delay_p90_ms", self.delay_p90_ms)
+            .num("delay_p99_ms", self.delay_p99_ms)
+            .build()
+    }
+}
+
 /// Networking-stage outcome for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkReport {
@@ -191,6 +250,8 @@ pub struct NetworkReport {
     pub mean_delay_ms: f64,
     /// Time-resolved metrics (only for a multi-slot `network.time_grid`).
     pub time_grid: Option<TimeGridReport>,
+    /// Degraded-network metrics (only with `network.with_outages`).
+    pub degraded: Option<DegradedNetworkReport>,
 }
 
 impl NetworkReport {
@@ -208,6 +269,9 @@ impl NetworkReport {
             .num("mean_delay_ms", self.mean_delay_ms);
         if let Some(tg) = &self.time_grid {
             obj = obj.field("time_grid", tg.to_json());
+        }
+        if let Some(d) = &self.degraded {
+            obj = obj.field("degraded", d.to_json());
         }
         obj.build()
     }

@@ -22,8 +22,8 @@
 
 use crate::error::{Result, ScenarioError};
 use crate::report::{
-    AttackReport, DesignReport, FluenceReport, NamedSystemReport, NetworkReport, ScenarioReport,
-    SurvivabilityOutcome, SystemReport, TimeGridReport,
+    AttackReport, DegradedNetworkReport, DesignReport, FluenceReport, NamedSystemReport,
+    NetworkReport, ScenarioReport, SurvivabilityOutcome, SystemReport, TimeGridReport,
 };
 use crate::spec::{DesignKind, DesignSpec, ScenarioSpec};
 use crate::sweep::SweepSpec;
@@ -31,15 +31,15 @@ use ssplane_astro::geo::GeoPoint;
 use ssplane_astro::time::Epoch;
 use ssplane_core::evaluate::{plane_fluence_samples, weighted_median_fluence};
 use ssplane_core::system::{
-    DesignParams, DesignSummary, DesignedSystem, Designer, RgtDesigner, SsDesigner, SystemPlane,
-    WalkerDesigner,
+    DesignParams, DesignSummary, DesignedSystem, Designer, RgtDesigner, SsDesigner, WalkerDesigner,
 };
 use ssplane_demand::grid::LatTodGrid;
 use ssplane_demand::DemandModel;
+use ssplane_lsn::disruption::{AttackTarget, OutageTimeline};
 use ssplane_lsn::routing::{route_ground_to_ground, route_over_time, Route, TimeExpandedRoutes};
 use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
-use ssplane_lsn::survivability::simulate;
-use ssplane_lsn::topology::{Constellation, GridTopologyConfig, Topology};
+use ssplane_lsn::survivability::{outage_timeline, simulate_process};
+use ssplane_lsn::topology::{Constellation, GridTopologyConfig, SatId, Topology};
 use ssplane_lsn::traffic::{assign_traffic, sample_flows, TrafficReport};
 use ssplane_lsn::LsnError;
 use ssplane_radiation::fluence::DailyFluence;
@@ -47,6 +47,11 @@ use ssplane_radiation::RadiationEnvironment;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Salt XORed into the scenario seed for the degraded-network outage
+/// timeline, so its realization is an explicitly independent stream from
+/// the aggregate survivability simulation's.
+const OUTAGE_SEED_SALT: u64 = 0x4F55_5441_4745;
 
 /// The synthetic demand model for a given `demand.seed`, built once per
 /// process and shared: synthesizing the 0.5° population grid is by far
@@ -120,14 +125,20 @@ impl StageClock {
     }
 }
 
-/// The indices removed by a `planes_lost`-plane attack on `n` planes:
-/// evenly strided so the loss spreads across the constellation.
-fn attacked_indices(n: usize, planes_lost: usize) -> Vec<usize> {
-    let lost = planes_lost.min(n);
-    if lost == 0 {
-        return Vec::new();
+/// The slots destroyed by the scenario's attack on one designed system
+/// (empty when the attack stage is inactive). The attack model comes
+/// from the `attack.kind` registry; selection is deterministic in the
+/// scenario seed.
+fn attack_destroyed(spec: &ScenarioSpec, sys: &DesignedSystem, epoch: Epoch) -> Result<Vec<SatId>> {
+    if !spec.attack.is_active() || sys.planes.is_empty() {
+        return Ok(Vec::new());
     }
-    (0..lost).map(|k| k * n / lost).collect()
+    let target = AttackTarget {
+        planes: sys.planes.iter().map(|p| p.satellites.as_slice()).collect(),
+        plane_groups: sys.planes.iter().map(|p| p.eval_idx).collect(),
+        epoch,
+    };
+    Ok(spec.attack.model().destroyed(&target, spec.seed)?)
 }
 
 /// The report row of a design summary.
@@ -143,15 +154,21 @@ fn design_report(summary: &DesignSummary) -> DesignReport {
 }
 
 /// Runs every post-design, pre-network stage for one designed system.
+/// `destroyed` is the attack's victim set ([`attack_destroyed`]); the
+/// per-plane doses are returned alongside the report so the degraded
+/// network stage can drive its outage timeline without re-sampling
+/// fluence.
+#[allow(clippy::too_many_arguments)]
 fn system_report(
     spec: &ScenarioSpec,
     name: &str,
     sys: &DesignedSystem,
+    destroyed: &[SatId],
     env: &RadiationEnvironment,
     epoch: Epoch,
     fluence_stage: bool,
     clock: &mut StageClock,
-) -> Result<SystemReport> {
+) -> Result<(SystemReport, Option<Vec<DailyFluence>>)> {
     let mut report = SystemReport {
         design: design_report(&sys.summary),
         fluence: None,
@@ -160,24 +177,31 @@ fn system_report(
         network: None,
     };
 
-    // Plane-loss attack: pure bookkeeping over plane/satellite counts, so
-    // it runs (and reports capacity retention) even in design-only
+    // Attack bookkeeping over the destroyed set: pure counting, so it
+    // runs (and reports capacity retention) even in design-only
     // scenarios with the radiation stage disabled.
-    let mut surviving: Vec<(usize, &SystemPlane)> = sys.planes.iter().enumerate().collect();
-    if spec.attack.planes_lost > 0 && !sys.planes.is_empty() {
-        let hit = attacked_indices(sys.planes.len(), spec.attack.planes_lost);
-        let sats_lost: usize = hit.iter().map(|&i| sys.planes[i].n_sats).sum();
+    let mut destroyed_per_plane = vec![0usize; sys.planes.len()];
+    for id in destroyed {
+        destroyed_per_plane[id.plane] += 1;
+    }
+    if spec.attack.is_active() && !sys.planes.is_empty() {
+        let planes_lost = sys
+            .planes
+            .iter()
+            .zip(&destroyed_per_plane)
+            .filter(|(p, &d)| p.n_sats > 0 && d >= p.n_sats)
+            .count();
+        let sats_lost = destroyed.len();
         let total: usize = sys.total_sats();
-        surviving.retain(|(i, _)| !hit.contains(i));
         report.attack = Some(AttackReport {
-            planes_lost: hit.len(),
+            planes_lost,
             sats_lost,
             capacity_retained: if total == 0 { 0.0 } else { 1.0 - sats_lost as f64 / total as f64 },
         });
     }
 
     if !fluence_stage || sys.eval_groups.is_empty() {
-        return Ok(report);
+        return Ok((report, None));
     }
 
     // The fig10-parity statistic: `phases` samples per evaluation group,
@@ -216,6 +240,15 @@ fn system_report(
     });
 
     if spec.survivability.enabled {
+        // A plane survives unless the attack destroyed every one of its
+        // satellites; partial losses keep the plane with a reduced count.
+        let surviving: Vec<(usize, usize)> = sys
+            .planes
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| !(p.n_sats > 0 && destroyed_per_plane[*i] >= p.n_sats))
+            .map(|(i, p)| (i, p.n_sats - destroyed_per_plane[i]))
+            .collect();
         if surviving.is_empty() {
             // The attack wiped out every plane: that is an availability-0
             // outcome, not a missing stage — a sweep plotting
@@ -235,16 +268,17 @@ fn system_report(
             });
         } else {
             let doses: Vec<DailyFluence> = surviving.iter().map(|&(i, _)| plane_doses[i]).collect();
-            let sats: usize = surviving.iter().map(|(_, p)| p.n_sats).sum();
+            let sats: usize = surviving.iter().map(|&(_, n)| n).sum();
             // Round to nearest: flooring the mean would silently drop up
             // to one satellite per plane from the simulated fleet (a ~10%
             // undercount for small uneven Walker shells).
             let sats_per_plane = ((sats as f64 / surviving.len() as f64).round() as usize).max(1);
+            let process = spec.survivability.process();
             let sim = clock.time(&format!("{name}.survivability"), || {
-                simulate(
+                simulate_process(
                     &doses,
                     sats_per_plane,
-                    &spec.survivability.failure,
+                    &*process,
                     &spec.survivability.policy,
                     spec.survivability.sim_config(spec.seed),
                 )
@@ -259,7 +293,7 @@ fn system_report(
             });
         }
     }
-    Ok(report)
+    Ok((report, Some(plane_doses)))
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample (NaN if empty).
@@ -271,18 +305,29 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// The time-resolved aggregate over per-slot traffic reports and
-/// connectivity flags (the `time_grid` report block).
-fn time_grid_report(per_slot: &[(bool, TrafficReport)]) -> TimeGridReport {
+/// The per-slot statistics the intact `time_grid` block and the
+/// `degraded` block both report, computed by one aggregator so the two
+/// stay method-for-method comparable.
+struct SlotAggregates {
+    slots: usize,
+    connected_slots: usize,
+    min_routed: usize,
+    mean_routed: f64,
+    peak_link_load: f64,
+    mean_link_load: f64,
+    delay_p50_ms: f64,
+    delay_p90_ms: f64,
+    delay_p99_ms: f64,
+}
+
+fn slot_aggregates(per_slot: &[(bool, &TrafficReport)]) -> SlotAggregates {
     let slots = per_slot.len();
+    let denom = slots.max(1) as f64;
     let connected_slots = per_slot.iter().filter(|(connected, _)| *connected).count();
     let min_routed = per_slot.iter().map(|(_, t)| t.routed).min().unwrap_or(0);
-    let mean_routed =
-        per_slot.iter().map(|(_, t)| t.routed as f64).sum::<f64>() / slots.max(1) as f64;
+    let mean_routed = per_slot.iter().map(|(_, t)| t.routed as f64).sum::<f64>() / denom;
     let peak_link_load = per_slot.iter().map(|(_, t)| t.max_link_load()).fold(0.0, f64::max);
-    let mean_link_load =
-        per_slot.iter().map(|(_, t)| t.mean_link_load()).sum::<f64>() / slots.max(1) as f64;
-
+    let mean_link_load = per_slot.iter().map(|(_, t)| t.mean_link_load()).sum::<f64>() / denom;
     // Delay distribution over every routed (flow, slot) pair, in
     // deterministic (slot-major, then flow) collection order before the
     // total-order sort.
@@ -291,6 +336,25 @@ fn time_grid_report(per_slot: &[(bool, TrafficReport)]) -> TimeGridReport {
         .flat_map(|(_, t)| t.flow_outcomes.iter().flatten().map(|o| o.delay_ms))
         .collect();
     delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+    SlotAggregates {
+        slots,
+        connected_slots,
+        min_routed,
+        mean_routed,
+        peak_link_load,
+        mean_link_load,
+        delay_p50_ms: percentile(&delays, 0.50),
+        delay_p90_ms: percentile(&delays, 0.90),
+        delay_p99_ms: percentile(&delays, 0.99),
+    }
+}
+
+/// The time-resolved aggregate over per-slot traffic reports and
+/// connectivity flags (the `time_grid` report block).
+fn time_grid_report(per_slot: &[(bool, TrafficReport)]) -> TimeGridReport {
+    let views: Vec<(bool, &TrafficReport)> =
+        per_slot.iter().map(|(connected, t)| (*connected, t)).collect();
+    let agg = slot_aggregates(&views);
 
     // Per-flow serving-pair handoffs across consecutive routable slots.
     let n_flows = per_slot.first().map_or(0, |(_, t)| t.flow_outcomes.len());
@@ -308,16 +372,48 @@ fn time_grid_report(per_slot: &[(bool, TrafficReport)]) -> TimeGridReport {
     }
 
     TimeGridReport {
-        slots,
-        connected_slots,
-        min_routed,
-        mean_routed,
-        peak_link_load,
-        mean_link_load,
-        delay_p50_ms: percentile(&delays, 0.50),
-        delay_p90_ms: percentile(&delays, 0.90),
-        delay_p99_ms: percentile(&delays, 0.99),
+        slots: agg.slots,
+        connected_slots: agg.connected_slots,
+        min_routed: agg.min_routed,
+        mean_routed: agg.mean_routed,
+        peak_link_load: agg.peak_link_load,
+        mean_link_load: agg.mean_link_load,
+        delay_p50_ms: agg.delay_p50_ms,
+        delay_p90_ms: agg.delay_p90_ms,
+        delay_p99_ms: agg.delay_p99_ms,
         handoffs,
+    }
+}
+
+/// The degraded-network aggregate over per-slot `(connected, alive,
+/// traffic)` triples, reported next to the intact baseline.
+fn degraded_report(
+    per_slot: &[(bool, usize, TrafficReport)],
+    total_sats: usize,
+    n_flows: usize,
+    intact_mean_link_load: f64,
+) -> DegradedNetworkReport {
+    let views: Vec<(bool, &TrafficReport)> =
+        per_slot.iter().map(|(connected, _, t)| (*connected, t)).collect();
+    let agg = slot_aggregates(&views);
+    let denom = per_slot.len().max(1) as f64;
+    let min_alive = per_slot.iter().map(|&(_, alive, _)| alive).min().unwrap_or(0);
+    let mean_alive = per_slot.iter().map(|&(_, alive, _)| alive as f64).sum::<f64>() / denom;
+    DegradedNetworkReport {
+        slots: agg.slots,
+        mean_alive_fraction: if total_sats == 0 { 0.0 } else { mean_alive / total_sats as f64 },
+        min_alive,
+        connected_slots: agg.connected_slots,
+        min_routed: agg.min_routed,
+        mean_routed: agg.mean_routed,
+        routed_fraction: if n_flows == 0 { 0.0 } else { agg.mean_routed / n_flows as f64 },
+        peak_link_load: agg.peak_link_load,
+        mean_link_load: agg.mean_link_load,
+        // Serialized `null` when the intact grid carries no load.
+        load_inflation: agg.mean_link_load / intact_mean_link_load,
+        delay_p50_ms: agg.delay_p50_ms,
+        delay_p90_ms: agg.delay_p90_ms,
+        delay_p99_ms: agg.delay_p99_ms,
     }
 }
 
@@ -328,15 +424,25 @@ fn time_grid_report(per_slot: &[(bool, TrafficReport)]) -> TimeGridReport {
 /// byte-identical to the classic single-instant stage; with more slots
 /// the per-slot metrics aggregate into the `time_grid` report block.
 ///
+/// With `network.with_outages`, the same series (no re-propagation)
+/// additionally feeds a **degraded** pass: each slot's snapshot is
+/// masked by the attack's `destroyed` set plus, when survivability is
+/// enabled, an [`OutageTimeline`] driven by `plane_doses` and sampled at
+/// the slot's mission fraction — so the grid reads as orbital geometry
+/// *and* mission life at once.
+///
 /// `build_threads` bounds the snapshot build's scoped workers (`0` =
 /// the machine; the sweep runner passes its per-worker share so
 /// concurrent scenarios don't oversubscribe the CPU).
+#[allow(clippy::too_many_lines)]
 fn network_report(
     spec: &ScenarioSpec,
     model: &DemandModel,
     sys: &DesignedSystem,
     epoch: Epoch,
     build_threads: usize,
+    destroyed: &[SatId],
+    plane_doses: Option<&[DailyFluence]>,
 ) -> Result<NetworkReport> {
     let constellation = Constellation::from_planes(epoch, sys.network_planes())?;
     let topo_config = GridTopologyConfig {
@@ -394,6 +500,87 @@ fn network_report(
         route_over_time(&route_series, src, dst, min_elev, topo_config)?
     };
 
+    // The degraded pass: rides the same snapshot series as the intact
+    // loop above.
+    let degraded = if spec.network.with_outages {
+        let total = series.n_sats();
+        // Map the attack's design-plane slot ids onto the network
+        // constellation's flat layout: planes are permuted by
+        // `network_order` and empty planes dropped (exactly what
+        // `Constellation::from_planes` did above).
+        let kept: Vec<usize> = sys
+            .network_order
+            .iter()
+            .copied()
+            .filter(|&i| !sys.planes[i].satellites.is_empty())
+            .collect();
+        let mut net_plane_of_design = vec![usize::MAX; sys.planes.len()];
+        let mut offsets = Vec::with_capacity(kept.len());
+        let mut acc = 0usize;
+        for (np, &dp) in kept.iter().enumerate() {
+            net_plane_of_design[dp] = np;
+            offsets.push(acc);
+            acc += sys.planes[dp].satellites.len();
+        }
+        debug_assert_eq!(acc, total, "network layout mismatch");
+
+        let mut alive_base = vec![true; total];
+        for id in destroyed {
+            let np = net_plane_of_design[id.plane];
+            if np != usize::MAX && id.slot < sys.planes[id.plane].satellites.len() {
+                alive_base[offsets[np] + id.slot] = false;
+            }
+        }
+
+        // The outage timeline over the real per-plane fleet (the scalar
+        // survivability report keeps its historical uniform-plane
+        // approximation); destroyed slots draw no lifetimes and consume
+        // no spares.
+        let timeline: Option<OutageTimeline> = match plane_doses {
+            Some(doses) if spec.survivability.enabled => {
+                let kept_doses: Vec<DailyFluence> = kept.iter().map(|&i| doses[i]).collect();
+                let kept_sats: Vec<usize> =
+                    kept.iter().map(|&i| sys.planes[i].satellites.len()).collect();
+                let dead: Vec<bool> = alive_base.iter().map(|&a| !a).collect();
+                let process = spec.survivability.process();
+                Some(outage_timeline(
+                    &kept_doses,
+                    &kept_sats,
+                    Some(&dead),
+                    &*process,
+                    &spec.survivability.policy,
+                    spec.survivability.sim_config(spec.seed ^ OUTAGE_SEED_SALT),
+                )?)
+            }
+            _ => None,
+        };
+
+        let mut degraded_slots: Vec<(bool, usize, TrafficReport)> =
+            Vec::with_capacity(series.len());
+        let mut mask = vec![true; total];
+        for (k, snapshot) in series.iter().enumerate() {
+            mask.copy_from_slice(&alive_base);
+            if let Some(tl) = &timeline {
+                // Slot k samples the mission at fraction (k + 0.5)/slots.
+                let day = tl.horizon_days * (k as f64 + 0.5) / series.len() as f64;
+                tl.mask_alive(day, &mut mask);
+            }
+            let masked = snapshot.with_alive(&mask);
+            let topology = Topology::plus_grid(&masked, topo_config)?;
+            let traffic = assign_traffic(&masked, &topology, &flows, min_elev)?;
+            degraded_slots.push((
+                topology.is_connected_among(&mask),
+                masked.alive_count(),
+                traffic,
+            ));
+        }
+        let intact_mean_load = per_slot.iter().map(|(_, t)| t.mean_link_load()).sum::<f64>()
+            / per_slot.len().max(1) as f64;
+        Some(degraded_report(&degraded_slots, total, flows.len(), intact_mean_load))
+    } else {
+        None
+    };
+
     let (_, traffic) = &per_slot[0];
     Ok(NetworkReport {
         routed: traffic.routed,
@@ -407,6 +594,7 @@ fn network_report(
         handoffs: routes.handoffs(),
         mean_delay_ms: routes.mean_delay_ms(),
         time_grid: (grid_slots > 1).then(|| time_grid_report(&per_slot)),
+        degraded,
     })
 }
 
@@ -446,11 +634,28 @@ fn run_scenario(
         let designer = designer_for(kind, &spec.design);
         let name = designer.name();
         let sys = clock.time(&format!("{name}.design"), || designer.design(&demand, &params))?;
-        let mut report =
-            system_report(spec, name, &sys, &env, epoch, spec.radiation.enabled, clock)?;
+        let destroyed = attack_destroyed(spec, &sys, epoch)?;
+        let (mut report, plane_doses) = system_report(
+            spec,
+            name,
+            &sys,
+            &destroyed,
+            &env,
+            epoch,
+            spec.radiation.enabled,
+            clock,
+        )?;
         if spec.network.enabled && sys.total_sats() > 0 {
             report.network = Some(clock.time(&format!("{name}.network"), || {
-                network_report(spec, &model, &sys, epoch, build_threads)
+                network_report(
+                    spec,
+                    &model,
+                    &sys,
+                    epoch,
+                    build_threads,
+                    &destroyed,
+                    plane_doses.as_deref(),
+                )
             })?);
         }
         systems.push(NamedSystemReport { system: name.to_string(), report });
@@ -881,13 +1086,220 @@ mod tests {
     }
 
     #[test]
-    fn attacked_indices_spread() {
-        assert_eq!(attacked_indices(10, 0), Vec::<usize>::new());
-        assert_eq!(attacked_indices(10, 2), vec![0, 5]);
-        assert_eq!(attacked_indices(4, 9), vec![0, 1, 2, 3]);
-        let idx = attacked_indices(9, 3);
-        assert_eq!(idx.len(), 3);
-        assert!(idx.windows(2).all(|w| w[1] > w[0]));
+    fn leading_planes_attack_matches_the_historical_selection() {
+        // The parity pin the redesign promises: the default attack kind
+        // with `attack.planes_lost` destroys exactly the satellites of
+        // the historically strided plane indices.
+        use ssplane_lsn::disruption::strided_plane_indices;
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        let designer = designer_for(DesignKind::SsPlane, &spec.design);
+        let model = shared_demand_model(spec.demand.seed);
+        let grid = LatTodGrid::from_model(&model, spec.demand.lat_bins, spec.demand.tod_bins)
+            .unwrap()
+            .scaled(1.0);
+        let sys = designer.design(&grid, &DesignParams { epoch: spec.radiation.epoch() }).unwrap();
+        for planes_lost in [0usize, 1, 2, 5, 1000] {
+            spec.attack.planes_lost = planes_lost;
+            let destroyed = attack_destroyed(&spec, &sys, spec.radiation.epoch()).unwrap();
+            let expect: Vec<SatId> = strided_plane_indices(sys.planes.len(), planes_lost)
+                .into_iter()
+                .flat_map(|p| (0..sys.planes[p].n_sats).map(move |s| SatId { plane: p, slot: s }))
+                .collect();
+            assert_eq!(destroyed, expect, "planes_lost = {planes_lost}");
+        }
+    }
+
+    #[test]
+    fn zero_plane_attack_stays_silent() {
+        // `attack.planes_lost = 0` under the default kind must produce no
+        // attack block at all — the golden fixtures' contract.
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.attack.planes_lost = 0;
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.system("ss").unwrap();
+        assert!(ss.attack.is_none());
+        assert!(!report.to_json_line().contains("attack"));
+    }
+
+    /// A hand-built 1-plane system (no designer produces one for a full
+    /// diurnal demand, so the edge case is exercised directly).
+    fn one_plane_system() -> DesignedSystem {
+        use ssplane_core::system::SystemPlane;
+        let epoch = tiny_spec().radiation.epoch();
+        let orbit = ssplane_astro::sunsync::sun_synchronous_orbit(560.0).unwrap();
+        let satellites = orbit.with_ltan(10.5).plane_elements(epoch, 12).unwrap();
+        DesignedSystem {
+            summary: DesignSummary {
+                sats: 12,
+                planes: 1,
+                shells: 1,
+                sats_per_plane: 12,
+                inclination_deg: 97.6,
+                unserved_demand: 0.0,
+            },
+            eval_groups: vec![(satellites[0], 12)],
+            planes: vec![SystemPlane { n_sats: 12, eval_idx: 0, satellites }],
+            network_order: vec![0],
+        }
+    }
+
+    #[test]
+    fn one_plane_system_attack_and_survivability() {
+        // A 1-plane system under a 1-plane attack is the smallest
+        // wipeout: the attack block and the availability-0 outcome must
+        // both appear — and with the attack off, the same system's
+        // survivability must be intact.
+        let mut spec = tiny_spec();
+        spec.attack.planes_lost = 1;
+        let sys = one_plane_system();
+        let env = RadiationEnvironment::default();
+        let epoch = spec.radiation.epoch();
+        let destroyed = attack_destroyed(&spec, &sys, epoch).unwrap();
+        assert_eq!(destroyed.len(), 12, "the whole plane is the whole fleet");
+        let mut clock = StageClock { stages: Vec::new() };
+        let (report, doses) =
+            system_report(&spec, "ss", &sys, &destroyed, &env, epoch, true, &mut clock).unwrap();
+        let attack = report.attack.as_ref().expect("attack ran");
+        assert_eq!(attack.planes_lost, 1);
+        assert_eq!(attack.sats_lost, 12);
+        assert_eq!(attack.capacity_retained, 0.0);
+        let surv = report.survivability.as_ref().expect("wipeout outcome present");
+        assert_eq!(surv.availability, 0.0);
+        assert_eq!(surv.initial_spares, 0);
+        assert_eq!(doses.map(|d| d.len()), Some(1));
+
+        spec.attack.planes_lost = 0;
+        let (unharmed, _) =
+            system_report(&spec, "ss", &sys, &[], &env, epoch, true, &mut clock).unwrap();
+        assert!(unharmed.attack.is_none());
+        let surv = unharmed.survivability.as_ref().unwrap();
+        assert!(surv.availability > 0.0);
+        assert_eq!(surv.initial_spares, 3, "one plane's per-plane budget");
+    }
+
+    #[test]
+    fn random_and_band_attacks_run_end_to_end() {
+        use crate::spec::AttackKind;
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.attack.kind = AttackKind::RandomSats;
+        spec.attack.sats_lost = 25;
+        let report = execute_scenario(&spec).unwrap();
+        let attack = report.system("ss").unwrap().attack.as_ref().expect("random attack ran");
+        assert_eq!(attack.sats_lost, 25);
+        assert!(attack.capacity_retained < 1.0);
+        // A partial random loss rarely wipes whole planes, but the
+        // survivability stage still runs on the reduced fleet.
+        assert!(report.system("ss").unwrap().survivability.is_some());
+
+        spec.attack.kind = AttackKind::DeclinationBand;
+        spec.attack.band_min_deg = -10.0;
+        spec.attack.band_max_deg = 10.0;
+        let report = execute_scenario(&spec).unwrap();
+        let attack = report.system("ss").unwrap().attack.as_ref().expect("band attack ran");
+        assert!(attack.sats_lost > 0, "a polar design crosses the equator band");
+        assert!(attack.sats_lost < report.system("ss").unwrap().design.sats);
+
+        // Determinism: the seeded random attack reproduces byte-for-byte.
+        spec.attack.kind = AttackKind::RandomSats;
+        let a = execute_scenario(&spec).unwrap().to_json_line();
+        let b = execute_scenario(&spec).unwrap().to_json_line();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shell_attack_and_weibull_process() {
+        use crate::spec::{AttackKind, FailureKind};
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::Walker];
+        spec.attack.kind = AttackKind::Shell;
+        spec.attack.shell = 0;
+        spec.survivability.failure_kind = FailureKind::Weibull;
+        let report = execute_scenario(&spec).unwrap();
+        let wd = report.system("wd").unwrap();
+        let attack = wd.attack.as_ref().expect("shell attack ran");
+        assert!(attack.sats_lost > 0);
+        assert!(attack.planes_lost > 0, "a Walker shell is whole planes");
+        let surv = wd.survivability.as_ref().expect("weibull survivability ran");
+        assert!((0.0..=1.0).contains(&surv.availability));
+        // An out-of-range shell is a per-scenario error, not a crash.
+        spec.attack.shell = 500;
+        assert!(execute_scenario(&spec).is_err());
+    }
+
+    #[test]
+    fn with_outages_adds_the_degraded_block() {
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.attack.planes_lost = 2;
+        spec.network.enabled = true;
+        spec.network.n_flows = 30;
+        spec.network.slots = 2;
+        spec.network.time_grid_slots = 8;
+        spec.network.time_grid_slot_s = 240.0;
+
+        // Baseline without the switch: no degraded block, bytes as ever.
+        spec.network.with_outages = false;
+        let intact = execute_scenario(&spec).unwrap();
+        let inet = intact.system("ss").unwrap().network.clone().unwrap();
+        assert!(inet.degraded.is_none());
+        assert!(!intact.to_json_line().contains("degraded"));
+
+        spec.network.with_outages = true;
+        let report = execute_scenario(&spec).unwrap();
+        let net = report.system("ss").unwrap().network.clone().unwrap();
+        let deg = net.degraded.expect("with_outages adds the block");
+        assert_eq!(deg.slots, 8);
+        assert!(deg.mean_alive_fraction < 1.0, "two planes plus outages are gone");
+        assert!(deg.mean_alive_fraction > 0.0);
+        assert!(deg.min_alive <= report.system("ss").unwrap().design.sats);
+        assert!(deg.connected_slots <= 8);
+        // The degraded network can never route more than the intact one.
+        let tg = net.time_grid.as_ref().expect("multi-slot grid present");
+        assert!(deg.mean_routed <= tg.mean_routed);
+        assert!(deg.min_routed <= tg.min_routed);
+        assert!((0.0..=1.0).contains(&deg.routed_fraction));
+        // The intact headline fields are untouched by the switch.
+        assert_eq!(net.routed, inet.routed);
+        assert_eq!(net.mean_stretch, inet.mean_stretch);
+        assert_eq!(
+            net.time_grid.as_ref().unwrap(),
+            inet.time_grid.as_ref().unwrap(),
+            "the intact grid block must not change"
+        );
+        let line = report.to_json_line();
+        assert!(line.contains(r#""degraded":{"slots":8"#), "{line}");
+
+        // Byte determinism of the whole degraded pipeline.
+        let again = execute_scenario(&spec).unwrap();
+        assert_eq!(report.to_json_line(), again.to_json_line());
+    }
+
+    #[test]
+    fn attack_only_outage_masking_needs_no_radiation() {
+        // Degraded networking from the attack mask alone: radiation and
+        // survivability off.
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.attack.planes_lost = 3;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        spec.network.with_outages = true;
+        let report = execute_scenario(&spec).unwrap();
+        let net = report.system("ss").unwrap().network.clone().unwrap();
+        let deg = net.degraded.expect("attack-only degraded block");
+        assert_eq!(deg.slots, 1, "defaults to the single-slot grid");
+        // With no timeline the mask is the attack alone: the alive
+        // fraction equals the attack's capacity retention.
+        let attack = report.system("ss").unwrap().attack.as_ref().unwrap();
+        assert!((deg.mean_alive_fraction - attack.capacity_retained).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,10 @@ use ssplane_astro::time::Epoch;
 use ssplane_core::designer::{BranchRule, DesignConfig};
 use ssplane_core::rgt_analysis::RgtDesignConfig;
 use ssplane_core::walker_baseline::{SupplyModel, WalkerBaselineConfig};
+use ssplane_lsn::disruption::{
+    AttackModel, DeclinationBand, FailureProcess, LeadingPlanes, RadiationExponential, RandomSats,
+    WeibullBathtub, WholeShell,
+};
 use ssplane_lsn::failures::FailureModel;
 use ssplane_lsn::spares::SparePolicy;
 use ssplane_lsn::survivability::SurvivabilityConfig;
@@ -252,14 +256,57 @@ impl RadiationSpec {
     }
 }
 
+/// The failure-process family the survivability stage samples lifetimes
+/// from — the spec's name for a
+/// [`FailureProcess`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureKind {
+    /// The radiation-driven exponential (the historical model).
+    #[default]
+    Exponential,
+    /// The Weibull bathtub: infant mortality plus dose-accelerated
+    /// wear-out.
+    Weibull,
+}
+
+impl FailureKind {
+    /// Canonical config-file token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Exponential => "exponential",
+            FailureKind::Weibull => "weibull",
+        }
+    }
+
+    /// Parses the config-file token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "exponential" | "radiation-exponential" => Ok(FailureKind::Exponential),
+            "weibull" | "bathtub" => Ok(FailureKind::Weibull),
+            other => Err(ScenarioError::bad_value(
+                "survivability.failure.kind",
+                other,
+                "exponential | weibull",
+            )),
+        }
+    }
+}
+
 /// Failure-and-spares stage configuration (the survivability simulation).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SurvivabilitySpec {
     /// Whether to run the survivability simulation (requires the
     /// radiation stage).
     pub enabled: bool,
-    /// Radiation-driven failure model.
+    /// Which failure process samples satellite lifetimes.
+    pub failure_kind: FailureKind,
+    /// Radiation-driven exponential hazard model (the
+    /// [`FailureKind::Exponential`] parameters, configured by the
+    /// `failures.*` keys).
     pub failure: FailureModel,
+    /// Bathtub parameters (the [`FailureKind::Weibull`] parameters,
+    /// configured by the `survivability.failure.*` keys).
+    pub weibull: WeibullBathtub,
     /// Spare-provisioning policy.
     pub policy: SparePolicy,
     /// Mission horizon \[years\].
@@ -272,7 +319,9 @@ impl Default for SurvivabilitySpec {
     fn default() -> Self {
         SurvivabilitySpec {
             enabled: true,
+            failure_kind: FailureKind::default(),
             failure: FailureModel::default(),
+            weibull: WeibullBathtub::default(),
             policy: SparePolicy::PerPlane { spares_per_plane: 3, replacement_days: 3.0 },
             horizon_years: 5.0,
             resupply_days: 180.0,
@@ -290,18 +339,118 @@ impl SurvivabilitySpec {
             seed,
         }
     }
+
+    /// The configured [`FailureProcess`], from the registry the
+    /// `survivability.failure.kind` key names.
+    pub fn process(&self) -> Box<dyn FailureProcess> {
+        match self.failure_kind {
+            FailureKind::Exponential => Box::new(RadiationExponential { model: self.failure }),
+            FailureKind::Weibull => Box::new(self.weibull),
+        }
+    }
 }
 
-/// A plane-loss attack: the given number of whole orbital planes (or
-/// Walker shells) are destroyed before the survivability simulation, and
-/// the capacity the constellation retains is reported. Planes are removed
-/// at a deterministic stride so the loss is spread across the
-/// constellation (the strongest variant of the attack for a +grid
-/// topology).
+/// The attack family the attack stage applies — the spec's name for an
+/// [`AttackModel`] implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackKind {
+    /// Whole-plane loss at evenly strided plane indices (the historical
+    /// `attack.planes_lost` semantics, byte-compatible).
+    #[default]
+    LeadingPlanes,
+    /// Seeded uniform random satellite loss.
+    RandomSats,
+    /// Regional loss: every satellite inside a declination band at the
+    /// scenario epoch (a debris-event signature).
+    DeclinationBand,
+    /// Loss of one whole evaluation shell (an SS plane, a Walker shell,
+    /// or the RGT track).
+    Shell,
+}
+
+impl AttackKind {
+    /// Canonical config-file token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttackKind::LeadingPlanes => "leading-planes",
+            AttackKind::RandomSats => "random-sats",
+            AttackKind::DeclinationBand => "declination-band",
+            AttackKind::Shell => "shell",
+        }
+    }
+
+    /// Parses the config-file token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "leading-planes" | "planes" => Ok(AttackKind::LeadingPlanes),
+            "random-sats" | "random" => Ok(AttackKind::RandomSats),
+            "declination-band" | "band" => Ok(AttackKind::DeclinationBand),
+            "shell" => Ok(AttackKind::Shell),
+            other => Err(ScenarioError::bad_value(
+                "attack.kind",
+                other,
+                "leading-planes | random-sats | declination-band | shell",
+            )),
+        }
+    }
+}
+
+/// The attack stage: a pluggable [`AttackModel`] destroys part of the
+/// constellation before the survivability simulation, the capacity it
+/// retains is reported, and — with `network.with_outages` — the degraded
+/// network is evaluated over the masked fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackSpec {
-    /// Whole planes lost (0 disables the attack).
+    /// Which attack model to apply.
+    pub kind: AttackKind,
+    /// Whole planes lost ([`AttackKind::LeadingPlanes`]; 0 disables the
+    /// attack under that kind, preserving the historical semantics).
     pub planes_lost: usize,
+    /// Satellites lost ([`AttackKind::RandomSats`]).
+    pub sats_lost: usize,
+    /// Band lower edge \[deg\] ([`AttackKind::DeclinationBand`]).
+    pub band_min_deg: f64,
+    /// Band upper edge \[deg\] ([`AttackKind::DeclinationBand`]).
+    pub band_max_deg: f64,
+    /// Evaluation-shell index to destroy ([`AttackKind::Shell`]).
+    pub shell: usize,
+}
+
+impl Default for AttackSpec {
+    fn default() -> Self {
+        AttackSpec {
+            kind: AttackKind::default(),
+            planes_lost: 0,
+            sats_lost: 0,
+            band_min_deg: -20.0,
+            band_max_deg: 20.0,
+            shell: 0,
+        }
+    }
+}
+
+impl AttackSpec {
+    /// Whether the attack stage runs. [`AttackKind::LeadingPlanes`] with
+    /// `planes_lost = 0` stays inactive (the historical "0 disables"
+    /// contract the golden fixtures pin); every explicitly selected
+    /// non-default kind is active, even if it happens to destroy
+    /// nothing — a sweep's zero-loss point still gets its attack block.
+    pub fn is_active(&self) -> bool {
+        self.kind != AttackKind::LeadingPlanes || self.planes_lost > 0
+    }
+
+    /// The configured [`AttackModel`], from the registry the
+    /// `attack.kind` key names.
+    pub fn model(&self) -> Box<dyn AttackModel> {
+        match self.kind {
+            AttackKind::LeadingPlanes => Box::new(LeadingPlanes { planes_lost: self.planes_lost }),
+            AttackKind::RandomSats => Box::new(RandomSats { sats_lost: self.sats_lost }),
+            AttackKind::DeclinationBand => {
+                Box::new(DeclinationBand { min_deg: self.band_min_deg, max_deg: self.band_max_deg })
+            }
+            AttackKind::Shell => Box::new(WholeShell { shell: self.shell }),
+        }
+    }
 }
 
 /// Traffic/routing stage configuration.
@@ -333,6 +482,14 @@ pub struct NetworkSpec {
     pub time_grid_slots: usize,
     /// Spacing of the traffic time grid \[s\].
     pub time_grid_slot_s: f64,
+    /// Whether to also evaluate the **degraded** network: the attack's
+    /// destroyed set plus (when survivability is enabled) an outage
+    /// timeline mask each grid slot's snapshot, and the per-slot
+    /// degraded connectivity / routed fraction / load inflation is
+    /// reported next to the intact baseline. Slot `k` of the grid
+    /// samples the outage timeline at mission fraction `(k + 0.5) /
+    /// slots`, so the grid doubles as a mission-life sampler.
+    pub with_outages: bool,
 }
 
 impl Default for NetworkSpec {
@@ -347,6 +504,7 @@ impl Default for NetworkSpec {
             slot_s: 60.0,
             time_grid_slots: 1,
             time_grid_slot_s: 60.0,
+            with_outages: false,
         }
     }
 }
@@ -422,6 +580,17 @@ impl ScenarioSpec {
                 "> 0",
             ));
         }
+        if self.attack.kind == AttackKind::DeclinationBand
+            && !(self.attack.band_min_deg.is_finite()
+                && self.attack.band_max_deg.is_finite()
+                && self.attack.band_min_deg <= self.attack.band_max_deg)
+        {
+            return Err(ScenarioError::bad_value(
+                "attack.band_min_deg/band_max_deg",
+                &format!("[{}, {}]", self.attack.band_min_deg, self.attack.band_max_deg),
+                "a finite band with band_min_deg <= band_max_deg",
+            ));
+        }
         if self.network.enabled {
             if self.network.time_grid_slots == 0 {
                 return Err(ScenarioError::bad_value("network.time_grid_slots", "0", ">= 1"));
@@ -431,6 +600,15 @@ impl ScenarioSpec {
                     "network.time_grid_slot_s",
                     &self.network.time_grid_slot_s.to_string(),
                     "> 0 for a multi-slot time grid",
+                ));
+            }
+            if self.network.with_outages && !self.attack.is_active() && !self.survivability.enabled
+            {
+                return Err(ScenarioError::bad_value(
+                    "network.with_outages",
+                    "true",
+                    "an active attack or survivability.enabled = true (otherwise the degraded \
+                     network is the intact network)",
                 ));
             }
         }
@@ -515,6 +693,67 @@ mod tests {
         // A disabled network stage does not police its grid.
         spec.network.enabled = false;
         spec.network.time_grid_slots = 0;
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn attack_and_failure_tokens_round_trip() {
+        for kind in [
+            AttackKind::LeadingPlanes,
+            AttackKind::RandomSats,
+            AttackKind::DeclinationBand,
+            AttackKind::Shell,
+        ] {
+            assert_eq!(AttackKind::parse(kind.as_str()).unwrap(), kind);
+            // The registry name of the configured model matches the token.
+            let spec = AttackSpec { kind, ..Default::default() };
+            assert_eq!(spec.model().name(), kind.as_str());
+        }
+        assert!(AttackKind::parse("emp").is_err());
+        for kind in [FailureKind::Exponential, FailureKind::Weibull] {
+            assert_eq!(FailureKind::parse(kind.as_str()).unwrap(), kind);
+            let spec = SurvivabilitySpec { failure_kind: kind, ..Default::default() };
+            assert_eq!(spec.process().name(), kind.as_str());
+        }
+        assert!(FailureKind::parse("lognormal").is_err());
+    }
+
+    #[test]
+    fn attack_activity_rules() {
+        let mut spec = AttackSpec::default();
+        assert!(!spec.is_active(), "default leading-planes with 0 planes stays off");
+        spec.planes_lost = 2;
+        assert!(spec.is_active());
+        for kind in [AttackKind::RandomSats, AttackKind::DeclinationBand, AttackKind::Shell] {
+            let spec = AttackSpec { kind, ..Default::default() };
+            assert!(spec.is_active(), "{kind:?} is active when selected");
+        }
+    }
+
+    #[test]
+    fn with_outages_needs_a_disruption_source() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.network.enabled = true;
+        spec.network.with_outages = true;
+        spec.validate().unwrap(); // survivability is on by default
+        spec.survivability.enabled = false;
+        assert!(spec.validate().is_err(), "no attack and no survivability");
+        spec.attack.planes_lost = 1;
+        spec.validate().unwrap(); // attack-only masking is fine
+                                  // A disabled network stage does not police the switch.
+        spec.attack.planes_lost = 0;
+        spec.network.enabled = false;
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn inverted_declination_band_rejected() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.attack.kind = AttackKind::DeclinationBand;
+        spec.attack.band_min_deg = 30.0;
+        spec.attack.band_max_deg = -30.0;
+        assert!(spec.validate().is_err());
+        spec.attack.band_max_deg = 45.0;
         spec.validate().unwrap();
     }
 

@@ -11,7 +11,10 @@
 //!   same scenarios in the same order.
 
 use crate::error::{Result, ScenarioError};
-use crate::spec::{parse_branch_rule, parse_supply_model, DesignKind, ScenarioSpec, SolarActivity};
+use crate::spec::{
+    parse_branch_rule, parse_supply_model, AttackKind, DesignKind, FailureKind, ScenarioSpec,
+    SolarActivity,
+};
 use crate::toml::TomlValue;
 use ssplane_lsn::spares::SparePolicy;
 
@@ -301,6 +304,27 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         "survivability.resupply_days" => {
             spec.survivability.resupply_days = need_f64(key, value)?;
         }
+        "survivability.failure.kind" => {
+            spec.survivability.failure_kind = FailureKind::parse(need_str(key, value)?)?;
+        }
+        "survivability.failure.infant_shape" => {
+            spec.survivability.weibull.infant_shape = need_f64(key, value)?;
+        }
+        "survivability.failure.infant_scale_years" => {
+            spec.survivability.weibull.infant_scale_years = need_f64(key, value)?;
+        }
+        "survivability.failure.wearout_shape" => {
+            spec.survivability.weibull.wearout_shape = need_f64(key, value)?;
+        }
+        "survivability.failure.wearout_scale_years" => {
+            spec.survivability.weibull.wearout_scale_years = need_f64(key, value)?;
+        }
+        "survivability.failure.electron_accel" => {
+            spec.survivability.weibull.electron_accel = need_f64(key, value)?;
+        }
+        "survivability.failure.proton_accel" => {
+            spec.survivability.weibull.proton_accel = need_f64(key, value)?;
+        }
         "failures.baseline_per_year" => {
             spec.survivability.failure.baseline_per_year = need_f64(key, value)?;
         }
@@ -344,9 +368,15 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
             };
         }
 
+        "attack.kind" => spec.attack.kind = AttackKind::parse(need_str(key, value)?)?,
         "attack.planes_lost" => spec.attack.planes_lost = need_usize(key, value)?,
+        "attack.sats_lost" => spec.attack.sats_lost = need_usize(key, value)?,
+        "attack.band_min_deg" => spec.attack.band_min_deg = need_f64(key, value)?,
+        "attack.band_max_deg" => spec.attack.band_max_deg = need_f64(key, value)?,
+        "attack.shell" => spec.attack.shell = need_usize(key, value)?,
 
         "network.enabled" => spec.network.enabled = need_bool(key, value)?,
+        "network.with_outages" => spec.network.with_outages = need_bool(key, value)?,
         "network.n_flows" => spec.network.n_flows = need_usize(key, value)?,
         "network.utc_hour" => spec.network.utc_hour = need_f64(key, value)?,
         "network.min_elevation_deg" => spec.network.min_elevation_deg = need_f64(key, value)?,
@@ -544,6 +574,41 @@ mod tests {
         assert_eq!(spec.network.time_grid_slots, 6);
         assert_eq!(spec.network.time_grid_slot_s, 300.0);
         assert!(apply_param(&mut spec, "network.time_grid_slots", &TomlValue::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn disruption_paths() {
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "attack.kind", &TomlValue::Str("random-sats".into())).unwrap();
+        apply_param(&mut spec, "attack.sats_lost", &TomlValue::Int(40)).unwrap();
+        assert_eq!(spec.attack.kind, AttackKind::RandomSats);
+        assert_eq!(spec.attack.sats_lost, 40);
+        apply_param(&mut spec, "attack.kind", &TomlValue::Str("declination-band".into())).unwrap();
+        apply_param(&mut spec, "attack.band_min_deg", &TomlValue::Float(-5.0)).unwrap();
+        apply_param(&mut spec, "attack.band_max_deg", &TomlValue::Float(5.0)).unwrap();
+        assert_eq!(spec.attack.band_min_deg, -5.0);
+        apply_param(&mut spec, "attack.kind", &TomlValue::Str("shell".into())).unwrap();
+        apply_param(&mut spec, "attack.shell", &TomlValue::Int(1)).unwrap();
+        assert_eq!(spec.attack.shell, 1);
+        assert!(apply_param(&mut spec, "attack.kind", &TomlValue::Str("emp".into())).is_err());
+
+        apply_param(&mut spec, "survivability.failure.kind", &TomlValue::Str("weibull".into()))
+            .unwrap();
+        apply_param(&mut spec, "survivability.failure.wearout_shape", &TomlValue::Float(2.5))
+            .unwrap();
+        apply_param(
+            &mut spec,
+            "survivability.failure.infant_scale_years",
+            &TomlValue::Float(300.0),
+        )
+        .unwrap();
+        assert_eq!(spec.survivability.failure_kind, FailureKind::Weibull);
+        assert_eq!(spec.survivability.weibull.wearout_shape, 2.5);
+        assert_eq!(spec.survivability.weibull.infant_scale_years, 300.0);
+
+        apply_param(&mut spec, "network.with_outages", &TomlValue::Bool(true)).unwrap();
+        assert!(spec.network.with_outages);
+        assert!(apply_param(&mut spec, "network.with_outages", &TomlValue::Int(1)).is_err());
     }
 
     #[test]

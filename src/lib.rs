@@ -14,7 +14,7 @@
 //! * [`radiation`] — the trapped-radiation environment;
 //! * [`core`] — SS-plane designer, Walker baseline, evaluation;
 //! * [`lsn`] — ISL topologies, routing, traffic, failures, survivability;
-//! * [`bench`] — figure regeneration;
+//! * [`bench`](mod@bench) — figure regeneration;
 //! * [`scenario`] — the config-driven, parallel scenario-sweep engine.
 
 #![warn(missing_docs)]
