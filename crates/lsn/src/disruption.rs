@@ -129,12 +129,13 @@ impl AttackModel for RandomSats {
             .collect();
         let lost = self.sats_lost.min(ids.len());
         // Partial Fisher-Yates over the flat id list: the first `lost`
-        // entries after shuffling are the victims.
+        // entries after shuffling are the victims. The per-step draw is
+        // the shared `gen_index` float-scaled recipe, so the seeded
+        // victim sets are byte-identical to the historical inline draw.
         let mut pool = ids;
         let mut rng = StdRng::seed_from_u64(seed);
         for k in 0..lost {
-            let span = pool.len() - k;
-            let j = k + ((rng.gen::<f64>() * span as f64) as usize).min(span - 1);
+            let j = k + rng.gen_index(pool.len() - k);
             pool.swap(k, j);
         }
         let mut out: Vec<SatId> = pool.into_iter().take(lost).collect();
@@ -496,6 +497,32 @@ mod tests {
         let all = RandomSats { sats_lost: 10_000 }.destroyed(&t, 7).unwrap();
         assert_eq!(all.len(), 40);
         assert_eq!(RandomSats { sats_lost: 0 }.destroyed(&t, 7).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn random_sats_victims_pinned_across_the_gen_index_refactor() {
+        // The shared `gen_index` helper must leave every seeded victim
+        // set byte-identical to the historical inline float-scaled draw:
+        // replay the exact pre-refactor partial Fisher-Yates here and
+        // require the model to match it id for id.
+        let planes = elements(6, 7);
+        let t = target(&planes, (0..6).collect());
+        for seed in [0u64, 7, 42, 0xDEAD_BEEF] {
+            for lost in [1usize, 5, 17, 42] {
+                let got = RandomSats { sats_lost: lost }.destroyed(&t, seed).unwrap();
+                let mut pool: Vec<SatId> =
+                    (0..6).flat_map(|p| (0..7).map(move |s| SatId { plane: p, slot: s })).collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                for k in 0..lost {
+                    let span = pool.len() - k;
+                    let j = k + ((rng.gen::<f64>() * span as f64) as usize).min(span - 1);
+                    pool.swap(k, j);
+                }
+                let mut expect: Vec<SatId> = pool.into_iter().take(lost).collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "seed {seed} lost {lost}");
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   exponential, a Weibull bathtub), and the [`OutageTimeline`] of
 //!   per-satellite outage intervals that couples both into the network
 //!   stage via [`Snapshot`] alive masks.
+//! * [`optimizer`] — adversarial attack search: a [`DegradedEvaluator`]
+//!   scoring candidate destroyed sets over a prebuilt [`SnapshotSeries`]
+//!   (intact topologies filtered per candidate, never rebuilt), and a
+//!   seeded greedy + random-restart swap search for the worst k-plane /
+//!   k-satellite attack against a degraded-network objective.
 //! * [`spares`] — spare provisioning policies (per-plane hot spares vs a
 //!   shared on-demand pool), the paper's "2–10 spares per plane" practice.
 //! * [`survivability`] — a discrete-event simulation tying it together:
@@ -37,6 +42,7 @@
 //! [`AttackModel`]: disruption::AttackModel
 //! [`FailureProcess`]: disruption::FailureProcess
 //! [`OutageTimeline`]: disruption::OutageTimeline
+//! [`DegradedEvaluator`]: optimizer::DegradedEvaluator
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,6 +50,7 @@
 pub mod disruption;
 pub mod error;
 pub mod failures;
+pub mod optimizer;
 pub mod routing;
 pub mod schedule;
 pub mod snapshot;
@@ -54,5 +61,6 @@ pub mod traffic;
 
 pub use disruption::{AttackModel, AttackTarget, FailureProcess, OutageTimeline};
 pub use error::{LsnError, Result};
+pub use optimizer::{AttackObjective, AttackSearchConfig, DegradedEvaluator};
 pub use snapshot::{Snapshot, SnapshotSeries};
 pub use topology::{Constellation, SatId, Topology};

@@ -331,11 +331,19 @@ impl TimeExpandedRoutes {
     }
 
     /// Number of *handoffs*: slot transitions where the serving pair
-    /// (first/last hop) changed between consecutive reachable slots.
+    /// (first/last hop) changed between consecutive reachable slots. An
+    /// unreachable slot resets the comparison: re-acquiring service on a
+    /// different pair after an outage gap is a fresh attachment, not a
+    /// handoff, so `route → gap → route` never counts — only strictly
+    /// adjacent routable slots do.
     pub fn handoffs(&self) -> usize {
         let mut count = 0;
         let mut prev: Option<(SatId, SatId)> = None;
-        for r in self.routes.iter().flatten() {
+        for r in &self.routes {
+            let Some(r) = r else {
+                prev = None;
+                continue;
+            };
             let ends =
                 (*r.hops.first().expect("route has hops"), *r.hops.last().expect("route has hops"));
             if let Some(p) = prev {
@@ -599,6 +607,42 @@ mod tests {
             // Handoffs bounded by transitions.
             assert!(routes.handoffs() < routes.reachable_slots());
         }
+    }
+
+    #[test]
+    fn handoffs_reset_across_unreachable_gaps() {
+        // The regression the doc comment promises: a route, then an
+        // unreachable gap, then a route on a *different* serving pair is
+        // a re-acquisition, not a handoff — the gap must reset the
+        // previous pair instead of comparing across it.
+        let sat = |p: usize, s: usize| SatId { plane: p, slot: s };
+        let route = |ends: (SatId, SatId)| Route {
+            hops: vec![ends.0, ends.1],
+            delay_ms: 10.0,
+            length_km: 3000.0,
+        };
+        let a = (sat(0, 0), sat(1, 0));
+        let b = (sat(2, 3), sat(3, 3));
+        let grid = time_grid(Epoch::J2000, 3, 60.0);
+        let gapped = TimeExpandedRoutes {
+            epochs: grid.clone(),
+            routes: vec![Some(route(a)), None, Some(route(b))],
+        };
+        assert_eq!(gapped.handoffs(), 0, "a gap separates the pair change");
+        assert_eq!(gapped.reachable_slots(), 2);
+        // The same pair change with no gap *is* a handoff.
+        let adjacent = TimeExpandedRoutes {
+            epochs: grid.clone(),
+            routes: vec![Some(route(a)), Some(route(b)), None],
+        };
+        assert_eq!(adjacent.handoffs(), 1);
+        // Same pair on both sides of a gap: still no handoff, and a
+        // change after the re-acquisition counts once.
+        let resumed = TimeExpandedRoutes {
+            epochs: time_grid(Epoch::J2000, 4, 60.0),
+            routes: vec![Some(route(a)), None, Some(route(a)), Some(route(b))],
+        };
+        assert_eq!(resumed.handoffs(), 1);
     }
 
     #[test]

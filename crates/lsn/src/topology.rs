@@ -549,6 +549,29 @@ impl Topology {
         Ok(Topology { links, adj_offsets, adj_entries, plane_offsets })
     }
 
+    /// The subgraph of this topology over the satellites flagged alive:
+    /// every link incident to a dead satellite is dropped, in emission
+    /// order, and the adjacency rebuilt. Because a masked
+    /// [`Topology::plus_grid`] selects its partners from *positions*
+    /// (nearest-slot queries never consult the mask) and only filters at
+    /// link emission, this is **exactly** the topology `plus_grid` builds
+    /// over the same snapshot with the same alive mask — link for link,
+    /// length for length — computed in O(links) instead of re-running the
+    /// geometric construction. This is the incremental fast path the
+    /// attack optimizer scores candidates through: the intact topology is
+    /// built once per slot and every candidate mask only filters it.
+    ///
+    /// # Panics
+    /// If `alive.len()` is not the node count.
+    pub fn masked(&self, alive: &[bool]) -> Topology {
+        assert_eq!(alive.len(), self.n_nodes(), "alive mask length mismatch");
+        let flat = |id: SatId| self.plane_offsets[id.plane] + id.slot;
+        let links: Vec<Link> =
+            self.links.iter().filter(|l| alive[flat(l.a)] && alive[flat(l.b)]).copied().collect();
+        let (adj_offsets, adj_entries) = build_adjacency(&links, flat, self.n_nodes());
+        Topology { links, adj_offsets, adj_entries, plane_offsets: self.plane_offsets.clone() }
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         *self.plane_offsets.last().unwrap_or(&0)
@@ -632,6 +655,40 @@ impl Topology {
             }
         }
         count == n_alive
+    }
+
+    /// Size of the largest connected component among the satellites
+    /// flagged alive (0 when nobody is). The graded form of
+    /// [`Topology::is_connected_among`]: an attack optimizer minimizing
+    /// survivor connectivity needs to distinguish "split 50/50" from
+    /// "one straggler cut off", which the boolean cannot.
+    ///
+    /// # Panics
+    /// If `alive.len()` is not the node count.
+    pub fn largest_component_among(&self, alive: &[bool]) -> usize {
+        assert_eq!(alive.len(), self.n_nodes(), "alive mask length mismatch");
+        let mut seen = vec![false; self.n_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut largest = 0usize;
+        for start in 0..self.n_nodes() {
+            if !alive[start] || seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            queue.push_back(start);
+            let mut size = 1usize;
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in self.neighbors(u) {
+                    if alive[v] && !seen[v] {
+                        seen[v] = true;
+                        size += 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            largest = largest.max(size);
+        }
+        largest
     }
 }
 
@@ -809,6 +866,60 @@ mod tests {
         let mut lone = vec![false; 30];
         lone[0] = true;
         assert!(degraded.is_connected_among(&lone));
+    }
+
+    #[test]
+    fn masked_subgraph_matches_masked_plus_grid() {
+        // The incremental fast path's contract: filtering the intact
+        // topology by a mask is link-for-link identical to rebuilding
+        // plus_grid over the masked snapshot — including adjacency order
+        // (and therefore every downstream tie-break).
+        let c = test_constellation(5, 12);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000 + 400.0]).unwrap();
+        let snap = series.snapshot(0);
+        let intact = Topology::plus_grid(&snap, Default::default()).unwrap();
+        // Kill a mixed set: a whole plane, scattered slots, a ring pair.
+        let mut mask = vec![true; 60];
+        mask[12..24].fill(false);
+        for flat in [3usize, 30, 31, 47, 59] {
+            mask[flat] = false;
+        }
+        let filtered = intact.masked(&mask);
+        let rebuilt = Topology::plus_grid(&snap.with_alive(&mask), Default::default()).unwrap();
+        assert_eq!(filtered.links.len(), rebuilt.links.len());
+        for (a, b) in filtered.links.iter().zip(&rebuilt.links) {
+            assert_eq!((a.a, a.b, a.length_km), (b.a, b.b, b.length_km));
+        }
+        for node in 0..60 {
+            assert_eq!(filtered.neighbors(node), rebuilt.neighbors(node), "node {node}");
+        }
+        // All-alive filtering is the identity.
+        let same = intact.masked(&[true; 60]);
+        assert_eq!(same.links.len(), intact.links.len());
+        // All-dead filtering leaves a linkless graph.
+        assert!(intact.masked(&[false; 60]).links.is_empty());
+    }
+
+    #[test]
+    fn largest_component_grades_connectivity() {
+        let c = test_constellation(3, 10);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        let topo = Topology::plus_grid(&snap, Default::default()).unwrap();
+        let all = vec![true; 30];
+        assert_eq!(topo.largest_component_among(&all), 30, "intact +grid is one component");
+        // Kill the middle plane: survivors split into the two outer
+        // plane rings of 10 each.
+        let mut mask = all.clone();
+        mask[10..20].fill(false);
+        let degraded = topo.masked(&mask);
+        assert!(!degraded.is_connected_among(&mask));
+        assert_eq!(degraded.largest_component_among(&mask), 10);
+        // Nobody alive: size 0; one survivor: size 1.
+        assert_eq!(topo.largest_component_among(&[false; 30]), 0);
+        let mut lone = vec![false; 30];
+        lone[7] = true;
+        assert_eq!(topo.largest_component_among(&lone), 1);
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub const BUILTINS: &[Builtin] = &[
         summary: "attack kinds x weibull failures: the outage-coupled degraded network stage",
         toml: include_str!("../../../scenarios/disruption.toml"),
     },
+    Builtin {
+        name: "attack-opt",
+        summary: "adversarial attack search: the worst k-plane set vs the routed network",
+        toml: include_str!("../../../scenarios/attack-opt.toml"),
+    },
 ];
 
 /// Looks a built-in up by name.
@@ -123,6 +128,7 @@ mod tests {
             "design-shootout",
             "time-resolved",
             "disruption",
+            "attack-opt",
         ] {
             assert!(find(name).is_some(), "missing builtin {name}");
         }

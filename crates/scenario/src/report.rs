@@ -90,6 +90,53 @@ impl AttackReport {
     }
 }
 
+/// The outcome of an adversarial attack search (`attack.kind =
+/// "optimized"`): the worst attack found, its objective value, and the
+/// fixed-attack baseline with the same budget it is reported next to.
+/// Present only for optimized attacks, so every fixed-attack scenario —
+/// including all pre-search goldens — serializes exactly as before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSearchReport {
+    /// Objective token (`routed-fraction` / `connectivity` /
+    /// `load-inflation`); lower values = more damage.
+    pub objective: String,
+    /// Candidate-set unit (`planes` / `sats`).
+    pub unit: String,
+    /// The configured budget (units the search may destroy).
+    pub budget: usize,
+    /// Random restarts the search ran.
+    pub restarts: usize,
+    /// Candidate evaluations performed.
+    pub candidates: usize,
+    /// Objective value of the found worst-case attack.
+    pub objective_value: f64,
+    /// The same-budget fixed-attack baseline's registry name
+    /// (`leading-planes` for a plane budget, `random-sats` for a
+    /// satellite budget).
+    pub baseline: String,
+    /// Objective value of that baseline (never better than
+    /// `objective_value`: the baseline seeds the search).
+    pub baseline_value: f64,
+    /// Objective value of the intact, unattacked network.
+    pub intact_value: f64,
+}
+
+impl AttackSearchReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .str("objective", &self.objective)
+            .str("unit", &self.unit)
+            .uint("budget", self.budget as u64)
+            .uint("restarts", self.restarts as u64)
+            .uint("candidates", self.candidates as u64)
+            .num("objective_value", self.objective_value)
+            .str("baseline", &self.baseline)
+            .num("baseline_value", self.baseline_value)
+            .num("intact_value", self.intact_value)
+            .build()
+    }
+}
+
 /// Survivability-stage outcome for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SurvivabilityOutcome {
@@ -286,6 +333,8 @@ pub struct SystemReport {
     pub fluence: Option<FluenceReport>,
     /// Attack stage (if `planes_lost > 0`).
     pub attack: Option<AttackReport>,
+    /// Attack-search outcome (only for `attack.kind = "optimized"`).
+    pub attack_search: Option<AttackSearchReport>,
     /// Survivability stage (if enabled).
     pub survivability: Option<SurvivabilityOutcome>,
     /// Networking stage (if enabled and the system has satellites).
@@ -300,6 +349,9 @@ impl SystemReport {
         }
         if let Some(a) = &self.attack {
             obj = obj.field("attack", a.to_json());
+        }
+        if let Some(s) = &self.attack_search {
+            obj = obj.field("attack_search", s.to_json());
         }
         if let Some(s) = &self.survivability {
             obj = obj.field("survivability", s.to_json());
@@ -393,6 +445,7 @@ mod tests {
                     },
                     fluence: None,
                     attack: None,
+                    attack_search: None,
                     survivability: None,
                     network: None,
                 },

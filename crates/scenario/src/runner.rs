@@ -22,10 +22,11 @@
 
 use crate::error::{Result, ScenarioError};
 use crate::report::{
-    AttackReport, DegradedNetworkReport, DesignReport, FluenceReport, NamedSystemReport,
-    NetworkReport, ScenarioReport, SurvivabilityOutcome, SystemReport, TimeGridReport,
+    AttackReport, AttackSearchReport, DegradedNetworkReport, DesignReport, FluenceReport,
+    NamedSystemReport, NetworkReport, ScenarioReport, SurvivabilityOutcome, SystemReport,
+    TimeGridReport,
 };
-use crate::spec::{DesignKind, DesignSpec, ScenarioSpec};
+use crate::spec::{AttackKind, AttackUnit, DesignKind, DesignSpec, ScenarioSpec};
 use crate::sweep::SweepSpec;
 use ssplane_astro::geo::GeoPoint;
 use ssplane_astro::time::Epoch;
@@ -35,12 +36,13 @@ use ssplane_core::system::{
 };
 use ssplane_demand::grid::LatTodGrid;
 use ssplane_demand::DemandModel;
-use ssplane_lsn::disruption::{AttackTarget, OutageTimeline};
+use ssplane_lsn::disruption::{strided_plane_indices, AttackModel, AttackTarget, OutageTimeline};
+use ssplane_lsn::optimizer::{optimize_attack, DegradedEvaluator};
 use ssplane_lsn::routing::{route_ground_to_ground, route_over_time, Route, TimeExpandedRoutes};
 use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
 use ssplane_lsn::survivability::{outage_timeline, simulate_process};
-use ssplane_lsn::topology::{Constellation, GridTopologyConfig, SatId, Topology};
-use ssplane_lsn::traffic::{assign_traffic, sample_flows, TrafficReport};
+use ssplane_lsn::topology::{Constellation, GridTopologyConfig, SatId};
+use ssplane_lsn::traffic::{sample_flows, Flow, TrafficReport};
 use ssplane_lsn::LsnError;
 use ssplane_radiation::fluence::DailyFluence;
 use ssplane_radiation::RadiationEnvironment;
@@ -125,20 +127,25 @@ impl StageClock {
     }
 }
 
-/// The slots destroyed by the scenario's attack on one designed system
-/// (empty when the attack stage is inactive). The attack model comes
-/// from the `attack.kind` registry; selection is deterministic in the
-/// scenario seed.
+/// The slots destroyed by the scenario's *fixed* attack on one designed
+/// system (empty when the attack stage is inactive, or when the kind is
+/// `optimized` — the searched attack is computed against the network
+/// context, see [`run_attack_search`]). The attack model comes from the
+/// `attack.kind` registry; selection is deterministic in the scenario
+/// seed.
 fn attack_destroyed(spec: &ScenarioSpec, sys: &DesignedSystem, epoch: Epoch) -> Result<Vec<SatId>> {
     if !spec.attack.is_active() || sys.planes.is_empty() {
         return Ok(Vec::new());
     }
+    let Some(model) = spec.attack.fixed_model() else {
+        return Ok(Vec::new());
+    };
     let target = AttackTarget {
         planes: sys.planes.iter().map(|p| p.satellites.as_slice()).collect(),
         plane_groups: sys.planes.iter().map(|p| p.eval_idx).collect(),
         epoch,
     };
-    Ok(spec.attack.model().destroyed(&target, spec.seed)?)
+    Ok(model.destroyed(&target, spec.seed)?)
 }
 
 /// The report row of a design summary.
@@ -173,6 +180,7 @@ fn system_report(
         design: design_report(&sys.summary),
         fluence: None,
         attack: None,
+        attack_search: None,
         survivability: None,
         network: None,
     };
@@ -296,13 +304,18 @@ fn system_report(
     Ok((report, Some(plane_doses)))
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample (NaN if empty).
+/// Nearest-rank percentile of an ascending-sorted sample (NaN if empty):
+/// the smallest value with at least `q·n` of the sample at or below it,
+/// i.e. 1-based rank `ceil(q·n)` clamped to `[1, n]`. At `n = 10, q =
+/// 0.5` this is the 5th value — not the rounded linear index the
+/// pre-fix implementation returned.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// The per-slot statistics the intact `time_grid` block and the
@@ -357,11 +370,19 @@ fn time_grid_report(per_slot: &[(bool, TrafficReport)]) -> TimeGridReport {
     let agg = slot_aggregates(&views);
 
     // Per-flow serving-pair handoffs across consecutive routable slots.
+    // A slot where the flow is unroutable resets the previous pair: a
+    // route re-acquired on a different pair after a gap is a fresh
+    // attachment, not a handoff (the same contract as
+    // `TimeExpandedRoutes::handoffs`).
     let n_flows = per_slot.first().map_or(0, |(_, t)| t.flow_outcomes.len());
     let mut handoffs = 0usize;
     for flow in 0..n_flows {
         let mut prev = None;
-        for ends in per_slot.iter().filter_map(|(_, t)| t.flow_outcomes[flow].map(|o| o.ends)) {
+        for (_, t) in per_slot {
+            let Some(ends) = t.flow_outcomes[flow].map(|o| o.ends) else {
+                prev = None;
+                continue;
+            };
             if let Some(p) = prev {
                 if p != ends {
                     handoffs += 1;
@@ -417,57 +438,102 @@ fn degraded_report(
     }
 }
 
-/// Runs the networking stage over one designed system: one shared
-/// [`SnapshotSeries`] propagation cache over the traffic time grid, an
-/// ISL topology and demand-weighted traffic assignment per slot, and the
-/// time-expanded reference route. With `time_grid_slots = 1` this is
-/// byte-identical to the classic single-instant stage; with more slots
-/// the per-slot metrics aggregate into the `time_grid` report block.
-///
-/// With `network.with_outages`, the same series (no re-propagation)
-/// additionally feeds a **degraded** pass: each slot's snapshot is
-/// masked by the attack's `destroyed` set plus, when survivability is
-/// enabled, an [`OutageTimeline`] driven by `plane_doses` and sampled at
-/// the slot's mission fraction — so the grid reads as orbital geometry
-/// *and* mission life at once.
-///
-/// `build_threads` bounds the snapshot build's scoped workers (`0` =
-/// the machine; the sweep runner passes its per-worker share so
-/// concurrent scenarios don't oversubscribe the CPU).
-#[allow(clippy::too_many_lines)]
-fn network_report(
+/// The network constellation's flat layout relative to the design's
+/// plane order: `Constellation::from_planes` permutes planes by
+/// `network_order` and drops empty planes, so attack victims expressed
+/// as design-plane [`SatId`]s must be translated before they can mask a
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NetworkLayout {
+    /// Design plane index of each network plane (empty planes dropped).
+    kept: Vec<usize>,
+    /// Network plane index per design plane (`usize::MAX` for planes the
+    /// network dropped).
+    net_plane_of_design: Vec<usize>,
+    /// Flat start index per network plane.
+    offsets: Vec<usize>,
+    /// Satellites per network plane.
+    plane_sats: Vec<usize>,
+    /// Total satellites in the network layout.
+    total: usize,
+}
+
+impl NetworkLayout {
+    /// Flat network index of a design-plane satellite id (`None` when
+    /// its plane was dropped or the slot is out of range).
+    fn flat_of_design(&self, id: SatId) -> Option<usize> {
+        let np = *self.net_plane_of_design.get(id.plane)?;
+        if np == usize::MAX || id.slot >= self.plane_sats[np] {
+            return None;
+        }
+        Some(self.offsets[np] + id.slot)
+    }
+
+    /// The design-plane id of a network-layout id.
+    fn design_id(&self, id: SatId) -> SatId {
+        SatId { plane: self.kept[id.plane], slot: id.slot }
+    }
+}
+
+/// Computes the [`NetworkLayout`] of one designed system — exactly the
+/// permutation-plus-drop `Constellation::from_planes(sys.network_planes())`
+/// performs.
+fn network_layout(sys: &DesignedSystem) -> NetworkLayout {
+    let kept: Vec<usize> = sys
+        .network_order
+        .iter()
+        .copied()
+        .filter(|&i| !sys.planes[i].satellites.is_empty())
+        .collect();
+    let mut net_plane_of_design = vec![usize::MAX; sys.planes.len()];
+    let mut offsets = Vec::with_capacity(kept.len());
+    let mut plane_sats = Vec::with_capacity(kept.len());
+    let mut acc = 0usize;
+    for (np, &dp) in kept.iter().enumerate() {
+        net_plane_of_design[dp] = np;
+        offsets.push(acc);
+        plane_sats.push(sys.planes[dp].satellites.len());
+        acc += sys.planes[dp].satellites.len();
+    }
+    NetworkLayout { kept, net_plane_of_design, offsets, plane_sats, total: acc }
+}
+
+/// Everything the network-facing stages share for one designed system:
+/// the network constellation, the batch-propagated traffic-grid
+/// [`SnapshotSeries`], the demand-weighted flow sample, and the
+/// design↔network plane mapping. Built once per system — the attack
+/// search and the network report ride the same propagation cache, so an
+/// optimized attack never costs a second build.
+struct NetworkContext {
+    constellation: Constellation,
+    topo_config: GridTopologyConfig,
+    min_elev: f64,
+    t: Epoch,
+    grid: Vec<Epoch>,
+    series: SnapshotSeries,
+    flows: Vec<Flow>,
+    layout: NetworkLayout,
+}
+
+/// Builds the [`NetworkContext`]: one parallel snapshot build over the
+/// traffic grid (`build_threads` scoped workers, `0` = the machine) and
+/// one seeded flow sample.
+fn network_context(
     spec: &ScenarioSpec,
     model: &DemandModel,
     sys: &DesignedSystem,
     epoch: Epoch,
     build_threads: usize,
-    destroyed: &[SatId],
-    plane_doses: Option<&[DailyFluence]>,
-) -> Result<NetworkReport> {
+) -> Result<NetworkContext> {
     let constellation = Constellation::from_planes(epoch, sys.network_planes())?;
     let topo_config = GridTopologyConfig {
         max_range_km: spec.network.max_range_km,
         ..GridTopologyConfig::default()
     };
-    let min_elev = spec.network.min_elevation_deg.to_radians();
     let t = epoch + spec.network.utc_hour * 3600.0;
-
-    // The traffic grid: propagate the whole constellation over every
-    // slot once, in parallel, into the shared snapshot cache.
     let grid_slots = spec.network.time_grid_slots.max(1);
     let grid = time_grid(t, grid_slots, spec.network.time_grid_slot_s);
     let series = SnapshotSeries::build_parallel(&constellation, &grid, build_threads)?;
-
-    // The reference pair of every routing walkthrough in this repo:
-    // New York -> London across the configured (route-grid) slots. When
-    // the route grid coincides with the traffic grid, the reference
-    // route rides the per-slot topologies below instead of rebuilding
-    // the whole series.
-    let src = GeoPoint::from_degrees(40.7, -74.0);
-    let dst = GeoPoint::from_degrees(51.5, -0.1);
-    let route_grid = time_grid(t, spec.network.slots.max(1), spec.network.slot_s);
-    let shared_grid = route_grid == grid;
-
     // Flow endpoints are demand-weighted; the stream is derived from the
     // scenario seed so sweeps decorrelate. One flow set is routed at
     // every slot (the grid varies the geometry, not the demand sample).
@@ -477,58 +543,153 @@ fn network_report(
         spec.network.n_flows,
         spec.seed.wrapping_add(0x9E37_79B9),
     );
-    let mut per_slot: Vec<(bool, TrafficReport)> = Vec::with_capacity(series.len());
-    let mut shared_routes: Vec<Option<Route>> = Vec::new();
-    for snapshot in series.iter() {
-        let topology = Topology::plus_grid(&snapshot, topo_config)?;
-        let traffic = assign_traffic(&snapshot, &topology, &flows, min_elev)?;
-        if shared_grid {
-            match route_ground_to_ground(&snapshot, &topology, src, dst, min_elev) {
+    let layout = network_layout(sys);
+    debug_assert_eq!(layout.total, series.n_sats(), "network layout mismatch");
+    Ok(NetworkContext {
+        constellation,
+        topo_config,
+        min_elev: spec.network.min_elevation_deg.to_radians(),
+        t,
+        grid,
+        series,
+        flows,
+        layout,
+    })
+}
+
+/// Runs the adversarial attack search (`attack.kind = "optimized"`) for
+/// one designed system over its prebuilt [`NetworkContext`]. Returns the
+/// found worst-case destroyed set translated back to **design-plane**
+/// ids (what the attack bookkeeping and survivability stages consume)
+/// plus the report block.
+///
+/// The same-budget fixed-attack baseline (`leading-planes` for a plane
+/// budget, `random-sats` for a satellite budget) is scored with the same
+/// objective and seeded into the search's start pool, so the found
+/// attack is reported next to it and is never weaker.
+fn run_attack_search(
+    spec: &ScenarioSpec,
+    sys: &DesignedSystem,
+    ctx: &NetworkContext,
+    evaluator: &DegradedEvaluator<'_>,
+    threads: usize,
+) -> Result<(Vec<SatId>, AttackSearchReport)> {
+    let config = spec.attack.search_config(threads);
+    let n_net_planes = ctx.layout.kept.len();
+    let (baseline_name, baseline): (&str, Vec<SatId>) = match spec.attack.unit {
+        AttackUnit::Planes => {
+            let victims = strided_plane_indices(n_net_planes, spec.attack.budget)
+                .into_iter()
+                .flat_map(|p| {
+                    (0..ctx.layout.plane_sats[p]).map(move |s| SatId { plane: p, slot: s })
+                })
+                .collect();
+            ("leading-planes", victims)
+        }
+        AttackUnit::Sats => {
+            // The seeded random baseline over the *network* constellation
+            // (the search's own candidate space).
+            let element_planes: Vec<&[ssplane_astro::kepler::OrbitalElements]> =
+                ctx.layout.kept.iter().map(|&dp| sys.planes[dp].satellites.as_slice()).collect();
+            let target = AttackTarget {
+                plane_groups: (0..element_planes.len()).collect(),
+                planes: element_planes,
+                epoch: ctx.t,
+            };
+            let model = ssplane_lsn::disruption::RandomSats { sats_lost: spec.attack.budget };
+            ("random-sats", model.destroyed(&target, spec.seed)?)
+        }
+    };
+    let baseline_value = evaluator.score_attack(&baseline, config.objective)?;
+    let outcome = optimize_attack(evaluator, &config, spec.seed, &[baseline])?;
+    let mut destroyed: Vec<SatId> =
+        outcome.destroyed.iter().map(|&id| ctx.layout.design_id(id)).collect();
+    destroyed.sort_unstable();
+    let report = AttackSearchReport {
+        objective: config.objective.as_str().to_string(),
+        unit: spec.attack.unit.as_str().to_string(),
+        budget: spec.attack.budget,
+        restarts: spec.attack.restarts,
+        // The baseline's standalone scoring above is one extra candidate
+        // on top of the search's own count.
+        candidates: outcome.candidates_evaluated + 1,
+        objective_value: outcome.objective_value,
+        baseline: baseline_name.to_string(),
+        baseline_value,
+        intact_value: outcome.intact_value,
+    };
+    Ok((destroyed, report))
+}
+
+/// Runs the networking stage over one designed system's prebuilt
+/// [`NetworkContext`]: a [`DegradedEvaluator`] supplies the per-slot
+/// intact topologies and traffic assignments (the same reusable
+/// evaluation the attack search scores candidates through), plus the
+/// time-expanded reference route. With `time_grid_slots = 1` this is
+/// byte-identical to the classic single-instant stage; with more slots
+/// the per-slot metrics aggregate into the `time_grid` report block.
+///
+/// With `network.with_outages`, the same series (no re-propagation)
+/// additionally feeds a **degraded** pass: each slot's snapshot is
+/// masked by the attack's `destroyed` set plus, when survivability is
+/// enabled, an [`OutageTimeline`] driven by `plane_doses` and sampled at
+/// the slot's mission fraction — so the grid reads as orbital geometry
+/// *and* mission life at once. Each masked slot filters the prebuilt
+/// intact topology ([`ssplane_lsn::topology::Topology::masked`]) instead
+/// of re-running the geometric construction.
+#[allow(clippy::too_many_lines)]
+fn network_report(
+    spec: &ScenarioSpec,
+    ctx: &NetworkContext,
+    evaluator: &DegradedEvaluator<'_>,
+    destroyed: &[SatId],
+    plane_doses: Option<&[DailyFluence]>,
+    build_threads: usize,
+) -> Result<NetworkReport> {
+    let NetworkContext { constellation, topo_config, min_elev, t, grid, series, flows, layout } =
+        ctx;
+    let (topo_config, min_elev) = (*topo_config, *min_elev);
+    let per_slot: Vec<(bool, TrafficReport)> =
+        evaluator.intact().iter().map(|e| (e.connected, e.traffic.clone())).collect();
+
+    // The reference pair of every routing walkthrough in this repo:
+    // New York -> London across the configured (route-grid) slots. When
+    // the route grid coincides with the traffic grid, the reference
+    // route rides the evaluator's per-slot topologies instead of
+    // rebuilding the whole series.
+    let src = GeoPoint::from_degrees(40.7, -74.0);
+    let dst = GeoPoint::from_degrees(51.5, -0.1);
+    let route_grid = time_grid(*t, spec.network.slots.max(1), spec.network.slot_s);
+    let routes = if route_grid == *grid {
+        let mut shared_routes: Vec<Option<Route>> = Vec::with_capacity(series.len());
+        for (k, snapshot) in series.iter().enumerate() {
+            match route_ground_to_ground(
+                &snapshot,
+                evaluator.intact_topology(k),
+                src,
+                dst,
+                min_elev,
+            ) {
                 Ok(r) => shared_routes.push(Some(r)),
                 Err(LsnError::NoRoute) => shared_routes.push(None),
                 Err(e) => return Err(e.into()),
             }
         }
-        per_slot.push((topology.is_connected(), traffic));
-    }
-
-    let routes = if shared_grid {
         TimeExpandedRoutes { epochs: route_grid, routes: shared_routes }
     } else {
         let route_series =
-            SnapshotSeries::build_parallel(&constellation, &route_grid, build_threads)?;
+            SnapshotSeries::build_parallel(constellation, &route_grid, build_threads)?;
         route_over_time(&route_series, src, dst, min_elev, topo_config)?
     };
 
-    // The degraded pass: rides the same snapshot series as the intact
-    // loop above.
+    // The degraded pass: rides the same snapshot series (and prebuilt
+    // intact topologies) as the intact loop above.
     let degraded = if spec.network.with_outages {
         let total = series.n_sats();
-        // Map the attack's design-plane slot ids onto the network
-        // constellation's flat layout: planes are permuted by
-        // `network_order` and empty planes dropped (exactly what
-        // `Constellation::from_planes` did above).
-        let kept: Vec<usize> = sys
-            .network_order
-            .iter()
-            .copied()
-            .filter(|&i| !sys.planes[i].satellites.is_empty())
-            .collect();
-        let mut net_plane_of_design = vec![usize::MAX; sys.planes.len()];
-        let mut offsets = Vec::with_capacity(kept.len());
-        let mut acc = 0usize;
-        for (np, &dp) in kept.iter().enumerate() {
-            net_plane_of_design[dp] = np;
-            offsets.push(acc);
-            acc += sys.planes[dp].satellites.len();
-        }
-        debug_assert_eq!(acc, total, "network layout mismatch");
-
         let mut alive_base = vec![true; total];
         for id in destroyed {
-            let np = net_plane_of_design[id.plane];
-            if np != usize::MAX && id.slot < sys.planes[id.plane].satellites.len() {
-                alive_base[offsets[np] + id.slot] = false;
+            if let Some(flat) = layout.flat_of_design(*id) {
+                alive_base[flat] = false;
             }
         }
 
@@ -538,14 +699,12 @@ fn network_report(
         // no spares.
         let timeline: Option<OutageTimeline> = match plane_doses {
             Some(doses) if spec.survivability.enabled => {
-                let kept_doses: Vec<DailyFluence> = kept.iter().map(|&i| doses[i]).collect();
-                let kept_sats: Vec<usize> =
-                    kept.iter().map(|&i| sys.planes[i].satellites.len()).collect();
+                let kept_doses: Vec<DailyFluence> = layout.kept.iter().map(|&i| doses[i]).collect();
                 let dead: Vec<bool> = alive_base.iter().map(|&a| !a).collect();
                 let process = spec.survivability.process();
                 Some(outage_timeline(
                     &kept_doses,
-                    &kept_sats,
+                    &layout.plane_sats,
                     Some(&dead),
                     &*process,
                     &spec.survivability.policy,
@@ -558,25 +717,22 @@ fn network_report(
         let mut degraded_slots: Vec<(bool, usize, TrafficReport)> =
             Vec::with_capacity(series.len());
         let mut mask = vec![true; total];
-        for (k, snapshot) in series.iter().enumerate() {
+        for k in 0..series.len() {
             mask.copy_from_slice(&alive_base);
             if let Some(tl) = &timeline {
                 // Slot k samples the mission at fraction (k + 0.5)/slots.
                 let day = tl.horizon_days * (k as f64 + 0.5) / series.len() as f64;
                 tl.mask_alive(day, &mut mask);
             }
-            let masked = snapshot.with_alive(&mask);
-            let topology = Topology::plus_grid(&masked, topo_config)?;
-            let traffic = assign_traffic(&masked, &topology, &flows, min_elev)?;
-            degraded_slots.push((
-                topology.is_connected_among(&mask),
-                masked.alive_count(),
-                traffic,
-            ));
+            let eval = evaluator.evaluate_slot(k, Some(&mask))?;
+            degraded_slots.push((eval.connected, eval.alive, eval.traffic));
         }
-        let intact_mean_load = per_slot.iter().map(|(_, t)| t.mean_link_load()).sum::<f64>()
-            / per_slot.len().max(1) as f64;
-        Some(degraded_report(&degraded_slots, total, flows.len(), intact_mean_load))
+        Some(degraded_report(
+            &degraded_slots,
+            total,
+            flows.len(),
+            evaluator.intact_mean_link_load(),
+        ))
     } else {
         None
     };
@@ -593,7 +749,7 @@ fn network_report(
         slots: routes.routes.len(),
         handoffs: routes.handoffs(),
         mean_delay_ms: routes.mean_delay_ms(),
-        time_grid: (grid_slots > 1).then(|| time_grid_report(&per_slot)),
+        time_grid: (grid.len() > 1).then(|| time_grid_report(&per_slot)),
         degraded,
     })
 }
@@ -634,7 +790,40 @@ fn run_scenario(
         let designer = designer_for(kind, &spec.design);
         let name = designer.name();
         let sys = clock.time(&format!("{name}.design"), || designer.design(&demand, &params))?;
-        let destroyed = attack_destroyed(spec, &sys, epoch)?;
+        // The network context (propagation cache + flows) and the
+        // degraded evaluator (intact per-slot topologies + traffic) are
+        // built once and shared by the attack search and the network
+        // stage — an optimized attack never costs a second build of
+        // either.
+        let needs_network = spec.network.enabled && sys.total_sats() > 0;
+        let optimized = needs_network && spec.attack.kind == AttackKind::Optimized;
+        let net_ctx: Option<NetworkContext> = if needs_network {
+            Some(clock.time(&format!("{name}.network.setup"), || {
+                network_context(spec, &model, &sys, epoch, build_threads)
+            })?)
+        } else {
+            None
+        };
+        let evaluator: Option<DegradedEvaluator<'_>> = match &net_ctx {
+            Some(ctx) => Some(clock.time(&format!("{name}.network.intact"), || {
+                DegradedEvaluator::new(&ctx.series, &ctx.flows, ctx.min_elev, ctx.topo_config)
+            })?),
+            None => None,
+        };
+        // An optimized attack is a search over that machinery; every
+        // fixed kind stays a pure function of the geometry.
+        let mut attack_search: Option<AttackSearchReport> = None;
+        let destroyed = if optimized {
+            let (ctx, eval) =
+                (net_ctx.as_ref().expect("context built"), evaluator.as_ref().expect("built"));
+            let (victims, search) = clock.time(&format!("{name}.attack_search"), || {
+                run_attack_search(spec, &sys, ctx, eval, build_threads)
+            })?;
+            attack_search = Some(search);
+            victims
+        } else {
+            attack_destroyed(spec, &sys, epoch)?
+        };
         let (mut report, plane_doses) = system_report(
             spec,
             name,
@@ -645,17 +834,12 @@ fn run_scenario(
             spec.radiation.enabled,
             clock,
         )?;
-        if spec.network.enabled && sys.total_sats() > 0 {
+        report.attack_search = attack_search;
+        if needs_network {
+            let (ctx, eval) =
+                (net_ctx.as_ref().expect("context built"), evaluator.as_ref().expect("built"));
             report.network = Some(clock.time(&format!("{name}.network"), || {
-                network_report(
-                    spec,
-                    &model,
-                    &sys,
-                    epoch,
-                    build_threads,
-                    &destroyed,
-                    plane_doses.as_deref(),
-                )
+                network_report(spec, ctx, eval, &destroyed, plane_doses.as_deref(), build_threads)
             })?);
         }
         systems.push(NamedSystemReport { system: name.to_string(), report });
@@ -1317,6 +1501,205 @@ mod tests {
         // Vacancy-days cover surviving slots only (none here) — the
         // destroyed capacity lives in the attack report.
         assert_eq!(surv.lost_slot_days, 0.0);
+    }
+
+    #[test]
+    fn percentile_is_true_nearest_rank() {
+        // The issue's diverging pair: at n = 10, q = 0.5 nearest-rank is
+        // the 5th value — the old rounded linear index returned the 6th.
+        let sorted: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+        assert_ne!(percentile(&sorted, 0.5), 6.0, "the pre-fix answer must be gone");
+        assert_eq!(percentile(&sorted, 0.9), 9.0);
+        assert_eq!(percentile(&sorted, 0.99), 10.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0, "rank clamps to the first value");
+        // ceil(0.5 * 4) = rank 2.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.0);
+        assert_eq!(percentile(&[7.5], 0.5), 7.5);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    /// A traffic report carrying only per-flow outcomes (what the
+    /// handoff accounting reads).
+    fn traffic_with(outcomes: Vec<Option<ssplane_lsn::traffic::FlowOutcome>>) -> TrafficReport {
+        TrafficReport {
+            routed: outcomes.iter().flatten().count(),
+            unrouted: outcomes.iter().filter(|o| o.is_none()).count(),
+            link_load: std::collections::BTreeMap::new(),
+            mean_stretch: 1.0,
+            mean_hops: 1.0,
+            flow_outcomes: outcomes,
+        }
+    }
+
+    #[test]
+    fn time_grid_handoffs_reset_across_unroutable_gaps() {
+        use ssplane_lsn::traffic::FlowOutcome;
+        let sat = |p: usize, s: usize| SatId { plane: p, slot: s };
+        let out = |ends: (SatId, SatId)| Some(FlowOutcome { delay_ms: 10.0, ends });
+        let a = (sat(0, 0), sat(1, 0));
+        let b = (sat(2, 2), sat(3, 2));
+        // One flow: routed on pair a, unroutable, routed on pair b — the
+        // gap resets the comparison, so 0 handoffs.
+        let gapped = vec![
+            (true, traffic_with(vec![out(a)])),
+            (true, traffic_with(vec![None])),
+            (true, traffic_with(vec![out(b)])),
+        ];
+        assert_eq!(time_grid_report(&gapped).handoffs, 0);
+        // The same pair change on adjacent slots is one handoff.
+        let adjacent = vec![
+            (true, traffic_with(vec![out(a)])),
+            (true, traffic_with(vec![out(b)])),
+            (true, traffic_with(vec![None])),
+        ];
+        assert_eq!(time_grid_report(&adjacent).handoffs, 1);
+        // Two flows: one churns without gaps (1 handoff), one only
+        // across a gap (0) — per-flow accounting keeps them separate.
+        let two = vec![
+            (true, traffic_with(vec![out(a), out(a)])),
+            (true, traffic_with(vec![out(b), None])),
+            (true, traffic_with(vec![out(b), out(b)])),
+        ];
+        assert_eq!(time_grid_report(&two).handoffs, 1);
+    }
+
+    /// A 3-plane system with a permuted network order and an empty
+    /// middle plane — the RGT-style layout the degraded-stage mapping
+    /// has to survive.
+    fn permuted_system() -> DesignedSystem {
+        use ssplane_core::system::SystemPlane;
+        let epoch = tiny_spec().radiation.epoch();
+        let orbit = ssplane_astro::sunsync::sun_synchronous_orbit(560.0).unwrap();
+        let plane = |ltan: f64, n: usize| SystemPlane {
+            n_sats: n,
+            eval_idx: 0,
+            satellites: if n == 0 {
+                Vec::new()
+            } else {
+                orbit.with_ltan(ltan).plane_elements(epoch, n).unwrap()
+            },
+        };
+        DesignedSystem {
+            summary: DesignSummary {
+                sats: 5,
+                planes: 3,
+                shells: 1,
+                sats_per_plane: 2,
+                inclination_deg: 97.6,
+                unserved_demand: 0.0,
+            },
+            eval_groups: vec![(orbit.with_ltan(8.0).plane_elements(epoch, 1).unwrap()[0], 5)],
+            planes: vec![plane(8.0, 2), plane(10.0, 0), plane(12.0, 3)],
+            // Network order reverses the planes; the empty plane 1 must
+            // be dropped, exactly as Constellation::from_planes does.
+            network_order: vec![2, 1, 0],
+        }
+    }
+
+    #[test]
+    fn network_layout_maps_permuted_orders_and_empty_planes() {
+        let sys = permuted_system();
+        let layout = network_layout(&sys);
+        assert_eq!(layout.kept, vec![2, 0], "plane 1 is empty and dropped");
+        assert_eq!(layout.net_plane_of_design, vec![1, usize::MAX, 0]);
+        assert_eq!(layout.offsets, vec![0, 3]);
+        assert_eq!(layout.plane_sats, vec![3, 2]);
+        assert_eq!(layout.total, 5);
+        // A destroyed design satellite masks the correct flat index
+        // under the permutation: design plane 0 lands *after* design
+        // plane 2 in the network layout.
+        assert_eq!(layout.flat_of_design(SatId { plane: 0, slot: 1 }), Some(4));
+        assert_eq!(layout.flat_of_design(SatId { plane: 2, slot: 2 }), Some(2));
+        assert_eq!(layout.flat_of_design(SatId { plane: 1, slot: 0 }), None, "dropped plane");
+        assert_eq!(layout.flat_of_design(SatId { plane: 0, slot: 9 }), None, "slot bound");
+        assert_eq!(layout.flat_of_design(SatId { plane: 7, slot: 0 }), None, "plane bound");
+        // Network-id -> design-id is the inverse on kept planes.
+        assert_eq!(layout.design_id(SatId { plane: 0, slot: 2 }), SatId { plane: 2, slot: 2 });
+        assert_eq!(layout.design_id(SatId { plane: 1, slot: 0 }), SatId { plane: 0, slot: 0 });
+        // The layout agrees with the real network constellation.
+        let epoch = tiny_spec().radiation.epoch();
+        let c = Constellation::from_planes(epoch, sys.network_planes()).unwrap();
+        assert_eq!(c.total_sats(), layout.total);
+        assert_eq!(c.plane_offsets()[..2], layout.offsets[..]);
+    }
+
+    #[test]
+    fn optimized_attack_beats_its_fixed_baseline_and_is_deterministic() {
+        use crate::spec::{AttackKind, AttackUnit};
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.attack.kind = AttackKind::Optimized;
+        spec.attack.unit = AttackUnit::Planes;
+        spec.attack.budget = 2;
+        spec.attack.restarts = 1;
+        spec.attack.swaps = 3;
+        spec.network.enabled = true;
+        spec.network.n_flows = 30;
+        spec.network.slots = 2;
+        spec.network.time_grid_slots = 2;
+        spec.network.time_grid_slot_s = 300.0;
+        spec.network.with_outages = true;
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.system("ss").unwrap();
+        let attack = ss.attack.as_ref().expect("optimized attack reports like any other");
+        assert!(attack.sats_lost > 0);
+        assert!(attack.planes_lost <= 2);
+        assert!(attack.capacity_retained < 1.0);
+        let search = ss.attack_search.as_ref().expect("the search block is present");
+        assert_eq!(search.objective, "routed-fraction");
+        assert_eq!(search.unit, "planes");
+        assert_eq!(search.budget, 2);
+        assert_eq!(search.baseline, "leading-planes");
+        assert!(
+            search.objective_value <= search.baseline_value,
+            "the found attack ({}) must be at least as damaging as the same-budget \
+             leading-planes baseline ({})",
+            search.objective_value,
+            search.baseline_value
+        );
+        assert!(search.objective_value <= search.intact_value);
+        assert!(search.candidates > 0);
+        // The degraded block reflects the searched attack.
+        let net = ss.network.as_ref().expect("network stage on");
+        let deg = net.degraded.as_ref().expect("with_outages on");
+        assert!(deg.mean_alive_fraction < 1.0);
+        let line = report.to_json_line();
+        assert!(line.contains(r#""attack_search":{"objective":"routed-fraction""#), "{line}");
+        // Rerun determinism: the whole search is a pure function of the
+        // spec.
+        let again = execute_scenario(&spec).unwrap();
+        assert_eq!(report.to_json_line(), again.to_json_line());
+
+        // Survivability consumes the searched victims too: the stage
+        // reports a degraded (non-intact) fleet outcome.
+        assert!(ss.survivability.is_some());
+    }
+
+    #[test]
+    fn optimized_satellite_budget_runs_with_random_baseline() {
+        use crate::spec::{AttackKind, AttackUnit};
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.attack.kind = AttackKind::Optimized;
+        spec.attack.unit = AttackUnit::Sats;
+        spec.attack.budget = 8;
+        spec.attack.restarts = 1;
+        spec.attack.swaps = 3;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.system("ss").unwrap();
+        let attack = ss.attack.as_ref().expect("attack block present");
+        assert_eq!(attack.sats_lost, 8);
+        let search = ss.attack_search.as_ref().unwrap();
+        assert_eq!(search.unit, "sats");
+        assert_eq!(search.baseline, "random-sats");
+        assert!(search.objective_value <= search.baseline_value);
     }
 
     #[test]

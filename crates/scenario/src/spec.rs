@@ -18,6 +18,7 @@ use ssplane_lsn::disruption::{
     WeibullBathtub, WholeShell,
 };
 use ssplane_lsn::failures::FailureModel;
+use ssplane_lsn::optimizer::{AttackBudget, AttackObjective, AttackSearchConfig};
 use ssplane_lsn::spares::SparePolicy;
 use ssplane_lsn::survivability::SurvivabilityConfig;
 
@@ -366,6 +367,11 @@ pub enum AttackKind {
     /// Loss of one whole evaluation shell (an SS plane, a Walker shell,
     /// or the RGT track).
     Shell,
+    /// Adversarially *searched* loss: a seeded greedy + random-restart
+    /// search ([`ssplane_lsn::optimizer`]) for the worst k-plane /
+    /// k-satellite set against a degraded-network objective. Requires the
+    /// network stage (the objective is a network metric).
+    Optimized,
 }
 
 impl AttackKind {
@@ -376,6 +382,7 @@ impl AttackKind {
             AttackKind::RandomSats => "random-sats",
             AttackKind::DeclinationBand => "declination-band",
             AttackKind::Shell => "shell",
+            AttackKind::Optimized => "optimized",
         }
     }
 
@@ -386,12 +393,56 @@ impl AttackKind {
             "random-sats" | "random" => Ok(AttackKind::RandomSats),
             "declination-band" | "band" => Ok(AttackKind::DeclinationBand),
             "shell" => Ok(AttackKind::Shell),
+            "optimized" | "worst-case" => Ok(AttackKind::Optimized),
             other => Err(ScenarioError::bad_value(
                 "attack.kind",
                 other,
-                "leading-planes | random-sats | declination-band | shell",
+                "leading-planes | random-sats | declination-band | shell | optimized",
             )),
         }
+    }
+}
+
+/// The candidate-set unit of an optimized attack search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackUnit {
+    /// Search over whole-plane sets.
+    #[default]
+    Planes,
+    /// Search over individual-satellite sets.
+    Sats,
+}
+
+impl AttackUnit {
+    /// Canonical config-file token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttackUnit::Planes => "planes",
+            AttackUnit::Sats => "sats",
+        }
+    }
+
+    /// Parses the config-file token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "planes" => Ok(AttackUnit::Planes),
+            "sats" | "satellites" => Ok(AttackUnit::Sats),
+            other => Err(ScenarioError::bad_value("attack.unit", other, "planes | sats")),
+        }
+    }
+}
+
+/// Parses an `attack.objective` token into the optimizer's objective.
+pub fn parse_objective(s: &str) -> Result<AttackObjective> {
+    match s {
+        "routed-fraction" | "routed" => Ok(AttackObjective::RoutedFraction),
+        "connectivity" => Ok(AttackObjective::Connectivity),
+        "load-inflation" | "load" => Ok(AttackObjective::LoadInflation),
+        other => Err(ScenarioError::bad_value(
+            "attack.objective",
+            other,
+            "routed-fraction | connectivity | load-inflation",
+        )),
     }
 }
 
@@ -414,6 +465,19 @@ pub struct AttackSpec {
     pub band_max_deg: f64,
     /// Evaluation-shell index to destroy ([`AttackKind::Shell`]).
     pub shell: usize,
+    /// Degraded-network objective the search minimizes
+    /// ([`AttackKind::Optimized`]).
+    pub objective: AttackObjective,
+    /// Candidate-set unit of the search ([`AttackKind::Optimized`]).
+    pub unit: AttackUnit,
+    /// Planes or satellites the searched attack may destroy
+    /// ([`AttackKind::Optimized`]; clamped to the constellation).
+    pub budget: usize,
+    /// Random-restart local searches after the greedy construction
+    /// ([`AttackKind::Optimized`]).
+    pub restarts: usize,
+    /// Swap proposals per search start point ([`AttackKind::Optimized`]).
+    pub swaps: usize,
 }
 
 impl Default for AttackSpec {
@@ -425,6 +489,11 @@ impl Default for AttackSpec {
             band_min_deg: -20.0,
             band_max_deg: 20.0,
             shell: 0,
+            objective: AttackObjective::RoutedFraction,
+            unit: AttackUnit::Planes,
+            budget: 2,
+            restarts: 3,
+            swaps: 16,
         }
     }
 }
@@ -439,16 +508,37 @@ impl AttackSpec {
         self.kind != AttackKind::LeadingPlanes || self.planes_lost > 0
     }
 
-    /// The configured [`AttackModel`], from the registry the
-    /// `attack.kind` key names.
-    pub fn model(&self) -> Box<dyn AttackModel> {
+    /// The configured *fixed* [`AttackModel`], from the registry the
+    /// `attack.kind` key names — `None` for [`AttackKind::Optimized`],
+    /// whose destroyed set is a search outcome (driven by the network
+    /// stage in the runner), not a pure function of the geometry.
+    pub fn fixed_model(&self) -> Option<Box<dyn AttackModel>> {
         match self.kind {
-            AttackKind::LeadingPlanes => Box::new(LeadingPlanes { planes_lost: self.planes_lost }),
-            AttackKind::RandomSats => Box::new(RandomSats { sats_lost: self.sats_lost }),
-            AttackKind::DeclinationBand => {
-                Box::new(DeclinationBand { min_deg: self.band_min_deg, max_deg: self.band_max_deg })
+            AttackKind::LeadingPlanes => {
+                Some(Box::new(LeadingPlanes { planes_lost: self.planes_lost }))
             }
-            AttackKind::Shell => Box::new(WholeShell { shell: self.shell }),
+            AttackKind::RandomSats => Some(Box::new(RandomSats { sats_lost: self.sats_lost })),
+            AttackKind::DeclinationBand => Some(Box::new(DeclinationBand {
+                min_deg: self.band_min_deg,
+                max_deg: self.band_max_deg,
+            })),
+            AttackKind::Shell => Some(Box::new(WholeShell { shell: self.shell })),
+            AttackKind::Optimized => None,
+        }
+    }
+
+    /// The optimizer configuration of an [`AttackKind::Optimized`] spec;
+    /// `threads` caps candidate-scoring workers (`0` = the machine).
+    pub fn search_config(&self, threads: usize) -> AttackSearchConfig {
+        AttackSearchConfig {
+            objective: self.objective,
+            budget: match self.unit {
+                AttackUnit::Planes => AttackBudget::Planes(self.budget),
+                AttackUnit::Sats => AttackBudget::Sats(self.budget),
+            },
+            restarts: self.restarts,
+            swaps: self.swaps,
+            threads,
         }
     }
 }
@@ -591,6 +681,14 @@ impl ScenarioSpec {
                 "a finite band with band_min_deg <= band_max_deg",
             ));
         }
+        if self.attack.kind == AttackKind::Optimized && !self.network.enabled {
+            return Err(ScenarioError::bad_value(
+                "attack.kind",
+                "optimized",
+                "network.enabled = true (the search scores candidates by a degraded-network \
+                 objective)",
+            ));
+        }
         if self.network.enabled {
             if self.network.time_grid_slots == 0 {
                 return Err(ScenarioError::bad_value("network.time_grid_slots", "0", ">= 1"));
@@ -707,8 +805,14 @@ mod tests {
             assert_eq!(AttackKind::parse(kind.as_str()).unwrap(), kind);
             // The registry name of the configured model matches the token.
             let spec = AttackSpec { kind, ..Default::default() };
-            assert_eq!(spec.model().name(), kind.as_str());
+            assert_eq!(spec.fixed_model().expect("fixed kind").name(), kind.as_str());
         }
+        // The optimized kind parses but has no fixed model: its destroyed
+        // set is a search outcome, not a geometry function.
+        assert_eq!(AttackKind::parse("optimized").unwrap(), AttackKind::Optimized);
+        let optimized = AttackSpec { kind: AttackKind::Optimized, ..Default::default() };
+        assert!(optimized.fixed_model().is_none());
+        assert!(optimized.is_active());
         assert!(AttackKind::parse("emp").is_err());
         for kind in [FailureKind::Exponential, FailureKind::Weibull] {
             assert_eq!(FailureKind::parse(kind.as_str()).unwrap(), kind);
@@ -743,6 +847,50 @@ mod tests {
                                   // A disabled network stage does not police the switch.
         spec.attack.planes_lost = 0;
         spec.network.enabled = false;
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn optimized_attack_tokens_and_search_config() {
+        use ssplane_lsn::optimizer::{AttackBudget, AttackObjective};
+        for (token, objective) in [
+            ("routed-fraction", AttackObjective::RoutedFraction),
+            ("connectivity", AttackObjective::Connectivity),
+            ("load-inflation", AttackObjective::LoadInflation),
+        ] {
+            assert_eq!(parse_objective(token).unwrap(), objective);
+            assert_eq!(objective.as_str(), token, "token round trip");
+        }
+        assert!(parse_objective("chaos").is_err());
+        for unit in [AttackUnit::Planes, AttackUnit::Sats] {
+            assert_eq!(AttackUnit::parse(unit.as_str()).unwrap(), unit);
+        }
+        assert!(AttackUnit::parse("shells").is_err());
+        let spec = AttackSpec {
+            kind: AttackKind::Optimized,
+            unit: AttackUnit::Sats,
+            budget: 9,
+            restarts: 5,
+            swaps: 7,
+            ..Default::default()
+        };
+        let config = spec.search_config(3);
+        assert_eq!(config.budget, AttackBudget::Sats(9));
+        assert_eq!(config.restarts, 5);
+        assert_eq!(config.swaps, 7);
+        assert_eq!(config.threads, 3);
+        assert_eq!(
+            AttackSpec { unit: AttackUnit::Planes, budget: 4, ..spec }.search_config(0).budget,
+            AttackBudget::Planes(4)
+        );
+    }
+
+    #[test]
+    fn optimized_attack_requires_the_network_stage() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.attack.kind = AttackKind::Optimized;
+        assert!(spec.validate().is_err(), "no network stage to score candidates against");
+        spec.network.enabled = true;
         spec.validate().unwrap();
     }
 

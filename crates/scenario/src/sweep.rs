@@ -12,8 +12,8 @@
 
 use crate::error::{Result, ScenarioError};
 use crate::spec::{
-    parse_branch_rule, parse_supply_model, AttackKind, DesignKind, FailureKind, ScenarioSpec,
-    SolarActivity,
+    parse_branch_rule, parse_objective, parse_supply_model, AttackKind, AttackUnit, DesignKind,
+    FailureKind, ScenarioSpec, SolarActivity,
 };
 use crate::toml::TomlValue;
 use ssplane_lsn::spares::SparePolicy;
@@ -374,6 +374,11 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         "attack.band_min_deg" => spec.attack.band_min_deg = need_f64(key, value)?,
         "attack.band_max_deg" => spec.attack.band_max_deg = need_f64(key, value)?,
         "attack.shell" => spec.attack.shell = need_usize(key, value)?,
+        "attack.objective" => spec.attack.objective = parse_objective(need_str(key, value)?)?,
+        "attack.unit" => spec.attack.unit = AttackUnit::parse(need_str(key, value)?)?,
+        "attack.budget" => spec.attack.budget = need_usize(key, value)?,
+        "attack.restarts" => spec.attack.restarts = need_usize(key, value)?,
+        "attack.swaps" => spec.attack.swaps = need_usize(key, value)?,
 
         "network.enabled" => spec.network.enabled = need_bool(key, value)?,
         "network.with_outages" => spec.network.with_outages = need_bool(key, value)?,
@@ -609,6 +614,29 @@ mod tests {
         apply_param(&mut spec, "network.with_outages", &TomlValue::Bool(true)).unwrap();
         assert!(spec.network.with_outages);
         assert!(apply_param(&mut spec, "network.with_outages", &TomlValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn optimized_attack_paths() {
+        use ssplane_lsn::optimizer::AttackObjective;
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "attack.kind", &TomlValue::Str("optimized".into())).unwrap();
+        apply_param(&mut spec, "attack.objective", &TomlValue::Str("load-inflation".into()))
+            .unwrap();
+        apply_param(&mut spec, "attack.unit", &TomlValue::Str("sats".into())).unwrap();
+        apply_param(&mut spec, "attack.budget", &TomlValue::Int(12)).unwrap();
+        apply_param(&mut spec, "attack.restarts", &TomlValue::Int(4)).unwrap();
+        apply_param(&mut spec, "attack.swaps", &TomlValue::Int(9)).unwrap();
+        assert_eq!(spec.attack.kind, AttackKind::Optimized);
+        assert_eq!(spec.attack.objective, AttackObjective::LoadInflation);
+        assert_eq!(spec.attack.unit, AttackUnit::Sats);
+        assert_eq!(spec.attack.budget, 12);
+        assert_eq!(spec.attack.restarts, 4);
+        assert_eq!(spec.attack.swaps, 9);
+        assert!(
+            apply_param(&mut spec, "attack.objective", &TomlValue::Str("chaos".into())).is_err()
+        );
+        assert!(apply_param(&mut spec, "attack.budget", &TomlValue::Float(1.5)).is_err());
     }
 
     #[test]
