@@ -1,0 +1,130 @@
+//! Population-scale traffic-engine benches: seeded gravity-model
+//! synthesis of the 100k-pair workload, and the capacity-constrained
+//! served-demand assignment (attachment aggregation → k-path candidates
+//! → residual waterfilling) at 10k-satellite scale — one slot and the
+//! full 4-slot grid, the per-scenario stage `scenario-runner` pays.
+//!
+//! The headline numbers land in `BENCH_traffic_scale.json` at the
+//! repository root; re-capture with
+//! `cargo bench -p ssplane-bench --bench traffic_scale`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssplane_astro::time::Epoch;
+use ssplane_astro::walker::WalkerDelta;
+use ssplane_demand::gravity::{gravity_flows, GravityConfig};
+use ssplane_demand::spatiotemporal::DemandModel;
+use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
+use ssplane_lsn::topology::{Constellation, Topology};
+use ssplane_lsn::traffic_engine::{assign_capacity_constrained, CapacityConfig, TrafficWorkload};
+use std::hint::black_box;
+
+/// The benchmark time grid: 4 slots, 2 minutes apart (the multi-slot
+/// stage assigns the workload once per slot).
+const SLOTS: usize = 4;
+const SLOT_S: f64 = 120.0;
+
+/// City-pair flows in the synthesized workload.
+const PAIRS: usize = 100_000;
+
+/// Total offered demand in link-capacity units — deep enough into
+/// saturation that waterfilling and drop accounting are both on the
+/// measured path, not just the attachment aggregation.
+const OFFERED: f64 = 200.0;
+
+fn walker(planes: usize, per_plane: usize) -> Constellation {
+    let pattern = WalkerDelta::new(550.0, 53f64.to_radians(), planes * per_plane, planes, 1)
+        .unwrap()
+        .generate()
+        .unwrap();
+    Constellation::from_planes(Epoch::J2000, pattern.chunks(per_plane).map(<[_]>::to_vec).collect())
+        .unwrap()
+}
+
+fn bench_traffic_scale(criterion: &mut Criterion) {
+    let model = DemandModel::synthetic_seeded(42).unwrap();
+    let config = GravityConfig { pairs: PAIRS, ..GravityConfig::default() };
+
+    let mut group = criterion.benchmark_group("traffic_scale");
+    group.sample_size(10);
+
+    // Workload synthesis: 100k seeded city-pair flows over the
+    // population grid (chunked parallel RNG, deterministic per seed).
+    group.bench_with_input(
+        criterion::BenchmarkId::new("gravity_flows", format!("{PAIRS}pairs")),
+        &(),
+        |b, ()| b.iter(|| black_box(gravity_flows(&model, &config, 0).unwrap().len())),
+    );
+
+    let gravity = gravity_flows(&model, &config, 0).unwrap();
+    let total: f64 = gravity.iter().map(|g| g.rate).sum();
+    let workload = TrafficWorkload::from_gravity(
+        &gravity,
+        OFFERED / total,
+        CapacityConfig { link_capacity: 1.0, k_paths: 2 },
+    );
+
+    // 10k satellites: 50 planes x 200 slots (the mega-constellation
+    // geometry every other bench uses), with the per-slot +grid
+    // topologies prebuilt exactly as the runner's evaluator holds them.
+    let c = walker(50, 200);
+    let series =
+        SnapshotSeries::build_parallel(&c, &time_grid(Epoch::J2000, SLOTS, SLOT_S), 0).unwrap();
+    let topologies: Vec<Topology> = series
+        .iter()
+        .map(|snapshot| Topology::plus_grid(&snapshot, Default::default()).unwrap())
+        .collect();
+    let min_elevation = 20f64.to_radians();
+
+    // One slot: ServingIndex attachment of 100k flows + penalized
+    // k-path rounds + waterfilling on the 10k-node topology.
+    group.sample_size(5);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("assign_slot", format!("10000sats_{PAIRS}flows")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                black_box(
+                    assign_capacity_constrained(
+                        &series.snapshot(0),
+                        &topologies[0],
+                        &workload.flows,
+                        min_elevation,
+                        &workload.capacity,
+                    )
+                    .unwrap()
+                    .served_fraction,
+                )
+            })
+        },
+    );
+
+    // The full multi-slot stage: the acceptance number — every slot of
+    // the grid assigned back-to-back, as one scenario point pays it.
+    group.sample_size(3);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("assign_grid", format!("{SLOTS}slots")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut served = 0.0;
+                for (k, topology) in topologies.iter().enumerate() {
+                    served += assign_capacity_constrained(
+                        &series.snapshot(k),
+                        topology,
+                        &workload.flows,
+                        min_elevation,
+                        &workload.capacity,
+                    )
+                    .unwrap()
+                    .served_fraction;
+                }
+                black_box(served)
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic_scale);
+criterion_main!(benches);

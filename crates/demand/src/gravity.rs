@@ -1,0 +1,395 @@
+//! Gravity-model synthesis of city-pair traffic flows — the
+//! population-scale workload generator.
+//!
+//! The network stage historically routed a hand-counted flow sample; a
+//! production-scale evaluation needs 10⁵–10⁶ flows whose *rates* carry
+//! real demand weight. This module derives that workload from the same
+//! [`PopulationGrid`] × [`DiurnalModel`] substrate everything else uses
+//! (via [`DemandModel`]):
+//!
+//! 1. **Attraction sites** — the top-N grid cells by demand *mass*
+//!    (density × diurnal weight × cell area) at the configured UTC hour:
+//!    the synthetic stand-ins for metro areas.
+//! 2. **Pair sampling** — source and destination sites drawn with
+//!    probability proportional to site mass (the product form
+//!    `m_i · m_j` of the classic gravity model), importance-weighted by
+//!    an exponential distance-deterrence term.
+//! 3. **Conservation** — flow rates are normalized so the emitted total
+//!    equals the whole grid's demand mass at that hour, so aggregate
+//!    statistics stay comparable across `pairs` settings and the grid
+//!    total is conserved exactly (up to float summation).
+//!
+//! Determinism contract: the flow list is a pure function of
+//! `(model, config)` — byte-identical across runs **and thread counts**.
+//! Generation is chunked; every chunk owns a seed derived from
+//! `config.seed` and its chunk index, workers claim chunk indices off an
+//! atomic queue, and chunks are concatenated in index order.
+//!
+//! [`PopulationGrid`]: crate::population::PopulationGrid
+//! [`DiurnalModel`]: crate::diurnal::DiurnalModel
+
+use crate::error::{DemandError, Result};
+use crate::spatiotemporal::DemandModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssplane_astro::geo::GeoPoint;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Flows generated per RNG chunk — the unit of parallelism *and* of the
+/// determinism contract (each chunk's stream is independent of who runs
+/// it).
+const CHUNK: usize = 8192;
+
+/// Per-chunk seed salt (distinct from every other stream salt in the
+/// workspace).
+const CHUNK_SALT: u64 = 0x6772_6176_6974_7921; // "gravity!"
+
+/// Configuration of one gravity-model synthesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GravityConfig {
+    /// City-pair flows to emit.
+    pub pairs: usize,
+    /// Attraction sites: the top-N demand cells pairs are drawn from.
+    pub sites: usize,
+    /// UTC hour the demand field is evaluated at.
+    pub utc_hour: f64,
+    /// Distance-deterrence scale \[km\]: pair weight carries
+    /// `exp(-d / deterrence_km)`.
+    pub deterrence_km: f64,
+    /// RNG seed; the flow list is byte-identical per seed.
+    pub seed: u64,
+}
+
+impl Default for GravityConfig {
+    fn default() -> Self {
+        GravityConfig {
+            pairs: 100_000,
+            sites: 256,
+            utc_hour: 12.0,
+            deterrence_km: 8000.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One attraction site: a top-demand grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GravitySite {
+    /// Cell-center latitude \[deg\].
+    pub lat_deg: f64,
+    /// Cell-center longitude \[deg\].
+    pub lon_deg: f64,
+    /// Demand mass at the configured hour (density × diurnal weight ×
+    /// cell area).
+    pub mass: f64,
+}
+
+/// One synthesized city-pair flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GravityFlow {
+    /// Source latitude \[deg\].
+    pub src_lat_deg: f64,
+    /// Source longitude \[deg\].
+    pub src_lon_deg: f64,
+    /// Destination latitude \[deg\].
+    pub dst_lat_deg: f64,
+    /// Destination longitude \[deg\].
+    pub dst_lon_deg: f64,
+    /// Offered rate, in the same units as [`grid_demand_total`].
+    pub rate: f64,
+}
+
+/// The whole grid's demand mass at `utc_hour` — the total the emitted
+/// flow rates conserve (summed in fixed south-to-north, west-to-east
+/// cell order).
+pub fn grid_demand_total(model: &DemandModel, utc_hour: f64) -> f64 {
+    let grid = &model.population;
+    let mut total = 0.0;
+    for i in 0..grid.lat_bins() {
+        let area = grid.cell_area_km2(i);
+        let lat = grid.lat_center_deg(i);
+        for j in 0..grid.lon_bins() {
+            total += model.demand_at_utc(lat, grid.lon_center_deg(j), utc_hour) * area;
+        }
+    }
+    total
+}
+
+/// The top `n_sites` grid cells by demand mass at `utc_hour`, heaviest
+/// first (ties break on cell index, so the selection is deterministic).
+/// Cells with zero mass never become sites.
+pub fn gravity_sites(model: &DemandModel, utc_hour: f64, n_sites: usize) -> Vec<GravitySite> {
+    let grid = &model.population;
+    let mut cells: Vec<(f64, usize, usize)> = Vec::with_capacity(grid.lat_bins() * grid.lon_bins());
+    for i in 0..grid.lat_bins() {
+        let area = grid.cell_area_km2(i);
+        let lat = grid.lat_center_deg(i);
+        for j in 0..grid.lon_bins() {
+            let mass = model.demand_at_utc(lat, grid.lon_center_deg(j), utc_hour) * area;
+            if mass > 0.0 {
+                cells.push((mass, i, j));
+            }
+        }
+    }
+    cells.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then((a.1, a.2).cmp(&(b.1, b.2)))
+    });
+    cells.truncate(n_sites);
+    cells
+        .into_iter()
+        .map(|(mass, i, j)| GravitySite {
+            lat_deg: grid.lat_center_deg(i),
+            lon_deg: grid.lon_center_deg(j),
+            mass,
+        })
+        .collect()
+}
+
+/// Draws one site index proportionally to site mass: binary search on
+/// the cumulative-mass prefix.
+fn pick_site(prefix: &[f64], rng: &mut StdRng) -> usize {
+    let total = *prefix.last().expect("at least one site");
+    let u = rng.gen::<f64>() * total;
+    prefix.partition_point(|&p| p <= u).min(prefix.len() - 1)
+}
+
+/// One raw draw: source site, destination site, gravity weight.
+type RawDraw = (u32, u32, f64);
+
+/// One chunk of raw `(src, dst, weight)` draws on its own seeded stream.
+fn generate_chunk(
+    chunk: usize,
+    count: usize,
+    sites: &[GravitySite],
+    prefix: &[f64],
+    distance: &[Vec<f64>],
+    config: &GravityConfig,
+) -> Vec<RawDraw> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (chunk as u64 + 1).wrapping_mul(CHUNK_SALT));
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let src = pick_site(prefix, &mut rng);
+        let dst = loop {
+            let d = pick_site(prefix, &mut rng);
+            if d != src {
+                break d;
+            }
+        };
+        let w =
+            sites[src].mass * sites[dst].mass * (-distance[src][dst] / config.deterrence_km).exp();
+        out.push((src as u32, dst as u32, w));
+    }
+    out
+}
+
+/// Synthesizes `config.pairs` gravity-model flows over `threads` workers
+/// (`0` = the machine). The output is byte-identical for every thread
+/// count and the rates sum to [`grid_demand_total`] at `config.utc_hour`.
+///
+/// # Errors
+/// [`DemandError::EmptyGrid`] when `pairs` is zero or fewer than two
+/// sites carry demand mass, and [`DemandError::OutOfDomain`] for a
+/// non-positive deterrence scale.
+pub fn gravity_flows(
+    model: &DemandModel,
+    config: &GravityConfig,
+    threads: usize,
+) -> Result<Vec<GravityFlow>> {
+    if config.pairs == 0 {
+        return Err(DemandError::EmptyGrid { dimension: "pairs" });
+    }
+    if config.deterrence_km <= 0.0 {
+        return Err(DemandError::OutOfDomain {
+            name: "deterrence_km",
+            expected: "a positive distance scale [km]",
+        });
+    }
+    let sites = gravity_sites(model, config.utc_hour, config.sites);
+    if sites.len() < 2 {
+        return Err(DemandError::EmptyGrid { dimension: "sites" });
+    }
+
+    // Shared sampling tables: cumulative mass and the site-to-site
+    // great-circle distance matrix (a few hundred sites → trivially
+    // small next to the draw count).
+    let mut prefix = Vec::with_capacity(sites.len());
+    let mut acc = 0.0;
+    for s in &sites {
+        acc += s.mass;
+        prefix.push(acc);
+    }
+    let points: Vec<GeoPoint> =
+        sites.iter().map(|s| GeoPoint::from_degrees(s.lat_deg, s.lon_deg)).collect();
+    let distance: Vec<Vec<f64>> =
+        points.iter().map(|a| points.iter().map(|b| a.distance_km(b)).collect()).collect();
+
+    // Chunked generation: workers claim chunk indices off an atomic
+    // queue and write into that chunk's slot; concatenation in chunk
+    // order makes the output independent of scheduling.
+    let n_chunks = config.pairs.div_ceil(CHUNK);
+    let chunk_len = |c: usize| CHUNK.min(config.pairs - c * CHUNK);
+    let auto = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let workers = if threads == 0 { auto } else { threads }.clamp(1, n_chunks);
+    let chunks: Vec<Vec<RawDraw>> = if workers <= 1 {
+        (0..n_chunks)
+            .map(|c| generate_chunk(c, chunk_len(c), &sites, &prefix, &distance, config))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<RawDraw>>>> =
+            (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let out = generate_chunk(c, chunk_len(c), &sites, &prefix, &distance, config);
+                    *slots[c].lock().expect("chunk slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("chunk slot poisoned").expect("chunk claimed"))
+            .collect()
+    };
+
+    // Normalize in chunk-then-draw order so the float summation is the
+    // same serial reduction for every thread count.
+    let weight_sum: f64 = chunks.iter().flatten().map(|&(_, _, w)| w).sum();
+    if weight_sum <= 0.0 {
+        return Err(DemandError::OutOfDomain {
+            name: "deterrence_km",
+            expected: "a scale that leaves at least one pair with positive weight",
+        });
+    }
+    let scale = grid_demand_total(model, config.utc_hour) / weight_sum;
+    Ok(chunks
+        .iter()
+        .flatten()
+        .map(|&(s, d, w)| {
+            let (s, d) = (&sites[s as usize], &sites[d as usize]);
+            GravityFlow {
+                src_lat_deg: s.lat_deg,
+                src_lon_deg: s.lon_deg,
+                dst_lat_deg: d.lat_deg,
+                dst_lon_deg: d.lon_deg,
+                rate: w * scale,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::DiurnalModel;
+    use crate::population::{PopulationConfig, PopulationGrid};
+    use proptest::prelude::*;
+
+    fn model() -> DemandModel {
+        DemandModel::new(
+            PopulationGrid::synthetic(PopulationConfig {
+                lat_bins: 90,
+                lon_bins: 180,
+                n_cities: 400,
+                seed: 42,
+            })
+            .unwrap(),
+            DiurnalModel::default(),
+        )
+    }
+
+    fn config(pairs: usize, seed: u64) -> GravityConfig {
+        GravityConfig { pairs, sites: 64, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn sites_are_the_heaviest_cells_in_order() {
+        let m = model();
+        let sites = gravity_sites(&m, 12.0, 48);
+        assert_eq!(sites.len(), 48);
+        for pair in sites.windows(2) {
+            assert!(pair[0].mass >= pair[1].mass, "sites must be sorted heaviest-first");
+        }
+        assert!(sites[0].mass > 0.0);
+        // Sites sit at inhabited latitudes.
+        for s in &sites {
+            assert!(s.lat_deg.abs() < 65.0, "site at {}", s.lat_deg);
+        }
+    }
+
+    #[test]
+    fn flows_conserve_the_grid_total_and_are_deterministic() {
+        let m = model();
+        let flows = gravity_flows(&m, &config(10_000, 7), 1).unwrap();
+        assert_eq!(flows.len(), 10_000);
+        let total: f64 = flows.iter().map(|f| f.rate).sum();
+        let grid_total = grid_demand_total(&m, 12.0);
+        assert!(
+            (total - grid_total).abs() / grid_total < 1e-9,
+            "emitted {total} vs grid {grid_total}"
+        );
+        for f in &flows {
+            assert!(f.rate > 0.0);
+            assert!(
+                (f.src_lat_deg, f.src_lon_deg) != (f.dst_lat_deg, f.dst_lon_deg),
+                "self-pair emitted"
+            );
+        }
+        let again = gravity_flows(&m, &config(10_000, 7), 1).unwrap();
+        assert_eq!(flows, again);
+        let other_seed = gravity_flows(&m, &config(10_000, 8), 1).unwrap();
+        assert_ne!(flows, other_seed);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_bytes() {
+        let m = model();
+        // Spans multiple chunks so the queue actually interleaves.
+        let cfg = config(3 * CHUNK + 100, 21);
+        let serial = gravity_flows(&m, &cfg, 1).unwrap();
+        for threads in [0, 2, 4, 7] {
+            let parallel = gravity_flows(&m, &cfg, threads).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.rate.to_bits(), b.rate.to_bits(), "{threads} threads changed bytes");
+                assert_eq!(a.src_lat_deg.to_bits(), b.src_lat_deg.to_bits());
+                assert_eq!(a.dst_lon_deg.to_bits(), b.dst_lon_deg.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let m = model();
+        assert!(gravity_flows(&m, &GravityConfig { pairs: 0, ..Default::default() }, 1).is_err());
+        assert!(gravity_flows(&m, &GravityConfig { sites: 1, ..Default::default() }, 1).is_err());
+        assert!(gravity_flows(&m, &GravityConfig { deterrence_km: 0.0, ..Default::default() }, 1)
+            .is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Conservation holds for any seed, pair count, and site budget:
+        /// the emitted rates always sum to the grid's demand mass.
+        #[test]
+        fn conservation_is_seed_and_size_independent(
+            seed in 0u64..1000,
+            pairs in 1usize..3000,
+            sites in 2usize..96,
+        ) {
+            let m = model();
+            let cfg = GravityConfig { pairs, sites, seed, ..Default::default() };
+            let flows = gravity_flows(&m, &cfg, 1).unwrap();
+            prop_assert_eq!(flows.len(), pairs);
+            let total: f64 = flows.iter().map(|f| f.rate).sum();
+            let grid_total = grid_demand_total(&m, cfg.utc_hour);
+            prop_assert!((total - grid_total).abs() / grid_total < 1e-9);
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`grid`] — the **sun-relative demand grid**: demand as a function of
 //!   (latitude, local time of day), stationary in the sun-relative frame —
 //!   the object the SS-plane designer covers (Fig. 8).
+//! * [`gravity`] — the population-scale workload: a seeded gravity model
+//!   over the top demand cells emitting 10⁵–10⁶ city-pair flows whose
+//!   rates conserve the grid's demand mass, deterministic per seed and
+//!   across thread counts.
 //!
 //! Everything is deterministic given a seed; no files are read.
 
@@ -28,12 +32,14 @@
 pub mod diurnal;
 pub mod error;
 pub mod forecast;
+pub mod gravity;
 pub mod grid;
 pub mod population;
 pub mod spatiotemporal;
 
 pub use diurnal::DiurnalModel;
 pub use error::{DemandError, Result};
+pub use gravity::{gravity_flows, gravity_sites, GravityConfig, GravityFlow};
 pub use grid::LatTodGrid;
 pub use population::PopulationGrid;
 pub use spatiotemporal::DemandModel;

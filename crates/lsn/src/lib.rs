@@ -18,6 +18,10 @@
 //!   sun-relative demand model, reporting link utilization and latency
 //!   stretch (§5(1): *bandwidth allocation exploiting the regularity of
 //!   human activity*).
+//! * [`traffic_engine`] — the population-scale engine on top: gravity
+//!   workloads aggregated by serving-satellite pair, k-path candidates,
+//!   and capacity-constrained waterfilling with drop accounting — the
+//!   served-demand fraction and link-utilization percentiles.
 //! * [`failures`] — radiation-driven failure processes: per-satellite
 //!   hazard proportional to accumulated fluence (§3.2's mechanism).
 //! * [`disruption`] — the pluggable disruption API: [`AttackModel`]s
@@ -58,9 +62,11 @@ pub mod spares;
 pub mod survivability;
 pub mod topology;
 pub mod traffic;
+pub mod traffic_engine;
 
 pub use disruption::{AttackModel, AttackTarget, FailureProcess, OutageTimeline};
 pub use error::{LsnError, Result};
 pub use optimizer::{AttackObjective, AttackSearchConfig, DegradedEvaluator};
 pub use snapshot::{Snapshot, SnapshotSeries};
 pub use topology::{Constellation, SatId, Topology};
+pub use traffic_engine::{CapacityConfig, ServedDemandSummary, TrafficWorkload};

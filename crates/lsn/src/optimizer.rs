@@ -14,10 +14,12 @@
 //!   masks scored by filtering that topology ([`Topology::masked`], an
 //!   O(links) incremental pass that never re-runs the geometric
 //!   construction, let alone re-propagates an orbit) followed by
-//!   [`assign_traffic`] and the slot aggregates;
+//!   [`assign_traffic_with_capacity`] and the slot aggregates;
 //! * an [`AttackObjective`] — the degraded metric the adversary drives
 //!   down: mean routed-flow fraction, survivor connectivity (largest
-//!   surviving component fraction), or (negated) link-load inflation;
+//!   surviving component fraction), (negated) link-load inflation, or —
+//!   with a population-scale [`TrafficWorkload`] attached — the
+//!   capacity-constrained served-demand fraction;
 //! * [`optimize_attack`] — a seeded, deterministic search over k-plane or
 //!   k-satellite candidate sets: greedy construction (each step scores
 //!   its whole frontier in parallel across threads) followed by
@@ -33,7 +35,8 @@
 use crate::error::Result;
 use crate::snapshot::SnapshotSeries;
 use crate::topology::{GridTopologyConfig, SatId, Topology};
-use crate::traffic::{assign_traffic, Flow, TrafficReport};
+use crate::traffic::{assign_traffic_with_capacity, Flow, TrafficReport};
+use crate::traffic_engine::{assign_capacity_constrained, ServedDemandSummary, TrafficWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +65,13 @@ pub enum AttackObjective {
     /// link load)` — minimizing this *maximizes* the detour load the
     /// survivors carry.
     LoadInflation,
+    /// Mean over slots of the capacity-constrained **served-demand
+    /// fraction** ([`crate::traffic_engine`]) — the population-scale
+    /// service metric. Needs an evaluator built with a
+    /// [`TrafficWorkload`] ([`DegradedEvaluator::with_workload`]);
+    /// without one it degrades to [`AttackObjective::RoutedFraction`]
+    /// semantics.
+    ServedDemand,
 }
 
 impl AttackObjective {
@@ -71,6 +81,7 @@ impl AttackObjective {
             AttackObjective::RoutedFraction => "routed-fraction",
             AttackObjective::Connectivity => "connectivity",
             AttackObjective::LoadInflation => "load-inflation",
+            AttackObjective::ServedDemand => "served-demand",
         }
     }
 }
@@ -113,10 +124,13 @@ pub struct SlotEvaluation {
     pub alive: usize,
     /// The traffic assignment over the survivors.
     pub traffic: TrafficReport,
+    /// The capacity-constrained served-demand summary — present when the
+    /// evaluator carries a [`TrafficWorkload`].
+    pub served: Option<ServedDemandSummary>,
 }
 
 /// The reusable per-candidate evaluation pipeline: mask →
-/// [`Topology::masked`] → [`assign_traffic`] → aggregates, over every
+/// [`Topology::masked`] → [`assign_traffic_with_capacity`] → aggregates, over every
 /// slot of one prebuilt [`SnapshotSeries`]. Construction builds the
 /// intact per-slot topologies **and** the intact evaluations once; every
 /// candidate afterwards only filters links and re-routes flows — no
@@ -126,6 +140,11 @@ pub struct DegradedEvaluator<'a> {
     series: &'a SnapshotSeries,
     flows: &'a [Flow],
     min_elevation: f64,
+    workload: Option<&'a TrafficWorkload>,
+    /// The capacity the classic load statistics normalize by — the
+    /// workload's link capacity when one is carried, else `1.0` (raw
+    /// load, the historical semantics).
+    link_capacity: f64,
     topologies: Vec<Topology>,
     intact: Vec<SlotEvaluation>,
     intact_mean_link_load: f64,
@@ -144,17 +163,55 @@ impl<'a> DegradedEvaluator<'a> {
         min_elevation: f64,
         config: GridTopologyConfig,
     ) -> Result<Self> {
+        Self::with_workload(series, flows, min_elevation, config, None)
+    }
+
+    /// [`Self::new`] plus an optional population-scale
+    /// [`TrafficWorkload`]: every evaluation (intact and per-candidate)
+    /// then also runs the capacity-constrained engine and carries a
+    /// [`ServedDemandSummary`], the classic load statistics normalize by
+    /// the workload's link capacity, and
+    /// [`AttackObjective::ServedDemand`] becomes meaningful.
+    ///
+    /// # Errors
+    /// Propagates topology or traffic-assignment failure.
+    pub fn with_workload(
+        series: &'a SnapshotSeries,
+        flows: &'a [Flow],
+        min_elevation: f64,
+        config: GridTopologyConfig,
+        workload: Option<&'a TrafficWorkload>,
+    ) -> Result<Self> {
+        let link_capacity = workload.map_or(1.0, |w| w.capacity.link_capacity);
         let all_alive = vec![true; series.n_sats()];
         let mut topologies = Vec::with_capacity(series.len());
         let mut intact = Vec::with_capacity(series.len());
         for snapshot in series.iter() {
             let topology = Topology::plus_grid(&snapshot, config)?;
-            let traffic = assign_traffic(&snapshot, &topology, flows, min_elevation)?;
+            let traffic = assign_traffic_with_capacity(
+                &snapshot,
+                &topology,
+                flows,
+                min_elevation,
+                link_capacity,
+            )?;
+            let served = workload
+                .map(|w| {
+                    assign_capacity_constrained(
+                        &snapshot,
+                        &topology,
+                        &w.flows,
+                        min_elevation,
+                        &w.capacity,
+                    )
+                })
+                .transpose()?;
             intact.push(SlotEvaluation {
                 connected: topology.is_connected(),
                 largest_component: topology.largest_component_among(&all_alive),
                 alive: series.n_sats(),
                 traffic,
+                served,
             });
             topologies.push(topology);
         }
@@ -164,6 +221,8 @@ impl<'a> DegradedEvaluator<'a> {
             series,
             flows,
             min_elevation,
+            workload,
+            link_capacity,
             topologies,
             intact,
             intact_mean_link_load,
@@ -219,12 +278,31 @@ impl<'a> DegradedEvaluator<'a> {
         };
         let snapshot = self.series.snapshot(k).with_alive(mask);
         let topology = self.topologies[k].masked(mask);
-        let traffic = assign_traffic(&snapshot, &topology, self.flows, self.min_elevation)?;
+        let traffic = assign_traffic_with_capacity(
+            &snapshot,
+            &topology,
+            self.flows,
+            self.min_elevation,
+            self.link_capacity,
+        )?;
+        let served = self
+            .workload
+            .map(|w| {
+                assign_capacity_constrained(
+                    &snapshot,
+                    &topology,
+                    &w.flows,
+                    self.min_elevation,
+                    &w.capacity,
+                )
+            })
+            .transpose()?;
         Ok(SlotEvaluation {
             connected: topology.is_connected_among(mask),
             largest_component: topology.largest_component_among(mask),
             alive: snapshot.alive_count(),
             traffic,
+            served,
         })
     }
 
@@ -268,6 +346,18 @@ impl<'a> DegradedEvaluator<'a> {
                 }
                 -(slots.iter().map(|s| s.traffic.mean_link_load()).sum::<f64>() / denom)
                     / self.intact_mean_link_load
+            }
+            AttackObjective::ServedDemand => {
+                if self.workload.is_none() || slots.iter().any(|s| s.served.is_none()) {
+                    // No capacity workload: fall back to the flow-count
+                    // service metric so the objective stays total.
+                    return self.objective_value(AttackObjective::RoutedFraction, slots);
+                }
+                slots
+                    .iter()
+                    .map(|s| s.served.as_ref().expect("checked above").served_fraction)
+                    .sum::<f64>()
+                    / denom
             }
         }
     }
@@ -668,6 +758,7 @@ mod tests {
     use super::*;
     use crate::snapshot::time_grid;
     use crate::topology::Constellation;
+    use crate::traffic::assign_traffic;
     use ssplane_astro::geo::GeoPoint;
     use ssplane_astro::kepler::OrbitalElements;
     use ssplane_astro::sunsync::sun_synchronous_orbit;
@@ -878,6 +969,9 @@ mod tests {
             AttackObjective::RoutedFraction,
             AttackObjective::Connectivity,
             AttackObjective::LoadInflation,
+            // No workload attached: served-demand falls back to the
+            // routed-fraction semantics and must still search fine.
+            AttackObjective::ServedDemand,
         ] {
             let config = AttackSearchConfig {
                 objective,
@@ -894,6 +988,116 @@ mod tests {
             );
             assert!(outcome.objective_value <= outcome.intact_value, "{objective:?}");
         }
+    }
+
+    /// A small gravity workload for the served-demand objective tests.
+    fn capacity_workload() -> TrafficWorkload {
+        use ssplane_demand::diurnal::DiurnalModel;
+        use ssplane_demand::gravity::{gravity_flows, GravityConfig};
+        use ssplane_demand::population::{PopulationConfig, PopulationGrid};
+        use ssplane_demand::DemandModel;
+        let model = DemandModel::new(
+            PopulationGrid::synthetic(PopulationConfig {
+                lat_bins: 90,
+                lon_bins: 180,
+                n_cities: 400,
+                seed: 42,
+            })
+            .unwrap(),
+            DiurnalModel::default(),
+        );
+        let gravity = gravity_flows(
+            &model,
+            &GravityConfig { pairs: 1200, sites: 32, seed: 9, ..Default::default() },
+            1,
+        )
+        .unwrap();
+        let total: f64 = gravity.iter().map(|g| g.rate).sum();
+        TrafficWorkload::from_gravity(
+            &gravity,
+            60.0 / total,
+            crate::traffic_engine::CapacityConfig { link_capacity: 1.0, k_paths: 2 },
+        )
+    }
+
+    #[test]
+    fn served_demand_objective_degrades_under_attack_and_reruns_identically() {
+        // A population-scale workload needs population-scale coverage:
+        // 60 satellites leave nearly all gravity endpoints unattached, so
+        // this test runs on a 240-satellite shell.
+        let c = constellation(10, 24);
+        let flows = city_flows();
+        let (series, flows) = evaluator_fixture(&c, &flows, 2);
+        let workload = capacity_workload();
+        let evaluator = DegradedEvaluator::with_workload(
+            &series,
+            &flows,
+            20f64.to_radians(),
+            Default::default(),
+            Some(&workload),
+        )
+        .unwrap();
+        // Every slot evaluation carries a served summary.
+        for slot in evaluator.intact() {
+            let served = slot.served.as_ref().expect("workload attached");
+            assert!(served.served_fraction > 0.0, "the intact network serves demand");
+        }
+        let intact_value =
+            evaluator.objective_value(AttackObjective::ServedDemand, evaluator.intact());
+        // A 10% satellite loss (24 of 240) must cut served demand. The
+        // loss is concentrated — one whole plane — because a scattered
+        // sprinkle merely reshuffles attachment under saturation.
+        let destroyed: Vec<SatId> = (0..24).map(|slot| SatId { plane: 0, slot }).collect();
+        let attacked = evaluator.score_attack(&destroyed, AttackObjective::ServedDemand).unwrap();
+        assert!(
+            attacked < intact_value,
+            "10% loss must reduce served demand: {attacked} vs intact {intact_value}"
+        );
+        // The search over the new objective is deterministic across
+        // reruns and thread counts, and never weaker than its baseline.
+        let config = AttackSearchConfig {
+            objective: AttackObjective::ServedDemand,
+            budget: AttackBudget::Planes(1),
+            restarts: 1,
+            swaps: 2,
+            threads: 0,
+        };
+        let a = optimize_attack(&evaluator, &config, 11, &[]).unwrap();
+        let b = optimize_attack(&evaluator, &config, 11, &[]).unwrap();
+        assert_eq!(a, b, "served-demand search must rerun identically");
+        let serial =
+            optimize_attack(&evaluator, &AttackSearchConfig { threads: 1, ..config }, 11, &[])
+                .unwrap();
+        assert_eq!(a, serial, "thread count changed the served-demand search");
+        assert!(a.objective_value <= a.intact_value);
+        assert_eq!(a.destroyed.len(), 24, "one whole plane");
+    }
+
+    #[test]
+    fn workload_capacity_normalizes_the_classic_load_statistics() {
+        // The same evaluator inputs with a 2x-capacity workload report
+        // exactly halved link-load statistics (same raw loads).
+        let c = constellation(4, 10);
+        let flows = city_flows();
+        let (series, flows) = evaluator_fixture(&c, &flows, 1);
+        let plain = DegradedEvaluator::new(&series, &flows, 20f64.to_radians(), Default::default())
+            .unwrap();
+        let mut workload = capacity_workload();
+        workload.capacity.link_capacity = 2.0;
+        let scaled = DegradedEvaluator::with_workload(
+            &series,
+            &flows,
+            20f64.to_radians(),
+            Default::default(),
+            Some(&workload),
+        )
+        .unwrap();
+        let (a, b) = (&plain.intact()[0].traffic, &scaled.intact()[0].traffic);
+        assert_eq!(a.link_load, b.link_load);
+        assert!((b.max_link_load() - a.max_link_load() / 2.0).abs() < 1e-12);
+        assert!(
+            (scaled.intact_mean_link_load() - plain.intact_mean_link_load() / 2.0).abs() < 1e-12
+        );
     }
 
     #[test]

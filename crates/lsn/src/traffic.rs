@@ -95,20 +95,26 @@ pub struct TrafficReport {
     /// where unrouted) — the raw material for slot-to-slot handoff and
     /// delay-distribution statistics.
     pub flow_outcomes: Vec<Option<FlowOutcome>>,
+    /// The per-link capacity the load statistics normalize by.
+    /// [`assign_traffic`] reports raw offered load (capacity `1.0`, the
+    /// historical behavior); a capacity-aware caller
+    /// ([`assign_traffic_with_capacity`]) turns the same statistics into
+    /// link *utilization*.
+    pub link_capacity: f64,
 }
 
 impl TrafficReport {
-    /// The maximum load on any link.
+    /// The maximum utilization on any link (raw load at unit capacity).
     pub fn max_link_load(&self) -> f64 {
-        self.link_load.values().cloned().fold(0.0, f64::max)
+        self.link_load.values().cloned().fold(0.0, f64::max) / self.link_capacity
     }
 
-    /// Mean load over loaded links.
+    /// Mean utilization over loaded links (raw load at unit capacity).
     pub fn mean_link_load(&self) -> f64 {
         if self.link_load.is_empty() {
             0.0
         } else {
-            self.link_load.values().sum::<f64>() / self.link_load.len() as f64
+            self.link_load.values().sum::<f64>() / self.link_load.len() as f64 / self.link_capacity
         }
     }
 }
@@ -127,6 +133,25 @@ pub fn assign_traffic(
     topology: &Topology,
     flows: &[Flow],
     min_elevation: f64,
+) -> Result<TrafficReport> {
+    assign_traffic_with_capacity(snapshot, topology, flows, min_elevation, 1.0)
+}
+
+/// [`assign_traffic`] with an explicit per-link capacity: routing is
+/// identical (shortest paths, no admission control — the
+/// capacity-*constrained* engine is [`crate::traffic_engine`]), but the
+/// report's load statistics read as utilization of `link_capacity`.
+/// Capacity `1.0` is byte-identical to [`assign_traffic`].
+///
+/// # Errors
+/// Propagates topology failure; per-flow unreachability is counted, not
+/// raised.
+pub fn assign_traffic_with_capacity(
+    snapshot: &Snapshot<'_>,
+    topology: &Topology,
+    flows: &[Flow],
+    min_elevation: f64,
+    link_capacity: f64,
 ) -> Result<TrafficReport> {
     // Resolve ground attachment up front: one declination-pruned index
     // per snapshot, one exact query per *distinct* endpoint (demand
@@ -202,6 +227,7 @@ pub fn assign_traffic(
         mean_stretch: if routed == 0 { f64::NAN } else { stretch_sum / routed as f64 },
         mean_hops: if routed == 0 { f64::NAN } else { hop_sum as f64 / routed as f64 },
         flow_outcomes,
+        link_capacity,
     })
 }
 
@@ -341,6 +367,26 @@ mod tests {
         let rerun = assign_traffic(&masked, &degraded_topo, &flows, 25f64.to_radians()).unwrap();
         assert_eq!(rerun.routed, degraded.routed);
         assert_eq!(rerun.link_load, degraded.link_load);
+    }
+
+    #[test]
+    fn capacity_normalizes_the_load_statistics() {
+        // Unit capacity is the historical raw-load report; capacity c
+        // divides both load statistics by exactly c and changes nothing
+        // else.
+        let c = constellation();
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let snap = series.snapshot(0);
+        let topo = Topology::plus_grid(&snap, GridTopologyConfig::default()).unwrap();
+        let flows = sample_flows(&model(), 12.0, 30, 3);
+        let unit = assign_traffic(&snap, &topo, &flows, 25f64.to_radians()).unwrap();
+        assert_eq!(unit.link_capacity, 1.0);
+        let scaled =
+            assign_traffic_with_capacity(&snap, &topo, &flows, 25f64.to_radians(), 2.0).unwrap();
+        assert_eq!(scaled.routed, unit.routed);
+        assert_eq!(scaled.link_load, unit.link_load, "raw loads are capacity-independent");
+        assert!((scaled.max_link_load() - unit.max_link_load() / 2.0).abs() < 1e-12);
+        assert!((scaled.mean_link_load() - unit.mean_link_load() / 2.0).abs() < 1e-12);
     }
 
     #[test]

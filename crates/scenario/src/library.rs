@@ -79,6 +79,11 @@ pub const BUILTINS: &[Builtin] = &[
         summary: "adversarial attack search: the worst k-plane set vs the routed network",
         toml: include_str!("../../../scenarios/attack-opt.toml"),
     },
+    Builtin {
+        name: "traffic-scale",
+        summary: "gravity-model demand under per-link capacities: the served-demand metric",
+        toml: include_str!("../../../scenarios/traffic-scale.toml"),
+    },
 ];
 
 /// Looks a built-in up by name.
@@ -129,6 +134,7 @@ mod tests {
             "time-resolved",
             "disruption",
             "attack-opt",
+            "traffic-scale",
         ] {
             assert!(find(name).is_some(), "missing builtin {name}");
         }

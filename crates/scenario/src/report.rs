@@ -213,6 +213,55 @@ impl TimeGridReport {
     }
 }
 
+/// The population-scale traffic engine's outcome at the classic instant
+/// (slot 0 of the traffic grid): gravity demand aggregated by
+/// serving-satellite pair and assigned under per-link capacities.
+/// Present only with `traffic.model = "gravity"`, so every sampled-flow
+/// scenario — including all pre-engine goldens — serializes exactly as
+/// before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedDemandReport {
+    /// City-pair flows the gravity model emitted.
+    pub flows: usize,
+    /// Distinct serving-satellite pairs after aggregation (the routing
+    /// problem's actual size).
+    pub pairs: usize,
+    /// Total offered rate (satellite-capacity units, normalized to
+    /// `demand.total_demand_b`).
+    pub offered: f64,
+    /// Fraction of the offered rate delivered under link capacities.
+    pub served_fraction: f64,
+    /// Fraction dropped at saturated links.
+    pub dropped_fraction: f64,
+    /// Fraction with no serving satellite (or a disconnected pair).
+    pub unattached_fraction: f64,
+    /// Median utilization over loaded directed links.
+    pub utilization_p50: f64,
+    /// 90th-percentile link utilization.
+    pub utilization_p90: f64,
+    /// 99th-percentile link utilization.
+    pub utilization_p99: f64,
+    /// Peak link utilization (never exceeds 1 under a finite capacity).
+    pub utilization_max: f64,
+}
+
+impl ServedDemandReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("flows", self.flows as u64)
+            .uint("pairs", self.pairs as u64)
+            .num("offered", self.offered)
+            .num("served_fraction", self.served_fraction)
+            .num("dropped_fraction", self.dropped_fraction)
+            .num("unattached_fraction", self.unattached_fraction)
+            .num("utilization_p50", self.utilization_p50)
+            .num("utilization_p90", self.utilization_p90)
+            .num("utilization_p99", self.utilization_p99)
+            .num("utilization_max", self.utilization_max)
+            .build()
+    }
+}
+
 /// Degraded-network metrics over the same time grid as the intact
 /// stage: every slot's snapshot masked by the attack's destroyed set
 /// plus (when survivability is enabled) the outage timeline sampled at
@@ -250,11 +299,17 @@ pub struct DegradedNetworkReport {
     pub delay_p90_ms: f64,
     /// 99th-percentile delay \[ms\].
     pub delay_p99_ms: f64,
+    /// Mean served-demand fraction over the degraded slots (only with
+    /// `traffic.model = "gravity"`).
+    pub served_fraction: Option<f64>,
+    /// Worst per-slot served-demand fraction (only with `traffic.model =
+    /// "gravity"`).
+    pub min_served_fraction: Option<f64>,
 }
 
 impl DegradedNetworkReport {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .uint("slots", self.slots as u64)
             .num("mean_alive_fraction", self.mean_alive_fraction)
             .uint("min_alive", self.min_alive as u64)
@@ -267,8 +322,14 @@ impl DegradedNetworkReport {
             .num("load_inflation", self.load_inflation)
             .num("delay_p50_ms", self.delay_p50_ms)
             .num("delay_p90_ms", self.delay_p90_ms)
-            .num("delay_p99_ms", self.delay_p99_ms)
-            .build()
+            .num("delay_p99_ms", self.delay_p99_ms);
+        if let Some(s) = self.served_fraction {
+            obj = obj.num("served_fraction", s);
+        }
+        if let Some(s) = self.min_served_fraction {
+            obj = obj.num("min_served_fraction", s);
+        }
+        obj.build()
     }
 }
 
@@ -295,6 +356,9 @@ pub struct NetworkReport {
     pub handoffs: usize,
     /// Mean delay over reachable slots \[ms\].
     pub mean_delay_ms: f64,
+    /// Population-scale served-demand metrics (only with `traffic.model =
+    /// "gravity"`).
+    pub served: Option<ServedDemandReport>,
     /// Time-resolved metrics (only for a multi-slot `network.time_grid`).
     pub time_grid: Option<TimeGridReport>,
     /// Degraded-network metrics (only with `network.with_outages`).
@@ -314,6 +378,9 @@ impl NetworkReport {
             .uint("slots", self.slots as u64)
             .uint("handoffs", self.handoffs as u64)
             .num("mean_delay_ms", self.mean_delay_ms);
+        if let Some(s) = &self.served {
+            obj = obj.field("served", s.to_json());
+        }
         if let Some(tg) = &self.time_grid {
             obj = obj.field("time_grid", tg.to_json());
         }

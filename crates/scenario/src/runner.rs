@@ -23,10 +23,10 @@
 use crate::error::{Result, ScenarioError};
 use crate::report::{
     AttackReport, AttackSearchReport, DegradedNetworkReport, DesignReport, FluenceReport,
-    NamedSystemReport, NetworkReport, ScenarioReport, SurvivabilityOutcome, SystemReport,
-    TimeGridReport,
+    NamedSystemReport, NetworkReport, ScenarioReport, ServedDemandReport, SurvivabilityOutcome,
+    SystemReport, TimeGridReport,
 };
-use crate::spec::{AttackKind, AttackUnit, DesignKind, DesignSpec, ScenarioSpec};
+use crate::spec::{AttackKind, AttackUnit, DesignKind, DesignSpec, ScenarioSpec, TrafficModel};
 use crate::sweep::SweepSpec;
 use ssplane_astro::geo::GeoPoint;
 use ssplane_astro::time::Epoch;
@@ -34,6 +34,7 @@ use ssplane_core::evaluate::{plane_fluence_samples, weighted_median_fluence};
 use ssplane_core::system::{
     DesignParams, DesignSummary, DesignedSystem, Designer, RgtDesigner, SsDesigner, WalkerDesigner,
 };
+use ssplane_demand::gravity::{gravity_flows, grid_demand_total, GravityConfig};
 use ssplane_demand::grid::LatTodGrid;
 use ssplane_demand::DemandModel;
 use ssplane_lsn::disruption::{strided_plane_indices, AttackModel, AttackTarget, OutageTimeline};
@@ -43,6 +44,7 @@ use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
 use ssplane_lsn::survivability::{outage_timeline, simulate_process};
 use ssplane_lsn::topology::{Constellation, GridTopologyConfig, SatId};
 use ssplane_lsn::traffic::{sample_flows, Flow, TrafficReport};
+use ssplane_lsn::traffic_engine::{CapacityConfig, TrafficWorkload};
 use ssplane_lsn::LsnError;
 use ssplane_radiation::fluence::DailyFluence;
 use ssplane_radiation::RadiationEnvironment;
@@ -54,6 +56,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// timeline, so its realization is an explicitly independent stream from
 /// the aggregate survivability simulation's.
 const OUTAGE_SEED_SALT: u64 = 0x4F55_5441_4745;
+
+/// Salt XORed into the scenario seed for the gravity workload's pair
+/// sampling, so the population-scale demand stream is independent of the
+/// flow sample's and the outage timeline's.
+const TRAFFIC_SEED_SALT: u64 = 0x0054_5241_4646_4943;
 
 /// The synthetic demand model for a given `demand.seed`, built once per
 /// process and shared: synthesizing the 0.5° population grid is by far
@@ -435,6 +442,8 @@ fn degraded_report(
         delay_p50_ms: agg.delay_p50_ms,
         delay_p90_ms: agg.delay_p90_ms,
         delay_p99_ms: agg.delay_p99_ms,
+        served_fraction: None,
+        min_served_fraction: None,
     }
 }
 
@@ -513,6 +522,11 @@ struct NetworkContext {
     series: SnapshotSeries,
     flows: Vec<Flow>,
     layout: NetworkLayout,
+    /// The population-scale gravity workload (`traffic.model =
+    /// "gravity"`), in satellite-capacity units: the emitted rates are
+    /// rescaled so the total offered demand equals
+    /// `demand.total_demand_b`.
+    workload: Option<TrafficWorkload>,
 }
 
 /// Builds the [`NetworkContext`]: one parallel snapshot build over the
@@ -545,6 +559,31 @@ fn network_context(
     );
     let layout = network_layout(sys);
     debug_assert_eq!(layout.total, series.n_sats(), "network layout mismatch");
+    // The gravity workload, when asked for: seeded pair sampling over the
+    // same demand model, rescaled so the offered total is the scenario's
+    // `demand.total_demand_b` (satellite-capacity units — the same units
+    // `traffic.capacity_gbps` budgets each ISL in).
+    let workload = if spec.traffic.model == TrafficModel::Gravity {
+        let config = GravityConfig {
+            pairs: spec.traffic.pairs,
+            sites: spec.traffic.sites,
+            utc_hour: spec.network.utc_hour,
+            seed: spec.seed ^ TRAFFIC_SEED_SALT,
+            ..GravityConfig::default()
+        };
+        let gravity = gravity_flows(model, &config, build_threads)?;
+        let total = grid_demand_total(model, spec.network.utc_hour);
+        Some(TrafficWorkload::from_gravity(
+            &gravity,
+            spec.demand.total_demand_b / total,
+            CapacityConfig {
+                link_capacity: spec.traffic.capacity_gbps,
+                k_paths: spec.traffic.k_paths,
+            },
+        ))
+    } else {
+        None
+    };
     Ok(NetworkContext {
         constellation,
         topo_config,
@@ -554,6 +593,7 @@ fn network_context(
         series,
         flows,
         layout,
+        workload,
     })
 }
 
@@ -646,8 +686,17 @@ fn network_report(
     plane_doses: Option<&[DailyFluence]>,
     build_threads: usize,
 ) -> Result<NetworkReport> {
-    let NetworkContext { constellation, topo_config, min_elev, t, grid, series, flows, layout } =
-        ctx;
+    let NetworkContext {
+        constellation,
+        topo_config,
+        min_elev,
+        t,
+        grid,
+        series,
+        flows,
+        layout,
+        workload,
+    } = ctx;
     let (topo_config, min_elev) = (*topo_config, *min_elev);
     let per_slot: Vec<(bool, TrafficReport)> =
         evaluator.intact().iter().map(|e| (e.connected, e.traffic.clone())).collect();
@@ -716,6 +765,7 @@ fn network_report(
 
         let mut degraded_slots: Vec<(bool, usize, TrafficReport)> =
             Vec::with_capacity(series.len());
+        let mut served_fractions: Vec<f64> = Vec::with_capacity(series.len());
         let mut mask = vec![true; total];
         for k in 0..series.len() {
             mask.copy_from_slice(&alive_base);
@@ -725,17 +775,41 @@ fn network_report(
                 tl.mask_alive(day, &mut mask);
             }
             let eval = evaluator.evaluate_slot(k, Some(&mask))?;
+            if let Some(s) = &eval.served {
+                served_fractions.push(s.served_fraction);
+            }
             degraded_slots.push((eval.connected, eval.alive, eval.traffic));
         }
-        Some(degraded_report(
-            &degraded_slots,
-            total,
-            flows.len(),
-            evaluator.intact_mean_link_load(),
-        ))
+        let mut deg =
+            degraded_report(&degraded_slots, total, flows.len(), evaluator.intact_mean_link_load());
+        if workload.is_some() && served_fractions.len() == degraded_slots.len() {
+            let denom = served_fractions.len().max(1) as f64;
+            deg.served_fraction = Some(served_fractions.iter().sum::<f64>() / denom);
+            deg.min_served_fraction =
+                Some(served_fractions.iter().copied().fold(f64::INFINITY, f64::min));
+        }
+        Some(deg)
     } else {
         None
     };
+
+    // The engine's headline block: the classic instant (slot 0 of the
+    // grid), reported next to the sampled-flow statistics it generalizes.
+    let served = evaluator.intact()[0].served.as_ref().map(|s| {
+        let safe = |x: f64| if s.offered > 0.0 { x / s.offered } else { 0.0 };
+        ServedDemandReport {
+            flows: s.flows,
+            pairs: s.pairs,
+            offered: s.offered,
+            served_fraction: s.served_fraction,
+            dropped_fraction: safe(s.dropped),
+            unattached_fraction: safe(s.unattached),
+            utilization_p50: s.utilization_p50,
+            utilization_p90: s.utilization_p90,
+            utilization_p99: s.utilization_p99,
+            utilization_max: s.utilization_max,
+        }
+    });
 
     let (_, traffic) = &per_slot[0];
     Ok(NetworkReport {
@@ -749,6 +823,7 @@ fn network_report(
         slots: routes.routes.len(),
         handoffs: routes.handoffs(),
         mean_delay_ms: routes.mean_delay_ms(),
+        served,
         time_grid: (grid.len() > 1).then(|| time_grid_report(&per_slot)),
         degraded,
     })
@@ -806,7 +881,13 @@ fn run_scenario(
         };
         let evaluator: Option<DegradedEvaluator<'_>> = match &net_ctx {
             Some(ctx) => Some(clock.time(&format!("{name}.network.intact"), || {
-                DegradedEvaluator::new(&ctx.series, &ctx.flows, ctx.min_elev, ctx.topo_config)
+                DegradedEvaluator::with_workload(
+                    &ctx.series,
+                    &ctx.flows,
+                    ctx.min_elev,
+                    ctx.topo_config,
+                    ctx.workload.as_ref(),
+                )
             })?),
             None => None,
         };
@@ -1527,6 +1608,7 @@ mod tests {
             routed: outcomes.iter().flatten().count(),
             unrouted: outcomes.iter().filter(|o| o.is_none()).count(),
             link_load: std::collections::BTreeMap::new(),
+            link_capacity: 1.0,
             mean_stretch: 1.0,
             mean_hops: 1.0,
             flow_outcomes: outcomes,
@@ -1700,6 +1782,86 @@ mod tests {
         assert_eq!(search.unit, "sats");
         assert_eq!(search.baseline, "random-sats");
         assert!(search.objective_value <= search.baseline_value);
+    }
+
+    #[test]
+    fn gravity_traffic_reports_served_demand_and_degrades_under_attack() {
+        use crate::spec::TrafficModel;
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        spec.traffic.model = TrafficModel::Gravity;
+        spec.traffic.pairs = 1500;
+        spec.traffic.sites = 32;
+        spec.traffic.capacity_gbps = 4.0;
+        spec.traffic.k_paths = 2;
+        let intact = execute_scenario(&spec).unwrap();
+        let inet = intact.system("ss").unwrap().network.clone().expect("network on");
+        let served = inet.served.as_ref().expect("gravity model adds the served block");
+        assert_eq!(served.flows, 1500);
+        assert!(served.pairs > 0, "aggregation found serving pairs");
+        assert!((served.offered - spec.demand.total_demand_b).abs() < 1e-6 * served.offered);
+        assert!(served.served_fraction > 0.0, "the intact network serves demand");
+        assert!(served.served_fraction <= 1.0 + 1e-9);
+        let parts = served.served_fraction + served.dropped_fraction + served.unattached_fraction;
+        assert!((parts - 1.0).abs() < 1e-6, "accounting closes: {parts}");
+        assert!(served.utilization_max <= 1.0 + 1e-9, "capacity is a hard cap");
+        let line = intact.to_json_line();
+        assert!(line.contains(r#""served":{"flows":1500"#), "{line}");
+
+        // A concentrated ~10% plane loss cuts the served fraction in the
+        // degraded pass.
+        spec.attack.planes_lost = 2;
+        spec.network.with_outages = true;
+        let attacked = execute_scenario(&spec).unwrap();
+        let anet = attacked.system("ss").unwrap().network.clone().unwrap();
+        let deg = anet.degraded.expect("with_outages adds the block");
+        let deg_served = deg.served_fraction.expect("gravity adds degraded served fields");
+        let min_served = deg.min_served_fraction.unwrap();
+        assert!(min_served <= deg_served);
+        assert!(
+            deg_served < served.served_fraction,
+            "plane loss must cut served demand: {deg_served} vs {}",
+            served.served_fraction
+        );
+        // The intact headline block is unchanged by the attack.
+        assert_eq!(anet.served.as_ref(), Some(served));
+        let line = attacked.to_json_line();
+        assert!(line.contains(r#""served_fraction":"#), "{line}");
+
+        // Byte determinism across reruns and runner thread counts.
+        let again = execute_scenario(&spec).unwrap();
+        assert_eq!(attacked.to_json_line(), again.to_json_line());
+        let specs = vec![spec.clone()];
+        let serial = Runner::with_threads(1).run_specs(&specs);
+        let threaded = Runner::with_threads(7).run_specs(&specs);
+        assert_eq!(serial.to_jsonl(), threaded.to_jsonl());
+    }
+
+    #[test]
+    fn sampled_traffic_never_adds_served_blocks() {
+        // The default traffic model leaves the report byte-identical to
+        // the pre-engine engine: no served block anywhere.
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        spec.attack.planes_lost = 2;
+        spec.network.with_outages = true;
+        let report = execute_scenario(&spec).unwrap();
+        let net = report.system("ss").unwrap().network.clone().unwrap();
+        assert!(net.served.is_none());
+        assert!(net.degraded.as_ref().unwrap().served_fraction.is_none());
+        let line = report.to_json_line();
+        assert!(!line.contains(r#""served""#), "{line}");
+        assert!(!line.contains("served_fraction"), "{line}");
     }
 
     #[test]

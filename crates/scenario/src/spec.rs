@@ -438,11 +438,81 @@ pub fn parse_objective(s: &str) -> Result<AttackObjective> {
         "routed-fraction" | "routed" => Ok(AttackObjective::RoutedFraction),
         "connectivity" => Ok(AttackObjective::Connectivity),
         "load-inflation" | "load" => Ok(AttackObjective::LoadInflation),
+        "served-demand" | "served" => Ok(AttackObjective::ServedDemand),
         other => Err(ScenarioError::bad_value(
             "attack.objective",
             other,
-            "routed-fraction | connectivity | load-inflation",
+            "routed-fraction | connectivity | load-inflation | served-demand",
         )),
+    }
+}
+
+/// The population-scale traffic workload family the network stage runs —
+/// the spec's name for how `traffic.*` demand is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficModel {
+    /// The classic demand-weighted flow sample (`network.n_flows` unit
+    /// flows): no capacity-constrained engine, byte-compatible with every
+    /// pre-engine scenario.
+    #[default]
+    Sampled,
+    /// The seeded gravity model over the population grid
+    /// ([`ssplane_demand::gravity`]): `traffic.pairs` city-pair flows
+    /// with real rate weights, aggregated by serving-satellite pair and
+    /// assigned under per-link capacities — the served-demand metric.
+    Gravity,
+}
+
+impl TrafficModel {
+    /// Canonical config-file token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrafficModel::Sampled => "sampled",
+            TrafficModel::Gravity => "gravity",
+        }
+    }
+
+    /// Parses the config-file token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "sampled" | "flows" => Ok(TrafficModel::Sampled),
+            "gravity" => Ok(TrafficModel::Gravity),
+            other => Err(ScenarioError::bad_value("traffic.model", other, "sampled | gravity")),
+        }
+    }
+}
+
+/// Population-scale traffic-engine configuration (the `traffic.*` keys).
+/// Only consulted when the network stage is enabled; the default
+/// [`TrafficModel::Sampled`] runs no engine at all, so every scenario
+/// without a `[traffic]` section reports exactly as before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Which workload family to synthesize.
+    pub model: TrafficModel,
+    /// City-pair flows the gravity model draws ([`TrafficModel::Gravity`]).
+    pub pairs: usize,
+    /// Gravity attraction sites: the top population cells flows are drawn
+    /// between ([`TrafficModel::Gravity`]).
+    pub sites: usize,
+    /// Per-ISL capacity in satellite-capacity units (the same units as
+    /// `demand.total_demand_b`; the workload's total offered rate is
+    /// normalized to `demand.total_demand_b`).
+    pub capacity_gbps: f64,
+    /// Candidate paths per serving-satellite pair for the
+    /// capacity-constrained splitting.
+    pub k_paths: usize,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            model: TrafficModel::Sampled,
+            pairs: 100_000,
+            sites: 256,
+            capacity_gbps: 1.0,
+            k_paths: 3,
+        }
     }
 }
 
@@ -621,6 +691,8 @@ pub struct ScenarioSpec {
     pub attack: AttackSpec,
     /// Networking stage.
     pub network: NetworkSpec,
+    /// Population-scale traffic engine (rides the networking stage).
+    pub traffic: TrafficSpec,
 }
 
 impl ScenarioSpec {
@@ -687,6 +759,39 @@ impl ScenarioSpec {
                 "optimized",
                 "network.enabled = true (the search scores candidates by a degraded-network \
                  objective)",
+            ));
+        }
+        if !positive(self.traffic.capacity_gbps) {
+            return Err(ScenarioError::bad_value(
+                "traffic.capacity_gbps",
+                &self.traffic.capacity_gbps.to_string(),
+                "> 0",
+            ));
+        }
+        if self.traffic.k_paths == 0 {
+            return Err(ScenarioError::bad_value("traffic.k_paths", "0", ">= 1"));
+        }
+        if self.traffic.model == TrafficModel::Gravity {
+            if self.traffic.pairs == 0 {
+                return Err(ScenarioError::bad_value("traffic.pairs", "0", ">= 1"));
+            }
+            if self.traffic.sites < 2 {
+                return Err(ScenarioError::bad_value(
+                    "traffic.sites",
+                    &self.traffic.sites.to_string(),
+                    ">= 2 (the gravity model needs distinct endpoints)",
+                ));
+            }
+        }
+        if self.attack.kind == AttackKind::Optimized
+            && self.attack.objective == AttackObjective::ServedDemand
+            && self.traffic.model != TrafficModel::Gravity
+        {
+            return Err(ScenarioError::bad_value(
+                "attack.objective",
+                "served-demand",
+                "traffic.model = \"gravity\" (the objective scores the capacity-constrained \
+                 engine's served fraction)",
             ));
         }
         if self.network.enabled {
@@ -857,6 +962,7 @@ mod tests {
             ("routed-fraction", AttackObjective::RoutedFraction),
             ("connectivity", AttackObjective::Connectivity),
             ("load-inflation", AttackObjective::LoadInflation),
+            ("served-demand", AttackObjective::ServedDemand),
         ] {
             assert_eq!(parse_objective(token).unwrap(), objective);
             assert_eq!(objective.as_str(), token, "token round trip");
@@ -891,6 +997,48 @@ mod tests {
         spec.attack.kind = AttackKind::Optimized;
         assert!(spec.validate().is_err(), "no network stage to score candidates against");
         spec.network.enabled = true;
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn traffic_tokens_round_trip_and_validation_rules() {
+        for model in [TrafficModel::Sampled, TrafficModel::Gravity] {
+            assert_eq!(TrafficModel::parse(model.as_str()).unwrap(), model);
+        }
+        assert!(TrafficModel::parse("antigravity").is_err());
+
+        let mut spec = ScenarioSpec::named("x");
+        spec.traffic.capacity_gbps = 0.0;
+        assert!(spec.validate().is_err(), "zero capacity rejected");
+        spec.traffic.capacity_gbps = 2.0;
+        spec.traffic.k_paths = 0;
+        assert!(spec.validate().is_err(), "zero k_paths rejected");
+        spec.traffic.k_paths = 2;
+        spec.validate().unwrap();
+
+        // Gravity needs a non-degenerate pair/site budget.
+        spec.traffic.model = TrafficModel::Gravity;
+        spec.traffic.pairs = 0;
+        assert!(spec.validate().is_err());
+        spec.traffic.pairs = 100;
+        spec.traffic.sites = 1;
+        assert!(spec.validate().is_err());
+        spec.traffic.sites = 16;
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn served_demand_objective_requires_the_gravity_model() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.network.enabled = true;
+        spec.attack.kind = AttackKind::Optimized;
+        spec.attack.objective = AttackObjective::ServedDemand;
+        assert!(spec.validate().is_err(), "no gravity workload to score");
+        spec.traffic.model = TrafficModel::Gravity;
+        spec.validate().unwrap();
+        // A non-optimized attack never consults the objective.
+        spec.traffic.model = TrafficModel::Sampled;
+        spec.attack.kind = AttackKind::LeadingPlanes;
         spec.validate().unwrap();
     }
 

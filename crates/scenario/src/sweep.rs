@@ -13,7 +13,7 @@
 use crate::error::{Result, ScenarioError};
 use crate::spec::{
     parse_branch_rule, parse_objective, parse_supply_model, AttackKind, AttackUnit, DesignKind,
-    FailureKind, ScenarioSpec, SolarActivity,
+    FailureKind, ScenarioSpec, SolarActivity, TrafficModel,
 };
 use crate::toml::TomlValue;
 use ssplane_lsn::spares::SparePolicy;
@@ -391,6 +391,12 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         "network.time_grid_slots" => spec.network.time_grid_slots = need_usize(key, value)?,
         "network.time_grid_slot_s" => spec.network.time_grid_slot_s = need_f64(key, value)?,
 
+        "traffic.model" => spec.traffic.model = TrafficModel::parse(need_str(key, value)?)?,
+        "traffic.pairs" => spec.traffic.pairs = need_usize(key, value)?,
+        "traffic.sites" => spec.traffic.sites = need_usize(key, value)?,
+        "traffic.capacity_gbps" => spec.traffic.capacity_gbps = need_f64(key, value)?,
+        "traffic.k_paths" => spec.traffic.k_paths = need_usize(key, value)?,
+
         _ => return Err(ScenarioError::UnknownParameter { key: key.to_string() }),
     }
     Ok(())
@@ -637,6 +643,27 @@ mod tests {
             apply_param(&mut spec, "attack.objective", &TomlValue::Str("chaos".into())).is_err()
         );
         assert!(apply_param(&mut spec, "attack.budget", &TomlValue::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn traffic_paths() {
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "traffic.model", &TomlValue::Str("gravity".into())).unwrap();
+        apply_param(&mut spec, "traffic.pairs", &TomlValue::Int(150_000)).unwrap();
+        apply_param(&mut spec, "traffic.sites", &TomlValue::Int(128)).unwrap();
+        apply_param(&mut spec, "traffic.capacity_gbps", &TomlValue::Float(2.5)).unwrap();
+        apply_param(&mut spec, "traffic.k_paths", &TomlValue::Int(4)).unwrap();
+        assert_eq!(spec.traffic.model, TrafficModel::Gravity);
+        assert_eq!(spec.traffic.pairs, 150_000);
+        assert_eq!(spec.traffic.sites, 128);
+        assert_eq!(spec.traffic.capacity_gbps, 2.5);
+        assert_eq!(spec.traffic.k_paths, 4);
+        assert!(apply_param(&mut spec, "traffic.model", &TomlValue::Str("psychic".into())).is_err());
+        assert!(apply_param(&mut spec, "traffic.k_paths", &TomlValue::Float(1.5)).is_err());
+        // The served-demand objective token reaches the attack spec.
+        apply_param(&mut spec, "attack.objective", &TomlValue::Str("served-demand".into()))
+            .unwrap();
+        assert_eq!(spec.attack.objective, ssplane_lsn::optimizer::AttackObjective::ServedDemand);
     }
 
     #[test]
