@@ -31,6 +31,13 @@
 //!   exponential, a Weibull bathtub), and the [`OutageTimeline`] of
 //!   per-satellite outage intervals that couples both into the network
 //!   stage via [`Snapshot`] alive masks.
+//! * [`percolation`] — percolation & robustness analytics: an
+//!   incremental union-find [`ClusterTracker`] replaying attack-registry
+//!   removal orderings into loss-fraction phase-transition curves
+//!   (giant-component fraction, susceptibility χ, mean finite-cluster
+//!   size), algebraic connectivity λ₂ via a deterministic deflated power
+//!   iteration, and the *masking threshold* — the critical loss fraction
+//!   where redundancy stops hiding targeted-attack damage.
 //! * [`optimizer`] — adversarial attack search: a [`DegradedEvaluator`]
 //!   scoring candidate destroyed sets over a prebuilt [`SnapshotSeries`]
 //!   (intact topologies filtered per candidate, never rebuilt), and a
@@ -44,6 +51,7 @@
 //!   constellations*), now a scalar reduction of the outage timeline.
 //!
 //! [`AttackModel`]: disruption::AttackModel
+//! [`ClusterTracker`]: percolation::ClusterTracker
 //! [`FailureProcess`]: disruption::FailureProcess
 //! [`OutageTimeline`]: disruption::OutageTimeline
 //! [`DegradedEvaluator`]: optimizer::DegradedEvaluator
@@ -55,6 +63,7 @@ pub mod disruption;
 pub mod error;
 pub mod failures;
 pub mod optimizer;
+pub mod percolation;
 pub mod routing;
 pub mod schedule;
 pub mod snapshot;
@@ -67,6 +76,7 @@ pub mod traffic_engine;
 pub use disruption::{AttackModel, AttackTarget, FailureProcess, OutageTimeline};
 pub use error::{LsnError, Result};
 pub use optimizer::{AttackObjective, AttackSearchConfig, DegradedEvaluator};
+pub use percolation::{ClusterTracker, Lambda2Config, PercolationCurve};
 pub use snapshot::{Snapshot, SnapshotSeries};
 pub use topology::{Constellation, SatId, Topology};
 pub use traffic_engine::{CapacityConfig, ServedDemandSummary, TrafficWorkload};

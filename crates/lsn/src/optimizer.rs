@@ -72,6 +72,15 @@ pub enum AttackObjective {
     /// without one it degrades to [`AttackObjective::RoutedFraction`]
     /// semantics.
     ServedDemand,
+    /// Mean over slots of the **masking-collapse score**
+    /// ([`crate::percolation::collapse_score`]): the candidate's victims
+    /// lead a percolation removal ordering (the targeted plane schedule
+    /// finishes it) and the score is the loss fraction at which the
+    /// giant component stops masking the damage — so the search hunts
+    /// the attack that collapses the masking regime *earliest*. Pure
+    /// union-find over the prebuilt per-slot topologies: no routing, no
+    /// traffic, far cheaper per candidate than the service objectives.
+    MaskingThreshold,
 }
 
 impl AttackObjective {
@@ -82,6 +91,7 @@ impl AttackObjective {
             AttackObjective::Connectivity => "connectivity",
             AttackObjective::LoadInflation => "load-inflation",
             AttackObjective::ServedDemand => "served-demand",
+            AttackObjective::MaskingThreshold => "masking-threshold",
         }
     }
 }
@@ -149,6 +159,14 @@ pub struct DegradedEvaluator<'a> {
     intact: Vec<SlotEvaluation>,
     intact_mean_link_load: f64,
     all_alive: Vec<bool>,
+    /// The targeted plane-spread removal ordering the masking-threshold
+    /// objective finishes candidate orderings with — one ordering for
+    /// every slot, since all slots share the flat node layout.
+    spread_order: Vec<usize>,
+    /// Loss-fraction steps of the masking-threshold sweep.
+    percolation_steps: usize,
+    /// Giant-component gap that declares the masking regime broken.
+    percolation_gap: f64,
 }
 
 impl<'a> DegradedEvaluator<'a> {
@@ -217,6 +235,8 @@ impl<'a> DegradedEvaluator<'a> {
         }
         let intact_mean_link_load = intact.iter().map(|s| s.traffic.mean_link_load()).sum::<f64>()
             / intact.len().max(1) as f64;
+        let spread_order =
+            topologies.first().map(crate::percolation::plane_spread_ordering).unwrap_or_default();
         Ok(DegradedEvaluator {
             series,
             flows,
@@ -227,7 +247,25 @@ impl<'a> DegradedEvaluator<'a> {
             intact,
             intact_mean_link_load,
             all_alive,
+            spread_order,
+            percolation_steps: crate::percolation::DEFAULT_PERCOLATION_STEPS,
+            percolation_gap: crate::percolation::DEFAULT_MASKING_GAP,
         })
+    }
+
+    /// Overrides the masking-threshold sweep parameters (defaults:
+    /// [`crate::percolation::DEFAULT_PERCOLATION_STEPS`] steps,
+    /// [`crate::percolation::DEFAULT_MASKING_GAP`] gap).
+    ///
+    /// # Panics
+    /// If `steps == 0` or `gap` is not in `(0, 1)`.
+    #[must_use]
+    pub fn with_percolation(mut self, steps: usize, gap: f64) -> Self {
+        assert!(steps >= 1, "a sweep needs at least one step");
+        assert!(gap > 0.0 && gap < 1.0, "the masking gap is a fraction in (0, 1)");
+        self.percolation_steps = steps;
+        self.percolation_gap = gap;
+        self
     }
 
     /// Slots of the underlying series.
@@ -262,6 +300,43 @@ impl<'a> DegradedEvaluator<'a> {
     /// Mean intact link load over slots (the load-inflation divisor).
     pub fn intact_mean_link_load(&self) -> f64 {
         self.intact_mean_link_load
+    }
+
+    /// The all-true alive mask, built once at construction — the shared
+    /// buffer every per-candidate mask clones from instead of
+    /// re-allocating an all-true vec per candidate (the scenario
+    /// runner's degraded passes borrow it for the same reason).
+    pub fn all_alive(&self) -> &[bool] {
+        &self.all_alive
+    }
+
+    /// The [`AttackObjective::MaskingThreshold`] value of one destroyed
+    /// set: mean over slots of the masking-collapse score of the removal
+    /// ordering that takes the victims first and the targeted
+    /// plane-spread schedule after (lower = the masking regime collapses
+    /// earlier). Computed directly from the prebuilt topologies — no
+    /// routing, no traffic assignment.
+    pub fn masking_collapse_value(&self, destroyed: &[SatId]) -> f64 {
+        if self.topologies.is_empty() {
+            return 0.0;
+        }
+        let snapshot = self.series.snapshot(0);
+        let priority: Vec<usize> =
+            destroyed.iter().filter_map(|id| snapshot.flat_index(*id)).collect();
+        let order = crate::percolation::priority_ordering(&priority, &self.spread_order);
+        let total: f64 = self
+            .topologies
+            .iter()
+            .map(|t| {
+                crate::percolation::collapse_score(
+                    t,
+                    &order,
+                    self.percolation_steps,
+                    self.percolation_gap,
+                )
+            })
+            .sum();
+        total / self.topologies.len() as f64
     }
 
     /// Evaluates slot `k` under `alive` (`None` = the intact network,
@@ -359,6 +434,16 @@ impl<'a> DegradedEvaluator<'a> {
                     .sum::<f64>()
                     / denom
             }
+            AttackObjective::MaskingThreshold => {
+                // The masking score is a function of the destroyed set
+                // itself, not of slot evaluations (see
+                // [`Self::masking_collapse_value`], which
+                // [`Self::score_attack`] routes candidates through
+                // without ever building slot evaluations). Given only
+                // evaluations, return the empty-attack value — exactly
+                // the intact baseline `optimize_attack` needs.
+                self.masking_collapse_value(&[])
+            }
         }
     }
 
@@ -380,6 +465,11 @@ impl<'a> DegradedEvaluator<'a> {
     /// # Errors
     /// Propagates evaluation failure.
     pub fn score_attack(&self, destroyed: &[SatId], objective: AttackObjective) -> Result<f64> {
+        if objective == AttackObjective::MaskingThreshold {
+            // Pure union-find over the prebuilt topologies: skip the
+            // mask/route/evaluate pipeline entirely.
+            return Ok(self.masking_collapse_value(destroyed));
+        }
         let mask = self.attack_mask(destroyed);
         let slots = self.evaluate(Some(&mask))?;
         Ok(self.objective_value(objective, &slots))
@@ -972,6 +1062,7 @@ mod tests {
             // No workload attached: served-demand falls back to the
             // routed-fraction semantics and must still search fine.
             AttackObjective::ServedDemand,
+            AttackObjective::MaskingThreshold,
         ] {
             let config = AttackSearchConfig {
                 objective,
@@ -988,6 +1079,60 @@ mod tests {
             );
             assert!(outcome.objective_value <= outcome.intact_value, "{objective:?}");
         }
+    }
+
+    #[test]
+    fn masking_threshold_objective_collapses_earliest_and_is_deterministic() {
+        let c = constellation(8, 12);
+        let flows = city_flows();
+        let (series, flows) = evaluator_fixture(&c, &flows, 2);
+        let evaluator =
+            DegradedEvaluator::new(&series, &flows, 20f64.to_radians(), Default::default())
+                .unwrap()
+                .with_percolation(32, 0.1);
+        // The intact value is the empty-attack collapse score, however
+        // it is asked for.
+        let intact = evaluator.masking_collapse_value(&[]);
+        assert_eq!(
+            evaluator.objective_value(AttackObjective::MaskingThreshold, evaluator.intact()),
+            intact
+        );
+        // A concentrated two-plane attack leads the ordering and can
+        // only accelerate (never delay) the collapse.
+        let strided: Vec<SatId> = crate::disruption::strided_plane_indices(8, 2)
+            .into_iter()
+            .flat_map(|p| (0..12).map(move |s| SatId { plane: p, slot: s }))
+            .collect();
+        let strided_value =
+            evaluator.score_attack(&strided, AttackObjective::MaskingThreshold).unwrap();
+        assert!(strided_value <= intact, "victims up front never delay the collapse");
+        // The search is never weaker than the same-budget strided
+        // baseline (implicitly seeded for plane budgets) and reruns
+        // byte-identically across thread counts.
+        let config = AttackSearchConfig {
+            objective: AttackObjective::MaskingThreshold,
+            budget: AttackBudget::Planes(2),
+            restarts: 2,
+            swaps: 6,
+            threads: 0,
+        };
+        let a = optimize_attack(&evaluator, &config, 13, &[]).unwrap();
+        assert_eq!(a.destroyed.len(), 24, "two whole planes");
+        assert!(a.objective_value <= strided_value, "never weaker than the strided baseline");
+        assert!(a.objective_value <= a.intact_value);
+        for threads in [1usize, 2, 7] {
+            let again =
+                optimize_attack(&evaluator, &AttackSearchConfig { threads, ..config }, 13, &[])
+                    .unwrap();
+            assert_eq!(a, again, "thread count {threads} changed the outcome");
+        }
+        // Sweep parameters are really consulted: a coarser sweep
+        // quantizes the threshold differently.
+        let coarse =
+            DegradedEvaluator::new(&series, &flows, 20f64.to_radians(), Default::default())
+                .unwrap()
+                .with_percolation(4, 0.1);
+        assert_ne!(coarse.masking_collapse_value(&strided), strided_value);
     }
 
     /// A small gravity workload for the served-demand objective tests.

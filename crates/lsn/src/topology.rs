@@ -549,6 +549,30 @@ impl Topology {
         Ok(Topology { links, adj_offsets, adj_entries, plane_offsets })
     }
 
+    /// Builds a topology directly from an explicit link list and plane
+    /// layout — the analytic-graph entry point the percolation and
+    /// spectral tests pin closed-form results with (path, cycle, and
+    /// complete graphs have known Laplacian spectra that no orbital
+    /// geometry reproduces exactly). Links are kept in the given order;
+    /// endpoints must be valid under `plane_offsets`.
+    ///
+    /// # Panics
+    /// If a link endpoint is outside the plane layout.
+    pub fn from_links(links: Vec<Link>, plane_offsets: Vec<usize>) -> Topology {
+        let total = *plane_offsets.last().unwrap_or(&0);
+        let flat = |id: SatId| {
+            let idx = plane_offsets[id.plane] + id.slot;
+            assert!(idx < plane_offsets[id.plane + 1], "link endpoint outside its plane");
+            idx
+        };
+        for l in &links {
+            let _ = (flat(l.a), flat(l.b));
+        }
+        let flat_unchecked = |id: SatId| plane_offsets[id.plane] + id.slot;
+        let (adj_offsets, adj_entries) = build_adjacency(&links, flat_unchecked, total);
+        Topology { links, adj_offsets, adj_entries, plane_offsets }
+    }
+
     /// The subgraph of this topology over the satellites flagged alive:
     /// every link incident to a dead satellite is dropped, in emission
     /// order, and the adjacency rebuilt. Because a masked
@@ -594,6 +618,33 @@ impl Topology {
     /// Neighbors (flattened index, link length km) of a node.
     pub fn neighbors(&self, index: usize) -> &[(usize, f64)] {
         &self.adj_entries[self.adj_offsets[index]..self.adj_offsets[index + 1]]
+    }
+
+    /// Start index per plane (with a trailing total) in the flat node
+    /// order — the layout [`crate::snapshot::Snapshot`]s share. The
+    /// percolation cluster machinery walks planes through this.
+    pub fn plane_offsets(&self) -> &[usize] {
+        &self.plane_offsets
+    }
+
+    /// Number of planes.
+    pub fn n_planes(&self) -> usize {
+        self.plane_offsets.len().saturating_sub(1)
+    }
+
+    /// Every undirected link as a flat node-index pair `(a, b)` with
+    /// `a < b`, in link-emission order — the edge stream the percolation
+    /// cluster tracker unions over.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let flat = |id: SatId| self.plane_offsets[id.plane] + id.slot;
+        self.links.iter().map(move |l| {
+            let (a, b) = (flat(l.a), flat(l.b));
+            if a < b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
     }
 
     /// Mean node degree.

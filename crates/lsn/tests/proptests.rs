@@ -5,10 +5,15 @@
 //! sets.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ssplane_astro::kepler::OrbitalElements;
 use ssplane_astro::linalg::Vec3;
 use ssplane_astro::sunsync::sun_synchronous_orbit;
 use ssplane_astro::time::Epoch;
+use ssplane_lsn::percolation::{
+    keyed_ordering, percolation_sweep, plane_spread_ordering, random_ordering, ClusterTracker,
+};
 use ssplane_lsn::routing::shortest_path;
 use ssplane_lsn::snapshot::SnapshotSeries;
 use ssplane_lsn::spares::spares_for_availability;
@@ -205,5 +210,100 @@ proptest! {
         prop_assert!(k_stricter >= k);
         // Poisson mean bound: k is at least lambda - a few sigma.
         prop_assert!((k as f64) >= lambda - 4.0 * lambda.sqrt() - 1.0);
+    }
+
+    #[test]
+    fn cluster_tracker_matches_bfs_on_random_sunsync_masks(
+        altitude_km in 450.0f64..1200.0,
+        ltans in collection::vec(0.0f64..24.0, 2usize..7),
+        slot_counts in collection::vec(2usize..20, 2usize..7),
+        kill in 0.0f64..0.9,
+        mask_seed in 0u64..10_000,
+    ) {
+        // The union-find giant-component tracker must agree with the BFS
+        // reference on arbitrary alive masks over random sun-sync plane
+        // sets.
+        let plane_params: Vec<(f64, usize)> =
+            ltans.iter().copied().zip(slot_counts.iter().copied()).collect();
+        let c = random_constellation(altitude_km, &plane_params);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let topo = Topology::plus_grid(&series.snapshot(0), GridTopologyConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(mask_seed);
+        let alive: Vec<bool> = (0..topo.n_nodes()).map(|_| rng.gen::<f64>() >= kill).collect();
+        let stats = ClusterTracker::from_alive(&topo, &alive).stats();
+        prop_assert_eq!(stats.largest, topo.largest_component_among(&alive));
+        prop_assert_eq!(stats.active, alive.iter().filter(|&&a| a).count());
+        prop_assert!(stats.sum_sq >= (stats.largest as u64).pow(2), "second moment holds the giant");
+    }
+
+    #[test]
+    fn cluster_tracker_matches_bfs_on_random_walker_masks(
+        total in 40usize..160,
+        planes in 2usize..8,
+        inclination_deg in 40.0f64..90.0,
+        kill in 0.0f64..0.9,
+        mask_seed in 0u64..10_000,
+    ) {
+        let per_plane = (total / planes).max(1);
+        let count = per_plane * planes;
+        let pattern = ssplane_astro::walker::WalkerDelta::new(
+            550.0,
+            inclination_deg.to_radians(),
+            count,
+            planes,
+            0,
+        )
+        .unwrap()
+        .generate()
+        .unwrap();
+        let element_planes: Vec<Vec<OrbitalElements>> =
+            pattern.chunks(per_plane).map(<[_]>::to_vec).collect();
+        let c = Constellation::from_planes(Epoch::J2000, element_planes).unwrap();
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let topo = Topology::plus_grid(&series.snapshot(0), GridTopologyConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(mask_seed);
+        let alive: Vec<bool> = (0..topo.n_nodes()).map(|_| rng.gen::<f64>() >= kill).collect();
+        let stats = ClusterTracker::from_alive(&topo, &alive).stats();
+        prop_assert_eq!(stats.largest, topo.largest_component_among(&alive));
+        prop_assert_eq!(stats.active, alive.iter().filter(|&&a| a).count());
+    }
+
+    #[test]
+    fn percolation_sweep_matches_recompute_across_orderings(
+        ltans in collection::vec(0.0f64..24.0, 2usize..6),
+        slot_counts in collection::vec(2usize..14, 2usize..6),
+        steps in 1usize..40,
+        order_seed in 0u64..10_000,
+        which in 0usize..3,
+    ) {
+        // Incremental-vs-recompute equivalence: every sample of the
+        // reverse-replay sweep must equal a from-scratch union-find (and
+        // the BFS reference) over the same prefix mask — for targeted,
+        // random, and keyed removal orderings alike.
+        let plane_params: Vec<(f64, usize)> =
+            ltans.iter().copied().zip(slot_counts.iter().copied()).collect();
+        let c = random_constellation(700.0, &plane_params);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000]).unwrap();
+        let topo = Topology::plus_grid(&series.snapshot(0), GridTopologyConfig::default()).unwrap();
+        let n = topo.n_nodes();
+        let order = match which {
+            0 => plane_spread_ordering(&topo),
+            1 => random_ordering(n, order_seed),
+            _ => keyed_ordering(&(0..n).map(|i| ((i * 37) % 11) as f64).collect::<Vec<f64>>()),
+        };
+        let curve = percolation_sweep(&topo, &order, steps);
+        prop_assert_eq!(curve.len(), steps + 1);
+        for k in 0..curve.len() {
+            let removed = curve.removed[k];
+            let mut alive = vec![true; n];
+            for &v in &order[..removed] {
+                alive[v] = false;
+            }
+            let stats = ClusterTracker::from_alive(&topo, &alive).stats();
+            prop_assert_eq!(stats.largest, topo.largest_component_among(&alive), "step {}", k);
+            prop_assert_eq!(curve.giant_fraction[k], stats.largest as f64 / n as f64);
+            prop_assert_eq!(curve.susceptibility[k], stats.susceptibility());
+            prop_assert_eq!(curve.mean_finite_cluster[k], stats.mean_finite_cluster());
+        }
     }
 }

@@ -84,6 +84,11 @@ pub const BUILTINS: &[Builtin] = &[
         summary: "gravity-model demand under per-link capacities: the served-demand metric",
         toml: include_str!("../../../scenarios/traffic-scale.toml"),
     },
+    Builtin {
+        name: "percolation",
+        summary: "phase-transition sweeps: targeted-vs-random masking thresholds, lambda2",
+        toml: include_str!("../../../scenarios/percolation.toml"),
+    },
 ];
 
 /// Looks a built-in up by name.
@@ -135,6 +140,7 @@ mod tests {
             "disruption",
             "attack-opt",
             "traffic-scale",
+            "percolation",
         ] {
             assert!(find(name).is_some(), "missing builtin {name}");
         }

@@ -333,6 +333,92 @@ impl DegradedNetworkReport {
     }
 }
 
+/// One attack model's percolation sweep, averaged over the network
+/// stage's grid slots: the giant-component curve against loss fraction
+/// plus its masking threshold (the critical loss fraction where the
+/// damage stops hiding behind redundancy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercolationModelReport {
+    /// Removal-ordering name (`"leading-planes"`, `"random-sats"`, … or
+    /// `"attack"` for the scenario's destroyed set).
+    pub model: String,
+    /// First loss fraction where the giant component falls more than
+    /// `gap` below the surviving fraction (`null`: never detected).
+    pub masking_threshold: Option<f64>,
+    /// First loss fraction where this ordering's giant component falls
+    /// more than `gap` below the random baseline's (`null`: never, or
+    /// this *is* the random baseline).
+    pub threshold_vs_random: Option<f64>,
+    /// Loss fraction of the susceptibility peak (the phase transition).
+    pub chi_peak_loss: f64,
+    /// Susceptibility χ at its peak.
+    pub chi_peak: f64,
+    /// Mean giant-component fraction over the sweep (area under the
+    /// percolation curve — the robustness scalar).
+    pub mean_giant: f64,
+    /// Giant-component fraction at each loss step (`steps + 1` points,
+    /// 0 % to 100 % loss), slot-averaged.
+    pub giant_curve: Vec<f64>,
+}
+
+impl PercolationModelReport {
+    fn to_json(&self) -> Json {
+        let opt = |x: Option<f64>| x.map_or(Json::Null, Json::Num);
+        Json::obj()
+            .str("model", &self.model)
+            .field("masking_threshold", opt(self.masking_threshold))
+            .field("threshold_vs_random", opt(self.threshold_vs_random))
+            .num("chi_peak_loss", self.chi_peak_loss)
+            .num("chi_peak", self.chi_peak)
+            .num("mean_giant", self.mean_giant)
+            .field(
+                "giant_curve",
+                Json::Arr(self.giant_curve.iter().map(|&g| Json::Num(g)).collect()),
+            )
+            .build()
+    }
+}
+
+/// Percolation & robustness analytics over the intact per-slot
+/// topologies: loss-fraction phase-transition sweeps per attack model,
+/// the intact network's algebraic connectivity, and targeted-vs-random
+/// masking thresholds. Present only with `network.percolation`, so every
+/// scenario without the key serializes exactly as before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercolationReport {
+    /// Loss-fraction steps per sweep (curves have `steps + 1` points).
+    pub steps: usize,
+    /// Masking-threshold detection gap.
+    pub gap: f64,
+    /// Grid slots the curves were averaged over.
+    pub slots: usize,
+    /// Algebraic connectivity λ₂ of the intact topology, slot-averaged
+    /// (0 when a slot's +grid is disconnected).
+    pub lambda2_intact: f64,
+    /// Loss fraction at each sweep step (shared x-axis of every model's
+    /// `giant_curve`).
+    pub loss_fraction: Vec<f64>,
+    /// Per-ordering sweeps; the `"random-sats"` entry is the baseline
+    /// the others' `threshold_vs_random` compares against.
+    pub models: Vec<PercolationModelReport>,
+}
+
+impl PercolationReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("steps", self.steps as u64)
+            .num("gap", self.gap)
+            .uint("slots", self.slots as u64)
+            .num("lambda2_intact", self.lambda2_intact)
+            .field(
+                "loss_fraction",
+                Json::Arr(self.loss_fraction.iter().map(|&f| Json::Num(f)).collect()),
+            )
+            .field("models", Json::Arr(self.models.iter().map(|m| m.to_json()).collect()))
+            .build()
+    }
+}
+
 /// Networking-stage outcome for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkReport {
@@ -363,6 +449,8 @@ pub struct NetworkReport {
     pub time_grid: Option<TimeGridReport>,
     /// Degraded-network metrics (only with `network.with_outages`).
     pub degraded: Option<DegradedNetworkReport>,
+    /// Percolation analytics (only with `network.percolation`).
+    pub percolation: Option<PercolationReport>,
 }
 
 impl NetworkReport {
@@ -386,6 +474,9 @@ impl NetworkReport {
         }
         if let Some(d) = &self.degraded {
             obj = obj.field("degraded", d.to_json());
+        }
+        if let Some(p) = &self.percolation {
+            obj = obj.field("percolation", p.to_json());
         }
         obj.build()
     }

@@ -23,8 +23,8 @@
 use crate::error::{Result, ScenarioError};
 use crate::report::{
     AttackReport, AttackSearchReport, DegradedNetworkReport, DesignReport, FluenceReport,
-    NamedSystemReport, NetworkReport, ScenarioReport, ServedDemandReport, SurvivabilityOutcome,
-    SystemReport, TimeGridReport,
+    NamedSystemReport, NetworkReport, PercolationModelReport, PercolationReport, ScenarioReport,
+    ServedDemandReport, SurvivabilityOutcome, SystemReport, TimeGridReport,
 };
 use crate::spec::{AttackKind, AttackUnit, DesignKind, DesignSpec, ScenarioSpec, TrafficModel};
 use crate::sweep::SweepSpec;
@@ -39,6 +39,10 @@ use ssplane_demand::grid::LatTodGrid;
 use ssplane_demand::DemandModel;
 use ssplane_lsn::disruption::{strided_plane_indices, AttackModel, AttackTarget, OutageTimeline};
 use ssplane_lsn::optimizer::{optimize_attack, DegradedEvaluator};
+use ssplane_lsn::percolation::{
+    algebraic_connectivity, percolation_sweep, plane_spread_ordering, priority_ordering,
+    random_ordering, Lambda2Config, PercolationCurve,
+};
 use ssplane_lsn::routing::{route_ground_to_ground, route_over_time, Route, TimeExpandedRoutes};
 use ssplane_lsn::snapshot::{time_grid, SnapshotSeries};
 use ssplane_lsn::survivability::{outage_timeline, simulate_process};
@@ -56,6 +60,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// timeline, so its realization is an explicitly independent stream from
 /// the aggregate survivability simulation's.
 const OUTAGE_SEED_SALT: u64 = 0x4F55_5441_4745;
+
+/// Salt XORed into the scenario seed for the percolation stage's
+/// random-loss baseline ordering, so its stream is independent of every
+/// other consumer of the scenario seed.
+const PERCOLATION_SEED_SALT: u64 = 0x5045_5243_4F4C;
 
 /// Salt XORed into the scenario seed for the gravity workload's pair
 /// sampling, so the population-scale demand stream is independent of the
@@ -735,7 +744,9 @@ fn network_report(
     // intact topologies) as the intact loop above.
     let degraded = if spec.network.with_outages {
         let total = series.n_sats();
-        let mut alive_base = vec![true; total];
+        // Seed both working masks from the evaluator's shared all-alive
+        // buffer instead of rebuilding the all-true vec from scratch.
+        let mut alive_base = evaluator.all_alive().to_vec();
         for id in destroyed {
             if let Some(flat) = layout.flat_of_design(*id) {
                 alive_base[flat] = false;
@@ -766,7 +777,7 @@ fn network_report(
         let mut degraded_slots: Vec<(bool, usize, TrafficReport)> =
             Vec::with_capacity(series.len());
         let mut served_fractions: Vec<f64> = Vec::with_capacity(series.len());
-        let mut mask = vec![true; total];
+        let mut mask = evaluator.all_alive().to_vec();
         for k in 0..series.len() {
             mask.copy_from_slice(&alive_base);
             if let Some(tl) = &timeline {
@@ -826,7 +837,108 @@ fn network_report(
         served,
         time_grid: (grid.len() > 1).then(|| time_grid_report(&per_slot)),
         degraded,
+        percolation: None,
     })
+}
+
+/// Averages per-slot percolation curves point-wise. Every slot sweeps
+/// the same ordering over the same satellite count, so the loss and
+/// removed axes are identical across slots; only the cluster statistics
+/// differ with each slot's geometry-feasible link set.
+fn averaged_curve(curves: &[PercolationCurve]) -> PercolationCurve {
+    let first = &curves[0];
+    let n = curves.len() as f64;
+    let avg = |pick: fn(&PercolationCurve) -> &Vec<f64>| -> Vec<f64> {
+        (0..first.len()).map(|k| curves.iter().map(|c| pick(c)[k]).sum::<f64>() / n).collect()
+    };
+    PercolationCurve {
+        n_nodes: first.n_nodes,
+        loss_fraction: first.loss_fraction.clone(),
+        removed: first.removed.clone(),
+        giant_fraction: avg(|c| &c.giant_fraction),
+        susceptibility: avg(|c| &c.susceptibility),
+        mean_finite_cluster: avg(|c| &c.mean_finite_cluster),
+    }
+}
+
+/// Runs the percolation stage (`network.percolation`) over the network
+/// stage's prebuilt intact per-slot topologies — pure union-find replay
+/// and one power iteration per slot, no re-propagation and no routing.
+///
+/// One loss-fraction sweep per attack-registry ordering, slot-averaged:
+/// `"leading-planes"` (the plane-spread schedule whose power-of-two
+/// prefixes reproduce the strided plane attack), `"random-sats"` (the
+/// seeded uniform baseline every targeted ordering's
+/// `threshold_vs_random` is measured against), and — when the scenario's
+/// attack destroyed anything — `"attack"`, the destroyed set leading the
+/// plane-spread schedule.
+fn percolation_report(
+    spec: &ScenarioSpec,
+    ctx: &NetworkContext,
+    evaluator: &DegradedEvaluator<'_>,
+    destroyed: &[SatId],
+) -> PercolationReport {
+    let (steps, gap) = (spec.network.percolation_steps, spec.network.percolation_gap);
+    let slots = ctx.series.len();
+    let spread = plane_spread_ordering(evaluator.intact_topology(0));
+    let random = random_ordering(ctx.series.n_sats(), spec.seed ^ PERCOLATION_SEED_SALT);
+    let mut orderings: Vec<(&str, Vec<usize>)> =
+        vec![("leading-planes", spread.clone()), ("random-sats", random)];
+    if !destroyed.is_empty() {
+        let priority: Vec<usize> =
+            destroyed.iter().filter_map(|&id| ctx.layout.flat_of_design(id)).collect();
+        orderings.push(("attack", priority_ordering(&priority, &spread)));
+    }
+
+    let lambda2_intact = (0..slots)
+        .map(|k| {
+            algebraic_connectivity(
+                evaluator.intact_topology(k),
+                evaluator.all_alive(),
+                &Lambda2Config::default(),
+            )
+        })
+        .sum::<f64>()
+        / slots as f64;
+
+    let curves: Vec<(&str, PercolationCurve)> = orderings
+        .iter()
+        .map(|(name, order)| {
+            let per_slot: Vec<PercolationCurve> = (0..slots)
+                .map(|k| percolation_sweep(evaluator.intact_topology(k), order, steps))
+                .collect();
+            (*name, averaged_curve(&per_slot))
+        })
+        .collect();
+    let random_curve =
+        &curves.iter().find(|(name, _)| *name == "random-sats").expect("baseline swept").1;
+
+    let models = curves
+        .iter()
+        .map(|(name, curve)| {
+            let (chi_peak_loss, chi_peak) = curve.chi_peak();
+            PercolationModelReport {
+                model: (*name).to_string(),
+                masking_threshold: curve.masking_threshold(gap),
+                threshold_vs_random: (*name != "random-sats")
+                    .then(|| curve.threshold_vs(random_curve, gap))
+                    .flatten(),
+                chi_peak_loss,
+                chi_peak,
+                mean_giant: curve.mean_giant(),
+                giant_curve: curve.giant_fraction.clone(),
+            }
+        })
+        .collect();
+
+    PercolationReport {
+        steps,
+        gap,
+        slots,
+        lambda2_intact,
+        loss_fraction: random_curve.loss_fraction.clone(),
+        models,
+    }
 }
 
 /// The scenario pipeline body, writing stage timings into `clock`.
@@ -881,6 +993,11 @@ fn run_scenario(
         };
         let evaluator: Option<DegradedEvaluator<'_>> = match &net_ctx {
             Some(ctx) => Some(clock.time(&format!("{name}.network.intact"), || {
+                // The spec's percolation knobs also configure the
+                // masking-threshold attack objective; only forward them
+                // when they are in-range (they are unvalidated while the
+                // percolation stage itself is off).
+                let (steps, gap) = (spec.network.percolation_steps, spec.network.percolation_gap);
                 DegradedEvaluator::with_workload(
                     &ctx.series,
                     &ctx.flows,
@@ -888,6 +1005,13 @@ fn run_scenario(
                     ctx.topo_config,
                     ctx.workload.as_ref(),
                 )
+                .map(|e| {
+                    if steps >= 1 && gap.is_finite() && gap > 0.0 && gap < 1.0 {
+                        e.with_percolation(steps, gap)
+                    } else {
+                        e
+                    }
+                })
             })?),
             None => None,
         };
@@ -922,6 +1046,16 @@ fn run_scenario(
             report.network = Some(clock.time(&format!("{name}.network"), || {
                 network_report(spec, ctx, eval, &destroyed, plane_doses.as_deref(), build_threads)
             })?);
+            if spec.network.percolation {
+                // Its own timing entry: the sweep is a distinct analytic
+                // pass over the stage's topologies, not routing work.
+                let block = clock.time(&format!("{name}.percolation"), || {
+                    percolation_report(spec, ctx, eval, &destroyed)
+                });
+                if let Some(net) = report.network.as_mut() {
+                    net.percolation = Some(block);
+                }
+            }
         }
         systems.push(NamedSystemReport { system: name.to_string(), report });
     }
@@ -1163,6 +1297,128 @@ mod tests {
     }
 
     #[test]
+    fn percolation_block_reports_targeted_collapse_before_random() {
+        let mut spec = tiny_spec();
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+
+        // Baseline without the switch: no block, bytes as ever.
+        let plain = execute_scenario(&spec).unwrap();
+        assert!(plain.system("ss").unwrap().network.as_ref().unwrap().percolation.is_none());
+        assert!(!plain.to_json_line().contains("percolation"));
+
+        spec.network.percolation = true;
+        let report = execute_scenario(&spec).unwrap();
+        let net = report.system("ss").unwrap().network.clone().unwrap();
+        let perc = net.percolation.expect("network.percolation adds the block");
+        assert_eq!(perc.steps, 32);
+        assert_eq!(perc.slots, 1, "defaults to the single-slot grid");
+        assert_eq!(perc.loss_fraction.len(), 33);
+        assert_eq!(perc.loss_fraction.first(), Some(&0.0));
+        assert_eq!(perc.loss_fraction.last(), Some(&1.0));
+        assert!(perc.lambda2_intact > 0.0, "the intact SS +grid is connected");
+        let names: Vec<&str> = perc.models.iter().map(|m| m.model.as_str()).collect();
+        assert_eq!(names, vec!["leading-planes", "random-sats"], "no attack, no attack sweep");
+        for m in &perc.models {
+            assert_eq!(m.giant_curve.len(), 33);
+            assert!((m.giant_curve[0] - 1.0).abs() < 1e-12, "intact giant is everyone");
+            assert_eq!(*m.giant_curve.last().unwrap(), 0.0, "total loss leaves nothing");
+            assert!((0.0..=1.0).contains(&m.mean_giant));
+            assert!(m.chi_peak_loss > 0.0 && m.chi_peak_loss < 1.0, "χ peaks inside the sweep");
+        }
+        // The paper-facing headline: targeted plane loss collapses the
+        // giant component well before uniform random loss does, in the
+        // exemplar's ~15–25 % critical-fraction band.
+        let targeted = &perc.models[0];
+        let random = &perc.models[1];
+        let t = targeted.masking_threshold.expect("plane loss shatters the +grid");
+        let r = random.masking_threshold.expect("random loss crosses the percolation threshold");
+        assert!(t < r, "targeted collapse ({t}) must precede random collapse ({r})");
+        assert!((0.1..=0.3).contains(&t), "targeted critical fraction {t} outside the band");
+        assert!(random.threshold_vs_random.is_none(), "the baseline carries no self-gap");
+        let vs = targeted.threshold_vs_random.expect("targeted opens a gap vs random");
+        assert!(vs <= r);
+
+        let line = report.to_json_line();
+        assert!(line.contains(r#""percolation":{"steps":32"#), "{line}");
+        // Byte determinism across reruns and across thread counts.
+        assert_eq!(line, execute_scenario(&spec).unwrap().to_json_line());
+        let (one, _) = execute_scenario_timed_with(&spec, 1);
+        let (many, _) = execute_scenario_timed_with(&spec, 7);
+        assert_eq!(one.unwrap().to_json_line(), many.unwrap().to_json_line());
+    }
+
+    #[test]
+    fn attack_destroyed_set_joins_the_percolation_sweep() {
+        let mut spec = tiny_spec();
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.attack.planes_lost = 2;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        spec.network.percolation = true;
+        let report = execute_scenario(&spec).unwrap();
+        let perc =
+            report.system("ss").unwrap().network.clone().unwrap().percolation.expect("block on");
+        let names: Vec<&str> = perc.models.iter().map(|m| m.model.as_str()).collect();
+        assert_eq!(names, vec!["leading-planes", "random-sats", "attack"]);
+        // Leading with the already-destroyed planes can only accelerate
+        // the plane-spread schedule's collapse.
+        let spread = perc.models[0].masking_threshold.unwrap();
+        let attack = perc.models[2].masking_threshold.expect("the attack ordering collapses too");
+        assert!(attack <= spread, "attack-led threshold {attack} vs spread {spread}");
+    }
+
+    #[test]
+    fn masking_threshold_objective_runs_end_to_end() {
+        use crate::spec::{AttackKind, AttackUnit};
+        use ssplane_lsn::optimizer::AttackObjective;
+        let mut spec = tiny_spec();
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.attack.kind = AttackKind::Optimized;
+        spec.attack.objective = AttackObjective::MaskingThreshold;
+        spec.attack.unit = AttackUnit::Planes;
+        spec.attack.budget = 2;
+        spec.attack.restarts = 1;
+        spec.attack.swaps = 3;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        spec.network.percolation = true;
+        spec.network.percolation_steps = 16;
+        let report = execute_scenario(&spec).unwrap();
+        let ss = report.system("ss").unwrap();
+        let search = ss.attack_search.as_ref().expect("search block present");
+        assert_eq!(search.objective, "masking-threshold");
+        assert!(
+            search.objective_value <= search.baseline_value,
+            "the found attack ({}) must collapse no later than the same-budget \
+             leading-planes baseline ({})",
+            search.objective_value,
+            search.baseline_value
+        );
+        assert!(search.objective_value <= search.intact_value);
+        let perc =
+            ss.network.as_ref().unwrap().percolation.clone().expect("percolation block present");
+        assert_eq!(perc.steps, 16, "the spec's steps reach the sweep");
+        let names: Vec<&str> = perc.models.iter().map(|m| m.model.as_str()).collect();
+        assert_eq!(names, vec!["leading-planes", "random-sats", "attack"]);
+        // Byte determinism across thread counts: the search and the
+        // sweep share the strict index-ordered reductions.
+        let (one, _) = execute_scenario_timed_with(&spec, 1);
+        let (many, _) = execute_scenario_timed_with(&spec, 7);
+        assert_eq!(one.unwrap().to_json_line(), many.unwrap().to_json_line());
+    }
+
+    #[test]
     fn execute_produces_both_systems() {
         let report = execute_scenario(&tiny_spec()).unwrap();
         let ss = report.system("ss").expect("ss present");
@@ -1301,6 +1557,8 @@ mod tests {
         spec.network.enabled = true;
         spec.network.n_flows = 20;
         spec.network.slots = 2;
+        spec.network.percolation = true;
+        spec.network.percolation_steps = 8;
         let (report, timings) = execute_scenario_timed(&spec);
         report.unwrap();
         let stages: Vec<&str> = timings.stages.iter().map(|(s, _)| s.as_str()).collect();
@@ -1311,10 +1569,12 @@ mod tests {
             "ss.fluence",
             "ss.survivability",
             "ss.network",
+            "ss.percolation",
             "wd.design",
             "wd.fluence",
             "wd.survivability",
             "wd.network",
+            "wd.percolation",
         ] {
             assert!(stages.contains(&expected), "missing stage {expected}: {stages:?}");
         }

@@ -439,10 +439,11 @@ pub fn parse_objective(s: &str) -> Result<AttackObjective> {
         "connectivity" => Ok(AttackObjective::Connectivity),
         "load-inflation" | "load" => Ok(AttackObjective::LoadInflation),
         "served-demand" | "served" => Ok(AttackObjective::ServedDemand),
+        "masking-threshold" | "masking" => Ok(AttackObjective::MaskingThreshold),
         other => Err(ScenarioError::bad_value(
             "attack.objective",
             other,
-            "routed-fraction | connectivity | load-inflation | served-demand",
+            "routed-fraction | connectivity | load-inflation | served-demand | masking-threshold",
         )),
     }
 }
@@ -650,6 +651,19 @@ pub struct NetworkSpec {
     /// samples the outage timeline at mission fraction `(k + 0.5) /
     /// slots`, so the grid doubles as a mission-life sampler.
     pub with_outages: bool,
+    /// Whether to run the percolation stage: loss-fraction sweeps per
+    /// attack model over the intact per-slot topologies (union-find
+    /// replay, no re-propagation), algebraic connectivity λ₂ of the
+    /// intact network, and the masking threshold of each targeted
+    /// ordering against the random-loss baseline.
+    pub percolation: bool,
+    /// Loss-fraction steps of each percolation sweep (the curve has
+    /// `steps + 1` points from 0 % to 100 % loss).
+    pub percolation_steps: usize,
+    /// Masking-threshold gap: the giant-component shortfall (vs the
+    /// surviving fraction, and vs the random baseline) that counts as
+    /// detected damage. In (0, 1).
+    pub percolation_gap: f64,
 }
 
 impl Default for NetworkSpec {
@@ -665,6 +679,9 @@ impl Default for NetworkSpec {
             time_grid_slots: 1,
             time_grid_slot_s: 60.0,
             with_outages: false,
+            percolation: false,
+            percolation_steps: ssplane_lsn::percolation::DEFAULT_PERCOLATION_STEPS,
+            percolation_gap: ssplane_lsn::percolation::DEFAULT_MASKING_GAP,
         }
     }
 }
@@ -814,6 +831,25 @@ impl ScenarioSpec {
                      network is the intact network)",
                 ));
             }
+            if self.network.percolation {
+                if self.network.percolation_steps == 0 {
+                    return Err(ScenarioError::bad_value("network.percolation_steps", "0", ">= 1"));
+                }
+                let gap = self.network.percolation_gap;
+                if !(gap.is_finite() && gap > 0.0 && gap < 1.0) {
+                    return Err(ScenarioError::bad_value(
+                        "network.percolation_gap",
+                        &gap.to_string(),
+                        "a fraction in (0, 1)",
+                    ));
+                }
+            }
+        } else if self.network.percolation {
+            return Err(ScenarioError::bad_value(
+                "network.percolation",
+                "true",
+                "network.enabled = true (the sweep replays the network stage's topologies)",
+            ));
         }
         Ok(())
     }
@@ -956,6 +992,28 @@ mod tests {
     }
 
     #[test]
+    fn percolation_needs_the_network_stage_and_sane_knobs() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.network.percolation = true;
+        assert!(spec.validate().is_err(), "percolation rides the network stage");
+        spec.network.enabled = true;
+        spec.validate().unwrap();
+        spec.network.percolation_steps = 0;
+        assert!(spec.validate().is_err(), "a sweep needs at least one step");
+        spec.network.percolation_steps = 8;
+        for bad in [0.0, 1.0, -0.25, f64::NAN] {
+            spec.network.percolation_gap = bad;
+            assert!(spec.validate().is_err(), "gap {bad} must be in (0, 1)");
+        }
+        spec.network.percolation_gap = 0.1;
+        spec.validate().unwrap();
+        // A disabled percolation stage does not police its knobs.
+        spec.network.percolation = false;
+        spec.network.percolation_steps = 0;
+        spec.validate().unwrap();
+    }
+
+    #[test]
     fn optimized_attack_tokens_and_search_config() {
         use ssplane_lsn::optimizer::{AttackBudget, AttackObjective};
         for (token, objective) in [
@@ -963,6 +1021,7 @@ mod tests {
             ("connectivity", AttackObjective::Connectivity),
             ("load-inflation", AttackObjective::LoadInflation),
             ("served-demand", AttackObjective::ServedDemand),
+            ("masking-threshold", AttackObjective::MaskingThreshold),
         ] {
             assert_eq!(parse_objective(token).unwrap(), objective);
             assert_eq!(objective.as_str(), token, "token round trip");

@@ -390,6 +390,9 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         "network.slot_s" => spec.network.slot_s = need_f64(key, value)?,
         "network.time_grid_slots" => spec.network.time_grid_slots = need_usize(key, value)?,
         "network.time_grid_slot_s" => spec.network.time_grid_slot_s = need_f64(key, value)?,
+        "network.percolation" => spec.network.percolation = need_bool(key, value)?,
+        "network.percolation_steps" => spec.network.percolation_steps = need_usize(key, value)?,
+        "network.percolation_gap" => spec.network.percolation_gap = need_f64(key, value)?,
 
         "traffic.model" => spec.traffic.model = TrafficModel::parse(need_str(key, value)?)?,
         "traffic.pairs" => spec.traffic.pairs = need_usize(key, value)?,
@@ -620,6 +623,14 @@ mod tests {
         apply_param(&mut spec, "network.with_outages", &TomlValue::Bool(true)).unwrap();
         assert!(spec.network.with_outages);
         assert!(apply_param(&mut spec, "network.with_outages", &TomlValue::Int(1)).is_err());
+
+        apply_param(&mut spec, "network.percolation", &TomlValue::Bool(true)).unwrap();
+        apply_param(&mut spec, "network.percolation_steps", &TomlValue::Int(16)).unwrap();
+        apply_param(&mut spec, "network.percolation_gap", &TomlValue::Float(0.2)).unwrap();
+        assert!(spec.network.percolation);
+        assert_eq!(spec.network.percolation_steps, 16);
+        assert_eq!(spec.network.percolation_gap, 0.2);
+        assert!(apply_param(&mut spec, "network.percolation", &TomlValue::Int(1)).is_err());
     }
 
     #[test]
