@@ -1,8 +1,11 @@
 //! Attack-search benches: candidate-evaluation throughput of the
 //! `DegradedEvaluator` (the per-candidate mask → filtered topology →
-//! traffic-assignment pipeline every search step pays) at 1k- and
-//! 10k-satellite scale, plus one end-to-end `optimize_attack` run on the
-//! 1k constellation.
+//! traffic-assignment pipeline every search step pays) against the
+//! incremental `IncrementalScorer` delta path (shortest-path-tree
+//! repair and affected-flow filtering) at 1k- and 10k-satellite scale,
+//! plus one end-to-end `optimize_attack` run on the 1k constellation.
+//! The incremental batch is pinned byte-identical to the full path
+//! before it is timed.
 //!
 //! The headline numbers land in `BENCH_attack_opt.json` at the
 //! repository root; re-capture with
@@ -128,6 +131,30 @@ fn bench_scale(criterion: &mut Criterion, label: &str, planes: usize, per_plane:
                         .unwrap()
                         .len(),
                 )
+            })
+        },
+    );
+
+    // Incremental scorer on the same batch: per-source trees repaired
+    // from the cached intact state instead of rebuilt per candidate.
+    // Pinned byte-identical to the full path before timing; the cache is
+    // cleared inside the loop so every iteration pays the honest
+    // delta-from-intact cost, never a seen-cache hit.
+    let scorer = evaluator.incremental_scorer(AttackObjective::RoutedFraction);
+    let full = evaluator.score_batch(&candidates, AttackObjective::RoutedFraction, 0).unwrap();
+    let fast = scorer.score_batch(&candidates, 0).unwrap();
+    assert_eq!(
+        full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "incremental scorer diverged from full evaluation at {label}"
+    );
+    group.bench_with_input(
+        criterion::BenchmarkId::new("score_batch_incremental", format!("{BATCH}x1plane")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                scorer.clear_cache();
+                black_box(scorer.score_batch(&candidates, 0).unwrap().len())
             })
         },
     );

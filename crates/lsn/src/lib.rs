@@ -40,9 +40,12 @@
 //!   where redundancy stops hiding targeted-attack damage.
 //! * [`optimizer`] — adversarial attack search: a [`DegradedEvaluator`]
 //!   scoring candidate destroyed sets over a prebuilt [`SnapshotSeries`]
-//!   (intact topologies filtered per candidate, never rebuilt), and a
-//!   seeded greedy + random-restart swap search for the worst k-plane /
-//!   k-satellite attack against a degraded-network objective.
+//!   (intact topologies filtered per candidate, never rebuilt), an
+//!   incremental delta scorer (shortest-path-tree repair, cached
+//!   candidate states, affected-flow filtering — byte-identical to the
+//!   full path at a fraction of the cost), and a seeded greedy +
+//!   random-restart swap search for the worst k-plane / k-satellite
+//!   attack against a degraded-network objective.
 //! * [`spares`] — spare provisioning policies (per-plane hot spares vs a
 //!   shared on-demand pool), the paper's "2–10 spares per plane" practice.
 //! * [`survivability`] — a discrete-event simulation tying it together:
@@ -75,7 +78,7 @@ pub mod traffic_engine;
 
 pub use disruption::{AttackModel, AttackTarget, FailureProcess, OutageTimeline};
 pub use error::{LsnError, Result};
-pub use optimizer::{AttackObjective, AttackSearchConfig, DegradedEvaluator};
+pub use optimizer::{AttackObjective, AttackSearchConfig, DegradedEvaluator, IncrementalScorer};
 pub use percolation::{ClusterTracker, Lambda2Config, PercolationCurve};
 pub use snapshot::{Snapshot, SnapshotSeries};
 pub use topology::{Constellation, SatId, Topology};

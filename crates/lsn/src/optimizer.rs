@@ -20,6 +20,12 @@
 //!   surviving component fraction), (negated) link-load inflation, or —
 //!   with a population-scale [`TrafficWorkload`] attached — the
 //!   capacity-constrained served-demand fraction;
+//! * an [`IncrementalScorer`] ([`incremental`] has the details) — the
+//!   delta-evaluation layer the search scores through: per-source
+//!   shortest-path trees repaired instead of rebuilt, cached candidate
+//!   states keyed by canonical victim set, and only damage-affected
+//!   flows re-routed, all pinned byte-identical to the full
+//!   [`DegradedEvaluator::score_attack`] path;
 //! * [`optimize_attack`] — a seeded, deterministic search over k-plane or
 //!   k-satellite candidate sets: greedy construction (each step scores
 //!   its whole frontier in parallel across threads) followed by
@@ -31,6 +37,10 @@
 //! the outcome is byte-identical across runs **and thread counts** —
 //! parallel scoring writes into per-candidate slots and every selection
 //! reduces over candidate index order with strict `<`.
+
+pub mod incremental;
+
+pub use incremental::IncrementalScorer;
 
 use crate::error::Result;
 use crate::snapshot::SnapshotSeries;
@@ -167,7 +177,19 @@ pub struct DegradedEvaluator<'a> {
     percolation_steps: usize,
     /// Giant-component gap that declares the masking regime broken.
     percolation_gap: f64,
+    /// Damage-threshold fallback of the incremental scorer: a tree
+    /// repair whose affected region exceeds this fraction of the
+    /// constellation recomputes from scratch instead (the repair would
+    /// cost more than it saves).
+    repair_threshold: f64,
 }
+
+/// Default [`DegradedEvaluator::with_repair_threshold`] fraction: always
+/// repair. Since repairs are cut short at the re-routed destinations, a
+/// repair never costs more than the from-scratch rebuild it replaces, so
+/// the fallback only pays off below this when callers want to bound the
+/// damage-region walk itself.
+pub const DEFAULT_REPAIR_THRESHOLD: f64 = 1.0;
 
 impl<'a> DegradedEvaluator<'a> {
     /// Builds the evaluator: one intact +grid topology and one intact
@@ -250,6 +272,7 @@ impl<'a> DegradedEvaluator<'a> {
             spread_order,
             percolation_steps: crate::percolation::DEFAULT_PERCOLATION_STEPS,
             percolation_gap: crate::percolation::DEFAULT_MASKING_GAP,
+            repair_threshold: DEFAULT_REPAIR_THRESHOLD,
         })
     }
 
@@ -266,6 +289,33 @@ impl<'a> DegradedEvaluator<'a> {
         self.percolation_steps = steps;
         self.percolation_gap = gap;
         self
+    }
+
+    /// Overrides the incremental scorer's damage-threshold fraction
+    /// (default [`DEFAULT_REPAIR_THRESHOLD`]): tree repairs whose
+    /// affected region exceeds `fraction` of the constellation fall back
+    /// to a from-scratch masked Dijkstra. Purely a performance knob —
+    /// both branches produce bit-identical trees.
+    ///
+    /// # Panics
+    /// If `fraction` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_repair_threshold(mut self, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "the damage threshold is a fraction in (0, 1]");
+        self.repair_threshold = fraction;
+        self
+    }
+
+    /// The incremental scorer's damage-threshold fraction.
+    pub fn repair_threshold(&self) -> f64 {
+        self.repair_threshold
+    }
+
+    /// Builds an [`IncrementalScorer`] over this evaluator for
+    /// `objective` — the delta-evaluation layer [`optimize_attack`]
+    /// scores through (see [`incremental`]).
+    pub fn incremental_scorer(&self, objective: AttackObjective) -> IncrementalScorer<'_, 'a> {
+        IncrementalScorer::new(self, objective)
     }
 
     /// Slots of the underlying series.
@@ -559,9 +609,13 @@ pub struct AttackSearchOutcome {
     pub objective_value: f64,
     /// The intact network's value of the same objective.
     pub intact_value: f64,
-    /// Candidate evaluations performed (the work the bench normalizes
-    /// by).
+    /// Candidate evaluations requested by the search loop (the work the
+    /// bench normalizes by); seen-cache hits included.
     pub candidates_evaluated: usize,
+    /// Distinct candidate victim sets actually evaluated —
+    /// `candidates_evaluated − candidates_unique` is what the
+    /// canonical-victim-set dedup saved.
+    pub candidates_unique: usize,
 }
 
 /// One candidate as sorted unit indices (plane indices for a plane
@@ -604,22 +658,23 @@ impl UnitSpace {
 
 /// Local swap refinement: propose `swaps` member/non-member exchanges
 /// (both drawn through the shared seeded [`Rng::gen_index`]), keeping
-/// each only on strict improvement. Returns the refined units, value,
-/// and evaluations spent.
+/// each only on strict improvement. Returns the refined units and value.
+/// Swap neighbours share k−1 victims, so scoring through the
+/// [`IncrementalScorer`] makes each trial a one-unit delta off a cached
+/// state (and repeats — revisited swaps — free via its seen-cache).
 fn refine(
-    evaluator: &DegradedEvaluator<'_>,
+    scorer: &IncrementalScorer<'_, '_>,
     space: &UnitSpace,
     start: Units,
     start_value: f64,
     config: &AttackSearchConfig,
     seed: u64,
-) -> Result<(Units, f64, usize)> {
+) -> Result<(Units, f64)> {
     let n_units = space.n_units();
     let mut current = start;
     let mut value = start_value;
-    let mut evaluated = 0usize;
     if current.is_empty() || current.len() >= n_units {
-        return Ok((current, value, evaluated));
+        return Ok((current, value));
     }
     let mut member = vec![false; n_units];
     for &u in &current {
@@ -636,8 +691,7 @@ fn refine(
             .expect("pick is within the non-member count");
         let outgoing = current[out_pos];
         current[out_pos] = incoming;
-        let trial = evaluator.score_attack(&space.expand(&current), config.objective)?;
-        evaluated += 1;
+        let trial = scorer.score(&space.expand(&current))?;
         if trial < value {
             value = trial;
             member[outgoing] = false;
@@ -646,7 +700,7 @@ fn refine(
             current[out_pos] = outgoing;
         }
     }
-    Ok((current, value, evaluated))
+    Ok((current, value))
 }
 
 /// Runs the adversarial attack search over `evaluator`'s network.
@@ -679,9 +733,14 @@ pub fn optimize_attack(
             objective_value: intact_value,
             intact_value,
             candidates_evaluated: 0,
+            candidates_unique: 0,
         });
     }
-    let mut evaluated = 0usize;
+    // Every candidate scores through the incremental delta layer —
+    // byte-identical to `score_attack`, but each greedy-frontier or swap
+    // neighbour costs only its one-unit delta off a cached state, and
+    // repeated victim sets dedup through the seen-cache.
+    let scorer = evaluator.incremental_scorer(config.objective);
 
     // Greedy construction: grow the destroyed set one unit at a time,
     // scoring the whole frontier of each step in one parallel batch
@@ -716,8 +775,7 @@ pub fn optimize_attack(
                 space.expand(&units)
             })
             .collect();
-        let scores = evaluator.score_batch(&candidates, config.objective, config.threads)?;
-        evaluated += scores.len();
+        let scores = scorer.score_batch(&candidates, config.threads)?;
         let mut best = 0usize;
         for (i, &s) in scores.iter().enumerate() {
             if s < scores[best] {
@@ -727,6 +785,11 @@ pub fn optimize_attack(
         greedy.push(frontier[best]);
         member[frontier[best]] = true;
         greedy_value = scores[best];
+        if greedy.len() < k {
+            // Pin the grown prefix so the next frontier batch deltas off
+            // it instead of whatever the LRU happens to retain.
+            scorer.ensure_resident(&space.expand(&greedy));
+        }
     }
 
     // The start pool: greedy, the implicit strided-plane baseline, the
@@ -783,8 +846,7 @@ pub fn optimize_attack(
     // across starts, each on its own deterministic stream.
     let expanded: Vec<Vec<SatId>> =
         starts.iter().skip(1).map(|units| space.expand(units)).collect();
-    let start_values = evaluator.score_batch(&expanded, config.objective, config.threads)?;
-    evaluated += start_values.len();
+    let start_values = scorer.score_batch(&expanded, config.threads)?;
     let n_starts = starts.len();
     let jobs: Vec<(Units, f64, u64)> = starts
         .into_iter()
@@ -796,10 +858,10 @@ pub fn optimize_attack(
         .collect();
     let auto = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
     let workers = if config.threads == 0 { auto } else { config.threads }.clamp(1, n_starts);
-    type RefineSlot = Mutex<Option<Result<(Units, f64, usize)>>>;
-    let refined: Vec<(Units, f64, usize)> = if workers <= 1 {
+    type RefineSlot = Mutex<Option<Result<(Units, f64)>>>;
+    let refined: Vec<(Units, f64)> = if workers <= 1 {
         jobs.iter()
-            .map(|(units, value, s)| refine(evaluator, &space, units.clone(), *value, config, *s))
+            .map(|(units, value, s)| refine(&scorer, &space, units.clone(), *value, config, *s))
             .collect::<Result<_>>()?
     } else {
         let next = AtomicUsize::new(0);
@@ -812,7 +874,7 @@ pub fn optimize_attack(
                         break;
                     }
                     let (units, value, s) = &jobs[i];
-                    let outcome = refine(evaluator, &space, units.clone(), *value, config, *s);
+                    let outcome = refine(&scorer, &space, units.clone(), *value, config, *s);
                     *slots[i].lock().expect("refine slot poisoned") = Some(outcome);
                 });
             }
@@ -828,8 +890,7 @@ pub fn optimize_attack(
     // The final pick: strict < over start order, so ties resolve to the
     // earliest start (greedy, then baseline, then seeds, then restarts).
     let mut best: Option<(usize, f64)> = None;
-    for (i, (_, value, spent)) in refined.iter().enumerate() {
-        evaluated += spent;
+    for (i, (_, value)) in refined.iter().enumerate() {
         if best.is_none_or(|(_, bv)| *value < bv) {
             best = Some((i, *value));
         }
@@ -839,7 +900,8 @@ pub fn optimize_attack(
         destroyed: space.expand(&refined[best_idx].0),
         objective_value: best_value,
         intact_value,
-        candidates_evaluated: evaluated,
+        candidates_evaluated: scorer.candidates_scored(),
+        candidates_unique: scorer.candidates_unique(),
     })
 }
 
@@ -854,7 +916,7 @@ mod tests {
     use ssplane_astro::sunsync::sun_synchronous_orbit;
     use ssplane_astro::time::Epoch;
 
-    fn constellation(planes: usize, slots: usize) -> Constellation {
+    pub(super) fn constellation(planes: usize, slots: usize) -> Constellation {
         let epoch = Epoch::J2000;
         let orbit = sun_synchronous_orbit(560.0).unwrap();
         let element_planes: Vec<Vec<OrbitalElements>> = (0..planes)
@@ -863,7 +925,7 @@ mod tests {
         Constellation::new(epoch, element_planes).unwrap()
     }
 
-    fn city_flows() -> Vec<Flow> {
+    pub(super) fn city_flows() -> Vec<Flow> {
         let cities = [
             (40.7, -74.0),
             (51.5, -0.1),
@@ -887,7 +949,7 @@ mod tests {
         out
     }
 
-    fn evaluator_fixture(
+    pub(super) fn evaluator_fixture(
         c: &Constellation,
         flows: &[Flow],
         slots: usize,
@@ -1136,7 +1198,7 @@ mod tests {
     }
 
     /// A small gravity workload for the served-demand objective tests.
-    fn capacity_workload() -> TrafficWorkload {
+    pub(super) fn capacity_workload() -> TrafficWorkload {
         use ssplane_demand::diurnal::DiurnalModel;
         use ssplane_demand::gravity::{gravity_flows, GravityConfig};
         use ssplane_demand::population::{PopulationConfig, PopulationGrid};

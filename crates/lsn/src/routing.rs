@@ -19,6 +19,7 @@ use ssplane_astro::geo::GeoPoint;
 use ssplane_astro::time::Epoch;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// Speed of light \[km/s\].
 pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;
@@ -45,8 +46,21 @@ impl Eq for HeapItem {}
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance.
-        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        // Min-heap on distance, ties broken on node index. The tie-break
+        // makes the pop order — and therefore every label and predecessor
+        // choice — a *pure function of the graph*, independent of heap
+        // insertion order: since link weights are strictly positive, every
+        // node at a given finalized distance is already in the heap before
+        // the first node at that distance pops, so finalization is exactly
+        // the global sort by `(dist, node)`. That canonicality is what
+        // lets the incremental tree repair ([`ShortestPathTree::repaired`],
+        // seeded from a damaged tree's frontier) reproduce a fresh masked
+        // run's labels bit for bit.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(other.node.cmp(&self.node))
     }
 }
 
@@ -57,11 +71,22 @@ impl PartialOrd for HeapItem {
 }
 
 /// Runs Dijkstra from `src`, optionally stopping once `stop_at` is
-/// finalized. Because link weights are strictly positive and relaxations
-/// use strict `<`, the distance and predecessor entries of every node on
-/// a finalized node's shortest path are themselves final — so an
-/// early-exit run and a full run reconstruct identical paths.
-fn dijkstra(topology: &Topology, src: usize, stop_at: Option<usize>) -> (Vec<f64>, Vec<usize>) {
+/// finalized, optionally restricting traversal to nodes flagged in
+/// `alive` (a `None` mask is the full graph; `src` must be alive).
+/// Because link weights are strictly positive and relaxations use strict
+/// `<`, the distance and predecessor entries of every node on a
+/// finalized node's shortest path are themselves final — so an
+/// early-exit run and a full run reconstruct identical paths. With the
+/// alive filter, the run is relaxation-for-relaxation identical to the
+/// unfiltered run on [`Topology::masked`] of the same mask: a node's
+/// masked neighbor list is the exact alive subsequence of its intact
+/// one.
+fn dijkstra(
+    topology: &Topology,
+    src: usize,
+    stop_at: Option<usize>,
+    alive: Option<&[bool]>,
+) -> (Vec<f64>, Vec<usize>) {
     let n = topology.n_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![usize::MAX; n];
@@ -76,6 +101,11 @@ fn dijkstra(topology: &Topology, src: usize, stop_at: Option<usize>) -> (Vec<f64
             continue;
         }
         for &(v, w) in topology.neighbors(node) {
+            if let Some(mask) = alive {
+                if !mask[v] {
+                    continue;
+                }
+            }
             let nd = d + w;
             if nd < dist[v] {
                 dist[v] = nd;
@@ -111,7 +141,7 @@ pub fn shortest_path(topology: &Topology, from: SatId, to: SatId) -> Result<(Vec
         .ok_or(LsnError::UnknownNode { plane: from.plane, slot: from.slot })?;
     let dst =
         topology.index_of(to).ok_or(LsnError::UnknownNode { plane: to.plane, slot: to.slot })?;
-    let (dist, prev) = dijkstra(topology, src, Some(dst));
+    let (dist, prev) = dijkstra(topology, src, Some(dst), None);
     if dist[dst].is_infinite() {
         return Err(LsnError::NoRoute);
     }
@@ -129,6 +159,43 @@ pub struct ShortestPathTree {
     src: usize,
     dist: Vec<f64>,
     prev: Vec<usize>,
+    /// Children lists of the predecessor forest, built lazily on the
+    /// first repair: a pure function of `prev`, so one build serves every
+    /// repair of this tree (the incremental evaluator repairs each cached
+    /// tree once per candidate).
+    kids: OnceLock<ChildrenCsr>,
+}
+
+/// CSR-packed children lists of a predecessor forest: the children of
+/// node `u` are `children[counts[u]..counts[u + 1]]`.
+#[derive(Debug, Clone)]
+struct ChildrenCsr {
+    counts: Vec<usize>,
+    children: Vec<usize>,
+}
+
+impl ChildrenCsr {
+    fn build(prev: &[usize]) -> Self {
+        let n = prev.len();
+        let mut counts = vec![0usize; n + 1];
+        for &p in prev {
+            if p != usize::MAX {
+                counts[p + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut fill = counts.clone();
+        let mut children = vec![0usize; counts[n]];
+        for (v, &p) in prev.iter().enumerate() {
+            if p != usize::MAX {
+                children[fill[p]] = v;
+                fill[p] += 1;
+            }
+        }
+        ChildrenCsr { counts, children }
+    }
 }
 
 impl ShortestPathTree {
@@ -140,8 +207,21 @@ impl ShortestPathTree {
         let src = topology
             .index_of(from)
             .ok_or(LsnError::UnknownNode { plane: from.plane, slot: from.slot })?;
-        let (dist, prev) = dijkstra(topology, src, None);
-        Ok(ShortestPathTree { src, dist, prev })
+        let (dist, prev) = dijkstra(topology, src, None, None);
+        Ok(ShortestPathTree { src, dist, prev, kids: OnceLock::new() })
+    }
+
+    /// The tree rooted at flat node `src`, optionally restricted to the
+    /// `alive` nodes — identical to [`Self::from_source`] on
+    /// [`Topology::masked`] of the same mask (see [`dijkstra`]). The
+    /// incremental evaluator's full-recompute path.
+    ///
+    /// # Panics
+    /// If `src` is out of range (callers pass validated flat indices).
+    pub(crate) fn from_flat(topology: &Topology, src: usize, alive: Option<&[bool]>) -> Self {
+        assert!(src < topology.n_nodes(), "flat source out of range");
+        let (dist, prev) = dijkstra(topology, src, None, alive);
+        ShortestPathTree { src, dist, prev, kids: OnceLock::new() }
     }
 
     /// The hop list and length to `to`.
@@ -158,6 +238,200 @@ impl ShortestPathTree {
         }
         Ok((reconstruct(topology, &self.prev, self.src, dst), self.dist[dst]))
     }
+
+    /// The flat hop list and length to flat node `dst`, `None` if
+    /// unreachable.
+    pub(crate) fn flat_path_to(&self, dst: usize) -> Option<(Vec<usize>, f64)> {
+        if self.dist[dst].is_infinite() {
+            return None;
+        }
+        let mut hops = vec![dst];
+        let mut cur = dst;
+        while cur != self.src {
+            cur = self.prev[cur];
+            hops.push(cur);
+        }
+        hops.reverse();
+        Some((hops, self.dist[dst]))
+    }
+
+    /// Repairs a tree whose labels are valid for some mask `M` into the
+    /// labels of the stricter mask `alive ⊆ M`, where `dead_new` lists
+    /// exactly the nodes alive in `M` but dead under `alive`. Returns
+    /// `None` — recompute from scratch — when the damaged region exceeds
+    /// `max_affected` nodes (or the root itself died).
+    ///
+    /// The repair is exact, not approximate: with the canonical
+    /// `(dist, node)` heap order, Dijkstra's output is a pure function of
+    /// the graph, so re-running it only over the *invalidated* region
+    /// reproduces the full masked run bit for bit. The invalidated region
+    /// is the dead nodes plus their tree descendants; every still-valid
+    /// label outside it is final (its shortest path avoids the region),
+    /// and any path re-entering the region must cross an alive edge from
+    /// an unaffected node — so seeding the heap with those frontier nodes
+    /// at their known distances explores exactly what a fresh run would.
+    #[cfg_attr(not(test), allow(dead_code))] // the tests' exactness reference for `repaired_paths`
+    pub(crate) fn repaired(
+        &self,
+        topology: &Topology,
+        alive: &[bool],
+        dead_new: &[usize],
+        max_affected: usize,
+    ) -> Option<ShortestPathTree> {
+        let (mut dist, mut prev, _, mut heap) =
+            self.cut_region(topology, alive, dead_new, max_affected)?;
+        while let Some(HeapItem { dist: d, node }) = heap.pop() {
+            if d > dist[node] {
+                continue;
+            }
+            for &(v, w) in topology.neighbors(node) {
+                if !alive[v] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = node;
+                    heap.push(HeapItem { dist: nd, node: v });
+                }
+            }
+        }
+        Some(ShortestPathTree { src: self.src, dist, prev, kids: OnceLock::new() })
+    }
+
+    /// The repaired paths to `targets` only: [`Self::repaired`] with the
+    /// region Dijkstra cut short once every affected target is settled.
+    /// Exact by the same canonical-order argument — the truncated run
+    /// pops a prefix of the full run's pop sequence, and when a node pops
+    /// its label and whole predecessor chain are final — so each returned
+    /// path is bit-identical to `flat_path_to` on the fully repaired
+    /// tree. Unaffected targets read straight from the preserved labels.
+    /// `None` means the damage exceeded `max_affected`: recompute from
+    /// scratch.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn repaired_paths(
+        &self,
+        topology: &Topology,
+        alive: &[bool],
+        dead_new: &[usize],
+        max_affected: usize,
+        targets: &[usize],
+    ) -> Option<Vec<Option<(Vec<usize>, f64)>>> {
+        let (mut dist, mut prev, affected, mut heap) =
+            self.cut_region(topology, alive, dead_new, max_affected)?;
+        let mut pending = targets.iter().filter(|&&t| affected[t]).count();
+        while pending > 0 {
+            let Some(HeapItem { dist: d, node }) = heap.pop() else {
+                // Heap exhausted: the remaining affected targets are
+                // unreachable under the mask (their labels stay ∞).
+                break;
+            };
+            if d > dist[node] {
+                continue;
+            }
+            if affected[node] && targets.contains(&node) {
+                pending -= 1;
+            }
+            for &(v, w) in topology.neighbors(node) {
+                if !alive[v] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = node;
+                    heap.push(HeapItem { dist: nd, node: v });
+                }
+            }
+        }
+        let paths = targets
+            .iter()
+            .map(|&t| {
+                if dist[t].is_infinite() {
+                    return None;
+                }
+                let mut hops = vec![t];
+                let mut cur = t;
+                while cur != self.src {
+                    cur = prev[cur];
+                    hops.push(cur);
+                }
+                hops.reverse();
+                Some((hops, dist[t]))
+            })
+            .collect();
+        Some(paths)
+    }
+
+    /// The shared damage-region setup of [`Self::repaired`] and
+    /// [`Self::repaired_paths`]: invalidated labels (dead nodes plus
+    /// their tree descendants reset to ∞) and the heap seeded with every
+    /// unaffected alive node holding an alive edge into the region, at
+    /// its known-final label. `None` when the root died or the region
+    /// exceeds `max_affected`.
+    #[allow(clippy::type_complexity)]
+    fn cut_region(
+        &self,
+        topology: &Topology,
+        alive: &[bool],
+        dead_new: &[usize],
+        max_affected: usize,
+    ) -> Option<(Vec<f64>, Vec<usize>, Vec<bool>, BinaryHeap<HeapItem>)> {
+        if !alive[self.src] {
+            return None;
+        }
+        let n = self.dist.len();
+        let ChildrenCsr { counts, children } =
+            self.kids.get_or_init(|| ChildrenCsr::build(&self.prev));
+        // Affected = newly dead nodes and their whole subtrees.
+        let mut affected = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut n_affected = 0usize;
+        for &d in dead_new {
+            if !affected[d] {
+                affected[d] = true;
+                n_affected += 1;
+                stack.push(d);
+            }
+        }
+        if n_affected > max_affected {
+            return None;
+        }
+        while let Some(u) = stack.pop() {
+            for &c in &children[counts[u]..counts[u + 1]] {
+                if !affected[c] {
+                    affected[c] = true;
+                    n_affected += 1;
+                    stack.push(c);
+                }
+            }
+            if n_affected > max_affected {
+                return None;
+            }
+        }
+        let mut dist = self.dist.clone();
+        let mut prev = self.prev.clone();
+        for (v, flag) in affected.iter().enumerate() {
+            if *flag {
+                dist[v] = f64::INFINITY;
+                prev[v] = usize::MAX;
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        let mut seeded = vec![false; n];
+        for (a, flag) in affected.iter().enumerate() {
+            if !*flag {
+                continue;
+            }
+            for &(u, _) in topology.neighbors(a) {
+                if alive[u] && !affected[u] && !seeded[u] && dist[u].is_finite() {
+                    seeded[u] = true;
+                    heap.push(HeapItem { dist: dist[u], node: u });
+                }
+            }
+        }
+        Some((dist, prev, affected, heap))
+    }
 }
 
 /// The satellite best serving a ground point at the snapshot's epoch: the
@@ -168,12 +442,28 @@ pub fn serving_satellite(
     ground: GeoPoint,
     min_elevation: f64,
 ) -> Option<(SatId, f64)> {
+    serving_scan(snapshot, ground, min_elevation, None)
+}
+
+/// The full-scan attachment search, with an optional *extra* alive mask
+/// layered on top of the snapshot's own: a satellite serves only if both
+/// agree it is alive. With `extra = None` this is [`serving_satellite`];
+/// with a mask it answers exactly what the scan over
+/// `snapshot.with_alive(extra)` would (positions and elevations never
+/// consult aliveness, and dropping non-winners never changes a strict
+/// first-wins maximum).
+fn serving_scan(
+    snapshot: &Snapshot<'_>,
+    ground: GeoPoint,
+    min_elevation: f64,
+    extra: Option<&[bool]>,
+) -> Option<(SatId, f64)> {
     let t = snapshot.epoch();
     let g_ecef = ground.to_unit_vector() * EARTH_RADIUS_KM;
     let g_eci = ecef_to_eci(t, g_ecef);
     let mut best: Option<(SatId, f64)> = None;
     for (flat, id) in snapshot.ids().enumerate() {
-        if !snapshot.is_alive_flat(flat) {
+        if !snapshot.is_alive_flat(flat) || extra.is_some_and(|m| !m[flat]) {
             continue;
         }
         let r = snapshot.position_flat(flat);
@@ -242,8 +532,23 @@ impl<'a> ServingIndex<'a> {
     /// The serving satellite for `ground` — identical to
     /// [`serving_satellite`] on this snapshot.
     pub fn query(&self, ground: GeoPoint) -> Option<(SatId, f64)> {
+        self.query_with(ground, None)
+    }
+
+    /// The serving satellite for `ground` under an additional alive mask
+    /// (flat order): exactly what a fresh index over
+    /// `snapshot.with_alive(alive)` would answer. Declinations and the
+    /// band half-width never consult aliveness (they are computed over
+    /// *all* satellites at build time), and removing non-winning
+    /// candidates from a strict first-wins maximum cannot change it, so
+    /// the cached geometry transfers to any mask.
+    pub fn query_masked(&self, ground: GeoPoint, alive: &[bool]) -> Option<(SatId, f64)> {
+        self.query_with(ground, Some(alive))
+    }
+
+    fn query_with(&self, ground: GeoPoint, extra: Option<&[bool]>) -> Option<(SatId, f64)> {
         if self.declinations.is_empty() {
-            return serving_satellite(&self.snapshot, ground, self.min_elevation);
+            return serving_scan(&self.snapshot, ground, self.min_elevation, extra);
         }
         let t = self.snapshot.epoch();
         let g_eci = ecef_to_eci(t, ground.to_unit_vector() * EARTH_RADIUS_KM);
@@ -254,6 +559,7 @@ impl<'a> ServingIndex<'a> {
             // satellites cannot clear the elevation mask. Dead satellites
             // cannot serve at all.
             if !self.snapshot.is_alive_flat(flat)
+                || extra.is_some_and(|m| !m[flat])
                 || (self.declinations[flat] - g_dec).abs() > self.band_rad
             {
                 continue;
@@ -473,6 +779,98 @@ mod tests {
             tree.path_to(&topo, SatId { plane: 9, slot: 0 }),
             Err(LsnError::UnknownNode { .. })
         ));
+    }
+
+    #[test]
+    fn repaired_tree_matches_from_scratch_masked() {
+        // Tree surgery must be bit-identical to a fresh masked run, for
+        // every damage shape from zero loss to half the shell — and the
+        // alive-filtered intact run must in turn match Dijkstra over the
+        // materialized masked topology.
+        let c = constellation(5, 12);
+        let series = single(&c, Epoch::J2000 + 250.0);
+        let topo = Topology::plus_grid(&series.snapshot(0), Default::default()).unwrap();
+        let n = topo.n_nodes();
+        let damage_shapes: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![7],
+            vec![3, 17, 18, 44, 59],
+            (24..36).collect(),
+            (0..n).step_by(2).collect(),
+        ];
+        for dead in &damage_shapes {
+            let mut alive = vec![true; n];
+            for &d in dead {
+                alive[d] = false;
+            }
+            let masked = topo.masked(&alive);
+            for src in [0usize, 5, 23, 41] {
+                if !alive[src] {
+                    continue;
+                }
+                let intact = ShortestPathTree::from_flat(&topo, src, None);
+                let scratch = ShortestPathTree::from_flat(&topo, src, Some(&alive));
+                let repaired =
+                    intact.repaired(&topo, &alive, dead, n).expect("budget n covers any damage");
+                let rebuilt = ShortestPathTree::from_flat(&masked, src, None);
+                for v in 0..n {
+                    let bits = scratch.dist[v].to_bits();
+                    assert_eq!(repaired.dist[v].to_bits(), bits, "dist src {src} node {v}");
+                    assert_eq!(rebuilt.dist[v].to_bits(), bits, "masked dist src {src} node {v}");
+                    assert_eq!(repaired.prev[v], scratch.prev[v], "prev src {src} node {v}");
+                    assert_eq!(rebuilt.prev[v], scratch.prev[v], "masked prev src {src} node {v}");
+                }
+            }
+        }
+        // A dead root or an over-budget damage region refuses to repair.
+        let mut alive = vec![true; n];
+        alive[0] = false;
+        let tree = ShortestPathTree::from_flat(&topo, 0, None);
+        assert!(tree.repaired(&topo, &alive, &[0], n).is_none());
+        let tree5 = ShortestPathTree::from_flat(&topo, 5, None);
+        assert!(tree5.repaired(&topo, &alive, &[0], 0).is_none(), "budget 0 must fall back");
+        // Wipeout: everyone but the root dead still repairs (given budget)
+        // to an all-unreachable tree.
+        let lone: Vec<usize> = (1..n).collect();
+        let mut only_root = vec![false; n];
+        only_root[0] = true;
+        let wiped = tree.repaired(&topo, &only_root, &lone, n).unwrap();
+        assert!(wiped.dist[1..].iter().all(|d| d.is_infinite()));
+        assert_eq!(wiped.dist[0], 0.0);
+    }
+
+    #[test]
+    fn query_masked_matches_rebuilt_index() {
+        let c = constellation(6, 15);
+        let series = single(&c, Epoch::J2000 + 700.0);
+        let snap = series.snapshot(0);
+        let n = snap.total_sats();
+        let mut mask = vec![true; n];
+        mask[15..30].fill(false);
+        for flat in (0..n).step_by(7) {
+            mask[flat] = false;
+        }
+        let grounds: Vec<GeoPoint> = [(-60.0, 30.0), (-10.0, -120.0), (12.0, 88.0), (71.0, 5.0)]
+            .iter()
+            .map(|&(la, lo)| GeoPoint::from_degrees(la, lo))
+            .collect();
+        // Both the pruned path and the degenerate full-scan fallback
+        // (min_elevation 0 disables the declination band) must answer
+        // exactly what a fresh index over the masked snapshot answers.
+        for &min_elev in &[0.0, 15f64.to_radians(), 40f64.to_radians()] {
+            let index = ServingIndex::new(snap, min_elev);
+            let rebuilt = ServingIndex::new(snap.with_alive(&mask), min_elev);
+            for &g in &grounds {
+                assert_eq!(index.query_masked(g, &mask), rebuilt.query(g), "min_elev {min_elev}");
+            }
+            // The trivial masks bracket the behavior.
+            let all = vec![true; n];
+            let none = vec![false; n];
+            for &g in &grounds {
+                assert_eq!(index.query_masked(g, &all), index.query(g));
+                assert_eq!(index.query_masked(g, &none), None);
+            }
+        }
     }
 
     #[test]

@@ -620,6 +620,25 @@ impl Topology {
         &self.adj_entries[self.adj_offsets[index]..self.adj_offsets[index + 1]]
     }
 
+    /// Neighbors of a node restricted to an alive mask — the lazy
+    /// equivalent of `self.masked(alive).neighbors(index)`. Because
+    /// [`Topology::masked`] filters links in emission order and
+    /// `build_adjacency` preserves per-node insertion order, the masked
+    /// neighbor list is exactly the alive subsequence of the intact one,
+    /// so filtering on the fly visits the same `(neighbor, length)` pairs
+    /// in the same order without materializing the masked topology. This
+    /// is what makes alive-filtered Dijkstra over the intact topology
+    /// bit-identical to Dijkstra over [`Topology::masked`]. A dead
+    /// `index` has no surviving links at all (masking drops a link when
+    /// *either* endpoint is dead), so its list is empty.
+    pub fn neighbors_alive<'m>(
+        &'m self,
+        index: usize,
+        alive: &'m [bool],
+    ) -> impl Iterator<Item = (usize, f64)> + 'm {
+        self.neighbors(index).iter().copied().filter(move |&(v, _)| alive[index] && alive[v])
+    }
+
     /// Start index per plane (with a trailing total) in the flat node
     /// order — the layout [`crate::snapshot::Snapshot`]s share. The
     /// percolation cluster machinery walks planes through this.
@@ -949,6 +968,35 @@ mod tests {
         assert_eq!(same.links.len(), intact.links.len());
         // All-dead filtering leaves a linkless graph.
         assert!(intact.masked(&[false; 60]).links.is_empty());
+    }
+
+    #[test]
+    fn neighbors_alive_matches_masked_adjacency() {
+        // The lazy filter must visit exactly the masked topology's
+        // neighbor list, pair for pair, in order — the contract the
+        // incremental evaluator's alive-filtered Dijkstra rests on.
+        let c = test_constellation(4, 9);
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000 + 90.0]).unwrap();
+        let intact = Topology::plus_grid(&series.snapshot(0), Default::default()).unwrap();
+        let n = intact.n_nodes();
+        let mut mask = vec![true; n];
+        for flat in (0..n).step_by(4) {
+            mask[flat] = false;
+        }
+        mask[9..18].fill(false);
+        let masked = intact.masked(&mask);
+        for node in 0..n {
+            let lazy: Vec<(usize, f64)> = intact.neighbors_alive(node, &mask).collect();
+            assert_eq!(lazy.as_slice(), masked.neighbors(node), "node {node}");
+        }
+        // All-alive is the identity; all-dead leaves every list empty.
+        let all = vec![true; n];
+        for node in 0..n {
+            let lazy: Vec<(usize, f64)> = intact.neighbors_alive(node, &all).collect();
+            assert_eq!(lazy.as_slice(), intact.neighbors(node));
+        }
+        let none = vec![false; n];
+        assert!((0..n).all(|v| intact.neighbors_alive(v, &none).next().is_none()));
     }
 
     #[test]

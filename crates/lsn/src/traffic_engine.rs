@@ -126,7 +126,7 @@ pub struct ServedDemandSummary {
 }
 
 impl ServedDemandSummary {
-    fn empty(flows: usize, unattached: f64, offered: f64) -> Self {
+    pub(crate) fn empty(flows: usize, unattached: f64, offered: f64) -> Self {
         ServedDemandSummary {
             flows,
             pairs: 0,
@@ -172,22 +172,39 @@ impl PartialOrd for HeapItem {
 /// Full single-source Dijkstra where every directed edge's weight is
 /// inflated by its accumulated penalty — the diversity mechanism of the
 /// k-path rounds. An empty penalty map is the plain shortest-path tree.
+///
+/// `alive` restricts the run to a node mask exactly as
+/// [`Topology::neighbors_alive`] would: relaxations into (or out of) dead
+/// nodes are skipped, so the output is bit-identical to running over
+/// [`Topology::masked`] — the same lengths in the same canonical
+/// `(dist, node)` order, hence the same `prev` choices. Penalty keys are
+/// flat node pairs, which masking preserves (nodes are never renumbered).
 fn penalized_dijkstra(
     topology: &Topology,
     src: usize,
     penalty: &BTreeMap<(usize, usize), f64>,
+    alive: Option<&[bool]>,
 ) -> (Vec<f64>, Vec<usize>) {
     let n = topology.n_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![usize::MAX; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: src });
+    // A dead source keeps its zero label but reaches nothing, exactly as
+    // in the masked topology where it has no surviving links.
+    if alive.is_none_or(|m| m[src]) {
+        heap.push(HeapItem { dist: 0.0, node: src });
+    }
     while let Some(HeapItem { dist: d, node }) = heap.pop() {
         if d > dist[node] {
             continue;
         }
         for &(next, w) in topology.neighbors(node) {
+            if let Some(m) = alive {
+                if !m[next] {
+                    continue;
+                }
+            }
             let factor = 1.0 + penalty.get(&(node, next)).copied().unwrap_or(0.0);
             let nd = d + w * factor;
             if nd < dist[next] {
@@ -221,6 +238,142 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Stage-1 output: how the flow list classified under some attachment
+/// resolution — shared between the from-scratch assignment and the
+/// incremental evaluator (which replays it with cached per-flow servers).
+pub(crate) struct AttachmentTally {
+    /// Demand with at least one unserved endpoint.
+    pub(crate) unattached: f64,
+    /// Same-satellite demand, served without touching an ISL.
+    pub(crate) local_served: f64,
+    /// Per-(source satellite, destination satellite) aggregated demand.
+    pub(crate) demand: BTreeMap<(usize, usize), f64>,
+}
+
+/// Classifies every flow through `serve_pair(flow index, flow)` →
+/// (source server, destination server), accumulating in flow order —
+/// the exact summation order of the original single-pass loop, so any
+/// resolver that returns the same servers reproduces the tally bit for
+/// bit.
+pub(crate) fn aggregate_attachments<F>(flows: &[Flow], mut serve_pair: F) -> AttachmentTally
+where
+    F: FnMut(usize, &Flow) -> (Option<usize>, Option<usize>),
+{
+    let mut tally = AttachmentTally { unattached: 0.0, local_served: 0.0, demand: BTreeMap::new() };
+    for (i, flow) in flows.iter().enumerate() {
+        match serve_pair(i, flow) {
+            (Some(s), Some(d)) if s == d => tally.local_served += flow.demand,
+            (Some(s), Some(d)) => *tally.demand.entry((s, d)).or_insert(0.0) += flow.demand,
+            _ => tally.unattached += flow.demand,
+        }
+    }
+    tally
+}
+
+/// Stage 2 for one source satellite: `k` rounds of penalized Dijkstra
+/// over `dsts` (ascending — the `BTreeMap` key order the caller groups
+/// by), returning up to `k` deduplicated candidate paths per
+/// destination, shortest first. With an `alive` mask the rounds run
+/// alive-filtered, which is bit-identical to running them over
+/// [`Topology::masked`] (penalties key flat node pairs, and masking
+/// never renumbers nodes).
+pub(crate) fn k_paths_for_source(
+    topology: &Topology,
+    s: usize,
+    dsts: &[usize],
+    k: usize,
+    alive: Option<&[bool]>,
+) -> BTreeMap<usize, Vec<Vec<usize>>> {
+    let mut penalty: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut paths: BTreeMap<usize, Vec<Vec<usize>>> = BTreeMap::new();
+    for round in 0..k {
+        let (dist, prev) = penalized_dijkstra(topology, s, &penalty, alive);
+        let mut round_edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &d in dsts {
+            if !dist[d].is_finite() {
+                continue;
+            }
+            let path = reconstruct(&prev, s, d);
+            for hop in path.windows(2) {
+                round_edges.insert((hop[0], hop[1]));
+            }
+            let entry = paths.entry(d).or_default();
+            if !entry.contains(&path) {
+                entry.push(path);
+            }
+        }
+        if round + 1 < k {
+            for edge in round_edges {
+                *penalty.entry(edge).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    paths
+}
+
+/// Stage 3: deterministic residual-capacity waterfilling over the
+/// aggregated demand, visiting pairs in `(source, destination)` order
+/// and spilling each pair's demand across `paths_for(s, d)` in
+/// candidate order. `local_served` seeds the served accumulator (the
+/// same-satellite demand from stage 1), preserving the original
+/// single-pass summation order exactly.
+pub(crate) fn waterfill_summary<'p, F>(
+    n_flows: usize,
+    offered: f64,
+    local_served: f64,
+    unattached: f64,
+    demand: &BTreeMap<(usize, usize), f64>,
+    paths_for: F,
+    capacity: f64,
+) -> ServedDemandSummary
+where
+    F: Fn(usize, usize) -> &'p [Vec<usize>],
+{
+    let mut served = local_served;
+    let mut residual: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut load: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut dropped = 0.0;
+    for (&(s, d), &dem) in demand {
+        let mut rest = dem;
+        for path in paths_for(s, d) {
+            if rest <= 0.0 {
+                break;
+            }
+            let available = path
+                .windows(2)
+                .map(|hop| residual.get(&(hop[0], hop[1])).copied().unwrap_or(capacity))
+                .fold(f64::INFINITY, f64::min);
+            let put = rest.min(available);
+            if put <= 0.0 {
+                continue;
+            }
+            for hop in path.windows(2) {
+                *residual.entry((hop[0], hop[1])).or_insert(capacity) -= put;
+                *load.entry((hop[0], hop[1])).or_insert(0.0) += put;
+            }
+            served += put;
+            rest -= put;
+        }
+        dropped += rest.max(0.0);
+    }
+
+    let mut utilization: Vec<f64> = load.values().map(|&l| l / capacity).collect();
+    utilization.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    ServedDemandSummary {
+        flows: n_flows,
+        pairs: demand.len(),
+        offered,
+        served,
+        dropped,
+        unattached,
+        served_fraction: if offered > 0.0 { served / offered } else { 0.0 },
+        utilization_p50: percentile(&utilization, 0.50),
+        utilization_p90: percentile(&utilization, 0.90),
+        utilization_p99: percentile(&utilization, 0.99),
+        utilization_max: utilization.last().copied().unwrap_or(0.0),
+    }
+}
+
 /// Assigns `flows` over `topology` under finite per-link capacity:
 /// attachment aggregation → per-source k-path candidates → deterministic
 /// residual-capacity waterfilling. See the module docs for the scheme.
@@ -252,21 +405,12 @@ pub fn assign_capacity_constrained(
             .entry((p.lat.to_bits(), p.lon.to_bits()))
             .or_insert_with(|| index.query(p).and_then(|(id, _)| topology.index_of(id)))
     };
-    let mut unattached = 0.0;
-    let mut served = 0.0;
-    let mut demand: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-    for flow in flows {
-        match (serve(flow.src), serve(flow.dst)) {
-            (Some(s), Some(d)) if s == d => served += flow.demand, // local: no ISL needed
-            (Some(s), Some(d)) => *demand.entry((s, d)).or_insert(0.0) += flow.demand,
-            _ => unattached += flow.demand,
-        }
-    }
-    let pairs = demand.len();
-    if pairs == 0 {
-        let fraction = if offered > 0.0 { served / offered } else { 0.0 };
+    let tally = aggregate_attachments(flows, |_, flow| (serve(flow.src), serve(flow.dst)));
+    let AttachmentTally { unattached, local_served, demand } = tally;
+    if demand.is_empty() {
+        let fraction = if offered > 0.0 { local_served / offered } else { 0.0 };
         return Ok(ServedDemandSummary {
-            served,
+            served: local_served,
             served_fraction: fraction,
             ..ServedDemandSummary::empty(flows.len(), unattached, offered)
         });
@@ -280,74 +424,21 @@ pub fn assign_capacity_constrained(
     let k = config.k_paths.max(1);
     let mut paths: BTreeMap<(usize, usize), Vec<Vec<usize>>> = BTreeMap::new();
     for (&s, dsts) in &by_src {
-        let mut penalty: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-        for round in 0..k {
-            let (dist, prev) = penalized_dijkstra(topology, s, &penalty);
-            let mut round_edges: BTreeSet<(usize, usize)> = BTreeSet::new();
-            for &d in dsts {
-                if !dist[d].is_finite() {
-                    continue;
-                }
-                let path = reconstruct(&prev, s, d);
-                for hop in path.windows(2) {
-                    round_edges.insert((hop[0], hop[1]));
-                }
-                let entry = paths.entry((s, d)).or_default();
-                if !entry.contains(&path) {
-                    entry.push(path);
-                }
-            }
-            if round + 1 < k {
-                for edge in round_edges {
-                    *penalty.entry(edge).or_insert(0.0) += 1.0;
-                }
-            }
+        for (d, p) in k_paths_for_source(topology, s, dsts, k, None) {
+            paths.insert((s, d), p);
         }
     }
 
     // --- 3. deterministic residual-capacity waterfilling -------------
-    let mut residual: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-    let mut load: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-    let mut dropped = 0.0;
-    for (&(s, d), &dem) in &demand {
-        let mut rest = dem;
-        for path in paths.get(&(s, d)).map_or(&[][..], Vec::as_slice) {
-            if rest <= 0.0 {
-                break;
-            }
-            let available = path
-                .windows(2)
-                .map(|hop| residual.get(&(hop[0], hop[1])).copied().unwrap_or(capacity))
-                .fold(f64::INFINITY, f64::min);
-            let put = rest.min(available);
-            if put <= 0.0 {
-                continue;
-            }
-            for hop in path.windows(2) {
-                *residual.entry((hop[0], hop[1])).or_insert(capacity) -= put;
-                *load.entry((hop[0], hop[1])).or_insert(0.0) += put;
-            }
-            served += put;
-            rest -= put;
-        }
-        dropped += rest.max(0.0);
-    }
-
-    let mut utilization: Vec<f64> = load.values().map(|&l| l / capacity).collect();
-    utilization.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
-    Ok(ServedDemandSummary {
-        flows: flows.len(),
-        pairs,
+    Ok(waterfill_summary(
+        flows.len(),
         offered,
-        served,
-        dropped,
+        local_served,
         unattached,
-        served_fraction: if offered > 0.0 { served / offered } else { 0.0 },
-        utilization_p50: percentile(&utilization, 0.50),
-        utilization_p90: percentile(&utilization, 0.90),
-        utilization_p99: percentile(&utilization, 0.99),
-        utilization_max: utilization.last().copied().unwrap_or(0.0),
-    })
+        &demand,
+        |s, d| paths.get(&(s, d)).map_or(&[][..], Vec::as_slice),
+        capacity,
+    ))
 }
 
 #[cfg(test)]

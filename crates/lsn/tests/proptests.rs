@@ -7,10 +7,12 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ssplane_astro::geo::GeoPoint;
 use ssplane_astro::kepler::OrbitalElements;
 use ssplane_astro::linalg::Vec3;
 use ssplane_astro::sunsync::sun_synchronous_orbit;
 use ssplane_astro::time::Epoch;
+use ssplane_lsn::optimizer::{AttackObjective, DegradedEvaluator};
 use ssplane_lsn::percolation::{
     keyed_ordering, percolation_sweep, plane_spread_ordering, random_ordering, ClusterTracker,
 };
@@ -18,6 +20,7 @@ use ssplane_lsn::routing::shortest_path;
 use ssplane_lsn::snapshot::SnapshotSeries;
 use ssplane_lsn::spares::spares_for_availability;
 use ssplane_lsn::topology::{line_of_sight, Constellation, GridTopologyConfig, SatId, Topology};
+use ssplane_lsn::traffic::Flow;
 
 fn small_constellation(planes: usize, slots: usize) -> Constellation {
     let epoch = Epoch::J2000;
@@ -304,6 +307,151 @@ proptest! {
             prop_assert_eq!(curve.giant_fraction[k], stats.largest as f64 / n as f64);
             prop_assert_eq!(curve.susceptibility[k], stats.susceptibility());
             prop_assert_eq!(curve.mean_finite_cluster[k], stats.mean_finite_cluster());
+        }
+    }
+}
+
+/// A small city mesh for the attack-search evaluator properties: six
+/// terminals, all-pairs unit demand (15 flows).
+fn attack_flows() -> Vec<Flow> {
+    let cities =
+        [(40.7, -74.0), (51.5, -0.1), (35.7, 139.7), (-23.5, -46.6), (19.1, 72.9), (1.3, 103.8)];
+    let mut out = Vec::new();
+    for (i, &(a_lat, a_lon)) in cities.iter().enumerate() {
+        for &(b_lat, b_lon) in cities.iter().skip(i + 1) {
+            out.push(Flow {
+                src: GeoPoint::from_degrees(a_lat, a_lon),
+                dst: GeoPoint::from_degrees(b_lat, b_lon),
+                demand: 1.0,
+            });
+        }
+    }
+    out
+}
+
+const ATTACK_OBJECTIVES: [AttackObjective; 5] = [
+    AttackObjective::RoutedFraction,
+    AttackObjective::Connectivity,
+    AttackObjective::LoadInflation,
+    AttackObjective::ServedDemand,
+    AttackObjective::MaskingThreshold,
+];
+
+// Each case builds a full evaluator (topologies + intact routing for two
+// slots), so this block runs far fewer cases than the cheap ones above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The incremental scorer is byte-identical to the from-scratch
+    /// `Topology::masked` + re-route evaluation on random sun-synchronous
+    /// geometries under random k-satellite masks, including the zero-loss
+    /// and wipeout extremes, for every attack objective.
+    #[test]
+    fn incremental_scoring_matches_full_on_random_sunsync_sat_masks(
+        ltans in collection::vec(0.0f64..24.0, 2usize..5),
+        slot_counts in collection::vec(4usize..9, 2usize..5),
+        kill in 0.05f64..0.6,
+        mask_seed in 0u64..10_000,
+        which in 0usize..5,
+    ) {
+        let plane_params: Vec<(f64, usize)> = ltans
+            .iter()
+            .copied()
+            .zip(slot_counts.iter().copied())
+            .collect();
+        let c = random_constellation(620.0, &plane_params);
+        let series =
+            SnapshotSeries::build(&c, &[Epoch::J2000, Epoch::J2000 + 300.0]).unwrap();
+        let flows = attack_flows();
+        let evaluator = DegradedEvaluator::new(
+            &series,
+            &flows,
+            20f64.to_radians(),
+            GridTopologyConfig::default(),
+        )
+        .unwrap();
+        let objective = ATTACK_OBJECTIVES[which];
+        let ids: Vec<SatId> = series.snapshot(0).ids().collect();
+        let mut rng = StdRng::seed_from_u64(mask_seed);
+        let destroyed: Vec<SatId> =
+            ids.iter().copied().filter(|_| rng.gen::<f64>() < kill).collect();
+        let scorer = evaluator.incremental_scorer(objective);
+        for victims in [Vec::new(), destroyed, ids] {
+            let full = evaluator.score_attack(&victims, objective).unwrap();
+            let fast = scorer.score(&victims).unwrap();
+            prop_assert_eq!(
+                full.to_bits(),
+                fast.to_bits(),
+                "objective {:?}, |victims| = {}: full {} vs incremental {}",
+                objective,
+                victims.len(),
+                full,
+                fast
+            );
+        }
+    }
+
+    /// Same property on Walker-delta geometries under whole-plane masks
+    /// grown as a prefix chain (the greedy-frontier shape), so repairs
+    /// delta off the previous prefix state in the LRU rather than the
+    /// intact trees.
+    #[test]
+    fn incremental_scoring_matches_full_on_walker_plane_prefixes(
+        total in 36usize..100,
+        planes in 3usize..7,
+        inclination_deg in 45.0f64..80.0,
+        mask_seed in 0u64..10_000,
+        which in 0usize..5,
+    ) {
+        let per_plane = (total / planes).max(4);
+        let count = per_plane * planes;
+        let pattern = ssplane_astro::walker::WalkerDelta::new(
+            550.0,
+            inclination_deg.to_radians(),
+            count,
+            planes,
+            0,
+        )
+        .unwrap()
+        .generate()
+        .unwrap();
+        let element_planes: Vec<Vec<OrbitalElements>> =
+            pattern.chunks(per_plane).map(<[_]>::to_vec).collect();
+        let c = Constellation::from_planes(Epoch::J2000, element_planes).unwrap();
+        let series =
+            SnapshotSeries::build(&c, &[Epoch::J2000, Epoch::J2000 + 300.0]).unwrap();
+        let flows = attack_flows();
+        let evaluator = DegradedEvaluator::new(
+            &series,
+            &flows,
+            20f64.to_radians(),
+            GridTopologyConfig::default(),
+        )
+        .unwrap();
+        let objective = ATTACK_OBJECTIVES[which];
+        let scorer = evaluator.incremental_scorer(objective);
+        let mut rng = StdRng::seed_from_u64(mask_seed);
+        let mut order: Vec<usize> = (0..planes).collect();
+        for i in 0..planes - 1 {
+            let j = i + rng.gen_index(planes - i);
+            order.swap(i, j);
+        }
+        let depth = 1 + rng.gen_index(planes.min(3));
+        let mut victims: Vec<SatId> = Vec::new();
+        for &p in &order[..depth] {
+            victims.extend((0..per_plane).map(|s| SatId { plane: p, slot: s }));
+            victims.sort_unstable();
+            let full = evaluator.score_attack(&victims, objective).unwrap();
+            let fast = scorer.score(&victims).unwrap();
+            prop_assert_eq!(
+                full.to_bits(),
+                fast.to_bits(),
+                "objective {:?}, prefix of {} planes: full {} vs incremental {}",
+                objective,
+                victims.len() / per_plane,
+                full,
+                fast
+            );
         }
     }
 }

@@ -106,8 +106,13 @@ pub struct AttackSearchReport {
     pub budget: usize,
     /// Random restarts the search ran.
     pub restarts: usize,
-    /// Candidate evaluations performed.
-    pub candidates: usize,
+    /// Candidate evaluations the search loop requested (seen-cache hits
+    /// included) — the count throughput is normalized by.
+    pub candidates_scored: usize,
+    /// Distinct candidate victim sets actually evaluated; the difference
+    /// from `candidates_scored` is what the canonical-victim-set dedup
+    /// saved.
+    pub candidates_unique: usize,
     /// Objective value of the found worst-case attack.
     pub objective_value: f64,
     /// The same-budget fixed-attack baseline's registry name
@@ -128,7 +133,8 @@ impl AttackSearchReport {
             .str("unit", &self.unit)
             .uint("budget", self.budget as u64)
             .uint("restarts", self.restarts as u64)
-            .uint("candidates", self.candidates as u64)
+            .uint("candidates_scored", self.candidates_scored as u64)
+            .uint("candidates_unique", self.candidates_unique as u64)
             .num("objective_value", self.objective_value)
             .str("baseline", &self.baseline)
             .num("baseline_value", self.baseline_value)

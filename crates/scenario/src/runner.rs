@@ -120,18 +120,25 @@ pub struct ScenarioTimings {
     /// `demand.model`, `demand.grid`, and `<system>.<stage>` for the
     /// per-system design/fluence/survivability/network stages.
     pub stages: Vec<(String, f64)>,
+    /// `(metric, value)` derived-rate rows in execution order — e.g.
+    /// `<system>.attack_search.candidates_per_sec`, the attack search's
+    /// scoring throughput. Not wall-clock, so kept out of
+    /// [`Self::total_seconds`].
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl ScenarioTimings {
-    /// Total wall-clock across stages \[s\].
+    /// Total wall-clock across stages \[s\] (metric rows excluded).
     pub fn total_seconds(&self) -> f64 {
         self.stages.iter().map(|&(_, s)| s).sum()
     }
 }
 
-/// Collects `(stage, seconds)` pairs around closures.
+/// Collects `(stage, seconds)` pairs around closures, plus derived
+/// `(metric, value)` rate rows.
 struct StageClock {
     stages: Vec<(String, f64)>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl StageClock {
@@ -140,6 +147,15 @@ impl StageClock {
         let out = f();
         self.stages.push((stage.to_string(), start.elapsed().as_secs_f64()));
         out
+    }
+
+    /// The wall-clock of the most recently timed stage \[s\].
+    fn last_stage_seconds(&self) -> f64 {
+        self.stages.last().map_or(0.0, |&(_, s)| s)
+    }
+
+    fn metric(&mut self, name: String, value: f64) {
+        self.metrics.push((name, value));
     }
 }
 
@@ -660,8 +676,10 @@ fn run_attack_search(
         budget: spec.attack.budget,
         restarts: spec.attack.restarts,
         // The baseline's standalone scoring above is one extra candidate
-        // on top of the search's own count.
-        candidates: outcome.candidates_evaluated + 1,
+        // on top of the search's own counts (and it is always distinct
+        // work: it runs through the full evaluator, not the scorer).
+        candidates_scored: outcome.candidates_evaluated + 1,
+        candidates_unique: outcome.candidates_unique + 1,
         objective_value: outcome.objective_value,
         baseline: baseline_name.to_string(),
         baseline_value,
@@ -1006,8 +1024,17 @@ fn run_scenario(
                     ctx.workload.as_ref(),
                 )
                 .map(|e| {
-                    if steps >= 1 && gap.is_finite() && gap > 0.0 && gap < 1.0 {
+                    let e = if steps >= 1 && gap.is_finite() && gap > 0.0 && gap < 1.0 {
                         e.with_percolation(steps, gap)
+                    } else {
+                        e
+                    };
+                    // The incremental scorer's repair-fallback knob; like
+                    // the percolation knobs, forward it only when valid
+                    // (it is unvalidated for fixed attacks).
+                    let frac = spec.attack.damage_threshold;
+                    if frac.is_finite() && frac > 0.0 && frac <= 1.0 {
+                        e.with_repair_threshold(frac)
                     } else {
                         e
                     }
@@ -1024,6 +1051,13 @@ fn run_scenario(
             let (victims, search) = clock.time(&format!("{name}.attack_search"), || {
                 run_attack_search(spec, &sys, ctx, eval, build_threads)
             })?;
+            // Surface search throughput next to the stage's wall-clock —
+            // the bench harness's candidates/s without the bench harness.
+            let secs = clock.last_stage_seconds().max(f64::EPSILON);
+            clock.metric(
+                format!("{name}.attack_search.candidates_per_sec"),
+                search.candidates_scored as f64 / secs,
+            );
             attack_search = Some(search);
             victims
         } else {
@@ -1095,9 +1129,12 @@ fn execute_scenario_timed_with(
     spec: &ScenarioSpec,
     build_threads: usize,
 ) -> (Result<ScenarioReport>, ScenarioTimings) {
-    let mut clock = StageClock { stages: Vec::new() };
+    let mut clock = StageClock { stages: Vec::new(), metrics: Vec::new() };
     let result = run_scenario(spec, &mut clock, build_threads);
-    (result, ScenarioTimings { name: spec.name.clone(), stages: clock.stages })
+    (
+        result,
+        ScenarioTimings { name: spec.name.clone(), stages: clock.stages, metrics: clock.metrics },
+    )
 }
 
 /// A parallel scenario runner.
@@ -1167,6 +1204,12 @@ impl SweepOutcome {
                 out.push_str(&format!("{}\t{stage}\t{secs:.6}\n", t.name));
             }
             out.push_str(&format!("{}\ttotal\t{:.6}\n", t.name, t.total_seconds()));
+            // Derived rate rows (e.g. attack_search.candidates_per_sec)
+            // after the totals: same three-column shape, value in the
+            // last column, never summed into `total`.
+            for (metric, value) in &t.metrics {
+                out.push_str(&format!("{}\t{metric}\t{value:.6}\n", t.name));
+            }
         }
         out
     }
@@ -1685,7 +1728,7 @@ mod tests {
         let epoch = spec.radiation.epoch();
         let destroyed = attack_destroyed(&spec, &sys, epoch).unwrap();
         assert_eq!(destroyed.len(), 12, "the whole plane is the whole fleet");
-        let mut clock = StageClock { stages: Vec::new() };
+        let mut clock = StageClock { stages: Vec::new(), metrics: Vec::new() };
         let (report, doses) =
             system_report(&spec, "ss", &sys, &destroyed, &env, epoch, true, &mut clock).unwrap();
         let attack = report.attack.as_ref().expect("attack ran");
@@ -1983,7 +2026,20 @@ mod tests {
         spec.network.time_grid_slots = 2;
         spec.network.time_grid_slot_s = 300.0;
         spec.network.with_outages = true;
-        let report = execute_scenario(&spec).unwrap();
+        let (report, timings) = execute_scenario_timed(&spec);
+        let report = report.unwrap();
+        // The attack-search stage surfaces its scoring throughput as a
+        // derived metric row (not summed into the stage total).
+        let (_, rate) = timings
+            .metrics
+            .iter()
+            .find(|(m, _)| m == "ss.attack_search.candidates_per_sec")
+            .expect("throughput metric present");
+        assert!(*rate > 0.0, "a finished search scored at a positive rate");
+        assert!(
+            timings.stages.iter().all(|(s, _)| !s.ends_with("candidates_per_sec")),
+            "metric rows stay out of the wall-clock stages (and the total)"
+        );
         let ss = report.system("ss").unwrap();
         let attack = ss.attack.as_ref().expect("optimized attack reports like any other");
         assert!(attack.sats_lost > 0);
@@ -2002,7 +2058,12 @@ mod tests {
             search.baseline_value
         );
         assert!(search.objective_value <= search.intact_value);
-        assert!(search.candidates > 0);
+        assert!(search.candidates_scored > 0);
+        assert!(search.candidates_unique > 0);
+        assert!(
+            search.candidates_unique <= search.candidates_scored,
+            "dedup can only shrink the count"
+        );
         // The degraded block reflects the searched attack.
         let net = ss.network.as_ref().expect("network stage on");
         let deg = net.degraded.as_ref().expect("with_outages on");

@@ -549,6 +549,12 @@ pub struct AttackSpec {
     pub restarts: usize,
     /// Swap proposals per search start point ([`AttackKind::Optimized`]).
     pub swaps: usize,
+    /// Damage-threshold fraction of the incremental candidate scorer
+    /// ([`AttackKind::Optimized`]): shortest-path-tree repairs touching
+    /// more than this fraction of the constellation fall back to a full
+    /// recompute. Purely a performance knob — results are byte-identical
+    /// either way. In `(0, 1]`.
+    pub damage_threshold: f64,
 }
 
 impl Default for AttackSpec {
@@ -565,6 +571,7 @@ impl Default for AttackSpec {
             budget: 2,
             restarts: 3,
             swaps: 16,
+            damage_threshold: ssplane_lsn::optimizer::DEFAULT_REPAIR_THRESHOLD,
         }
     }
 }

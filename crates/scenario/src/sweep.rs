@@ -379,6 +379,7 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         "attack.budget" => spec.attack.budget = need_usize(key, value)?,
         "attack.restarts" => spec.attack.restarts = need_usize(key, value)?,
         "attack.swaps" => spec.attack.swaps = need_usize(key, value)?,
+        "attack.damage_threshold" => spec.attack.damage_threshold = need_f64(key, value)?,
 
         "network.enabled" => spec.network.enabled = need_bool(key, value)?,
         "network.with_outages" => spec.network.with_outages = need_bool(key, value)?,
@@ -644,12 +645,14 @@ mod tests {
         apply_param(&mut spec, "attack.budget", &TomlValue::Int(12)).unwrap();
         apply_param(&mut spec, "attack.restarts", &TomlValue::Int(4)).unwrap();
         apply_param(&mut spec, "attack.swaps", &TomlValue::Int(9)).unwrap();
+        apply_param(&mut spec, "attack.damage_threshold", &TomlValue::Float(0.4)).unwrap();
         assert_eq!(spec.attack.kind, AttackKind::Optimized);
         assert_eq!(spec.attack.objective, AttackObjective::LoadInflation);
         assert_eq!(spec.attack.unit, AttackUnit::Sats);
         assert_eq!(spec.attack.budget, 12);
         assert_eq!(spec.attack.restarts, 4);
         assert_eq!(spec.attack.swaps, 9);
+        assert_eq!(spec.attack.damage_threshold, 0.4);
         assert!(
             apply_param(&mut spec, "attack.objective", &TomlValue::Str("chaos".into())).is_err()
         );
