@@ -1,0 +1,311 @@
+//! The cross-file **scenario-schema** rule: extract the recognized
+//! parameter surface from the scenario crate's `apply_param` match and
+//! statically validate every `scenarios/*.toml` against it, so a typoed
+//! key or sweep axis fails CI instead of silently no-oping.
+//!
+//! The extraction is lexical, not semantic: `apply_param` is the single
+//! funnel every config key and sweep axis passes through at runtime (the
+//! loader documents this), and its match arms are plain string literals,
+//! so the set of `"<section>.<key>" =>` arm heads *is* the schema.
+
+use crate::lexer::{code_tokens, lex, TokenKind};
+use crate::rules::Rule;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Extracts the recognized key set from the source of
+/// `crates/scenario/src/sweep.rs` (the `apply_param` match arms).
+///
+/// # Errors
+/// A human-readable message when the function or a plausible key set
+/// cannot be found — extraction failure must fail the lint run loudly,
+/// never degrade into "every key is valid".
+pub fn extract_keys(sweep_rs: &str) -> Result<BTreeSet<String>, String> {
+    let tokens = lex(sweep_rs);
+    let code = code_tokens(&tokens);
+    // Locate `fn apply_param` and its body's brace span.
+    let mut start = None;
+    for i in 0..code.len().saturating_sub(1) {
+        if matches!(&code[i].kind, TokenKind::Ident(s) if s == "fn")
+            && matches!(&code[i + 1].kind, TokenKind::Ident(s) if s == "apply_param")
+        {
+            start = Some(i);
+            break;
+        }
+    }
+    let start = start.ok_or("`fn apply_param` not found in sweep.rs")?;
+    let mut depth = 0usize;
+    let mut keys = BTreeSet::new();
+    let mut entered = false;
+    let mut i = start;
+    while i < code.len() {
+        match &code[i].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                entered = true;
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if entered && depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Str(s) if entered => {
+                // A match-arm head: string literal directly followed by
+                // `=>`. Value-token matches ("per-plane", error texts)
+                // are filtered by the key shape: dotted lowercase paths,
+                // plus the two top-level scalars.
+                let is_arm =
+                    matches!(code.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('=')))
+                        && matches!(code.get(i + 2).map(|t| &t.kind), Some(TokenKind::Punct('>')));
+                if is_arm && (s == "name" || s == "seed" || is_dotted_key(s)) {
+                    keys.insert(s.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if keys.len() < 20 {
+        return Err(format!(
+            "schema extraction found only {} keys in apply_param — the match shape has changed; \
+             update crates/lint/src/schema.rs",
+            keys.len()
+        ));
+    }
+    Ok(keys)
+}
+
+/// Whether `s` looks like a dotted config path (`section.key[.sub]`):
+/// non-empty lowercase/underscore segments joined by `.`.
+fn is_dotted_key(s: &str) -> bool {
+    s.contains('.')
+        && s.split('.')
+            .all(|seg| !seg.is_empty() && seg.chars().all(|c| c.is_ascii_lowercase() || c == '_'))
+}
+
+/// One `key = …` entry of the TOML subset: its resolved dotted path and
+/// source line.
+struct Entry {
+    path: String,
+    line: usize,
+    in_sweep: bool,
+}
+
+/// Reads the flat-section TOML subset the scenario loader accepts, well
+/// enough to recover every key path (values are skipped, multi-line
+/// arrays balanced). Malformed lines become findings rather than errors:
+/// the linter reports, the runtime loader rejects.
+fn toml_entries(src: &str, file: &str, findings: &mut Vec<Finding>) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let mut section = String::new();
+    let mut depth = 0i64; // unbalanced '[' of a continued array value
+    for (k, raw) in src.lines().enumerate() {
+        let line = k + 1;
+        let trimmed = raw.trim();
+        if depth > 0 {
+            depth += bracket_balance(trimmed);
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            match rest.split(']').next() {
+                Some(name) if rest.contains(']') => section = name.trim().to_string(),
+                _ => findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: Rule::ScenarioSchema.name(),
+                    message: format!("unterminated section header `{trimmed}`"),
+                }),
+            }
+            continue;
+        }
+        let Some(eq) = trimmed.find('=') else {
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: Rule::ScenarioSchema.name(),
+                message: format!("expected `key = value`, got `{trimmed}`"),
+            });
+            continue;
+        };
+        let mut key = trimmed[..eq].trim().to_string();
+        if key.len() >= 2 && key.starts_with('"') && key.ends_with('"') {
+            key = key[1..key.len() - 1].to_string();
+        }
+        let in_sweep = section == "sweep";
+        let path = if in_sweep || section.is_empty() { key } else { format!("{section}.{key}") };
+        entries.push(Entry { path, line, in_sweep });
+        depth += bracket_balance(&trimmed[eq + 1..]);
+    }
+    entries
+}
+
+/// Net `[`-minus-`]` of a value fragment, ignoring brackets inside
+/// quoted strings and after `#` comments.
+fn bracket_balance(s: &str) -> i64 {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => break,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Validates one scenario TOML source against the recognized key set,
+/// appending findings. `file` is the path used in findings.
+pub fn validate_scenario(
+    file: &str,
+    src: &str,
+    keys: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    for entry in toml_entries(src, file, findings) {
+        if entry.in_sweep && (entry.path == "name" || entry.path == "seed") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: entry.line,
+                rule: Rule::ScenarioSchema.name(),
+                message: format!(
+                    "`{}` cannot be a sweep axis: expansion derives per-scenario names and seeds",
+                    entry.path
+                ),
+            });
+            continue;
+        }
+        if !keys.contains(&entry.path) {
+            let hint = nearest_key(&entry.path, keys)
+                .map(|k| format!(" — did you mean `{k}`?"))
+                .unwrap_or_default();
+            findings.push(Finding {
+                file: file.to_string(),
+                line: entry.line,
+                rule: Rule::ScenarioSchema.name(),
+                message: format!(
+                    "unknown scenario key `{}`: not in the apply_param surface{hint}",
+                    entry.path
+                ),
+            });
+        }
+    }
+}
+
+/// The closest recognized key within edit distance 3, for typo hints.
+fn nearest_key<'k>(path: &str, keys: &'k BTreeSet<String>) -> Option<&'k String> {
+    keys.iter().map(|k| (edit_distance(path, k), k)).filter(|&(d, _)| d <= 3).min().map(|(_, k)| k)
+}
+
+/// Plain Levenshtein distance (short strings: the O(nm) table is fine).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_keys() -> BTreeSet<String> {
+        ["name", "seed", "attack.planes_lost", "demand.total_demand_b", "network.enabled"]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn dotted_key_shape() {
+        assert!(is_dotted_key("attack.planes_lost"));
+        assert!(is_dotted_key("survivability.failure.kind"));
+        assert!(!is_dotted_key("per-plane"));
+        assert!(!is_dotted_key("name"));
+        assert!(!is_dotted_key("a..b"));
+    }
+
+    #[test]
+    fn extraction_reads_match_arms_only() {
+        let src = r#"
+            pub fn apply_param(spec: &mut S, key: &str, value: &V) -> Result<()> {
+                match key {
+                    "name" => spec.name = v(key, value)?,
+                    "seed" => spec.seed = v(key, value)?,
+                    "attack.planes_lost" => spec.attack = v(key, value)?,
+                    "demand.total_demand_b" => {
+                        spec.demand = need(key, value, "a number")?;
+                    }
+                    "spares.policy" => {
+                        spec.policy = match v(key, value)? {
+                            "per-plane" => P::PerPlane,
+                            other => return Err(bad(key, other, "per-plane")),
+                        };
+                    }
+                    _ => return Err(Unknown { key: key.to_string() }),
+                }
+                Ok(())
+            }
+        "#;
+        // The 20-key floor rejects this toy surface, but the message
+        // proves exactly the five arm heads were collected — the inner
+        // "per-plane" value match and the "a number" argument were not.
+        let err = extract_keys(src).unwrap_err();
+        assert!(err.contains("only 5 keys"), "{err}");
+    }
+
+    #[test]
+    fn validation_flags_typos_with_hints() {
+        let mut findings = Vec::new();
+        validate_scenario(
+            "s.toml",
+            "name = \"x\"\n[attack]\nplanes_lost = 2\nplane_lost = 3\n",
+            &demo_keys(),
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        assert!(findings[0].message.contains("did you mean `attack.planes_lost`"));
+    }
+
+    #[test]
+    fn sweep_keys_are_full_paths_and_reserved_axes_rejected() {
+        let mut findings = Vec::new();
+        validate_scenario(
+            "s.toml",
+            "[sweep]\n\"attack.planes_lost\" = [0, 2]\n\"demand.warp\" = [1]\n\"seed\" = [1, 2]\n",
+            &demo_keys(),
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("demand.warp"));
+        assert!(findings[1].message.contains("cannot be a sweep axis"));
+    }
+
+    #[test]
+    fn multiline_arrays_and_comments_are_balanced() {
+        let mut findings = Vec::new();
+        validate_scenario(
+            "s.toml",
+            "# comment\n[sweep]\n\"attack.planes_lost\" = [\n  0, # [not a key]\n  2,\n]\n\
+             \"network.enabled\" = [true]\n",
+            &demo_keys(),
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,18 @@
+// Allow-annotation fixture: a trailing allow, a standalone allow, and
+// one malformed allow (no justification) that must itself be flagged.
+use std::collections::HashMap; // ssplane-lint: allow(hash-iter) -- fixture: trailing annotation
+
+pub fn tick() -> std::time::Duration {
+    // ssplane-lint: allow(wall-clock) -- fixture: standalone annotation targets the next line
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn shrink(n: u64) -> u32 {
+    // ssplane-lint: allow(lossy-cast)
+    n as u32
+}
+
+pub fn keep(m: HashMap<u32, u32>) -> usize {
+    m.len()
+}

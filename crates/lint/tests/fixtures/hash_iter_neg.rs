@@ -1,0 +1,10 @@
+// Negative fixture: ordered collections only.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}

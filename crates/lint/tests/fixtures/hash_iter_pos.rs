@@ -1,0 +1,12 @@
+// Positive fixture: hash collections in library code.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0usize) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}

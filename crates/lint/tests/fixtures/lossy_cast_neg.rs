@@ -1,0 +1,11 @@
+// Negative fixture: float statistics casts, checked conversions, and
+// `use … as …` renames are all fine.
+pub use std::vec::Vec as List;
+
+pub fn ratio(hits: usize, total: usize) -> f64 {
+    hits as f64 / total as f64
+}
+
+pub fn checked(n: u64) -> u32 {
+    u32::try_from(n).expect("count exceeds u32")
+}

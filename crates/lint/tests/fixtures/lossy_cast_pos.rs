@@ -1,0 +1,8 @@
+// Positive fixture: silent truncation candidates in a hot path.
+pub fn shrink(n: u64) -> u32 {
+    n as u32
+}
+
+pub fn index(x: f64) -> usize {
+    x as usize
+}

@@ -1,0 +1,7 @@
+// Negative fixture: every stream derives from a scenario seed.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn stream(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

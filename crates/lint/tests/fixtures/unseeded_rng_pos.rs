@@ -1,0 +1,9 @@
+// Positive fixture: entropy-fed and thread-local RNG construction.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}
+
+pub fn fresh() -> rand::rngs::StdRng {
+    rand::SeedableRng::from_entropy()
+}

@@ -1,0 +1,7 @@
+// Negative fixture: logical time only — results are a pure function of
+// the tick count.
+pub struct Tick(pub u64);
+
+pub fn advance(t: Tick) -> Tick {
+    Tick(t.0 + 1)
+}

@@ -1,0 +1,10 @@
+// Positive fixture: wall-clock reads in result-producing code.
+pub fn elapsed_seconds() -> f64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn epoch_millis() -> u128 {
+    use std::time::SystemTime;
+    SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).unwrap().as_millis()
+}

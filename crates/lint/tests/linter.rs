@@ -1,0 +1,157 @@
+//! Fixture-driven rule tests plus the live-workspace gate: the real
+//! tree must scan clean, and deliberate corruptions (a hash map in a
+//! `crates/lsn` hot path, a typo'd scenario key) must be caught.
+
+use ssplane_lint::rules::{scan_rust, Rule, ALL_RULES};
+use ssplane_lint::schema::{extract_keys, validate_scenario};
+use ssplane_lint::{rules_for_path, scan_workspace, Finding};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn scan_fixture(name: &str, rules: &[Rule]) -> Vec<Finding> {
+    scan_rust(name, &fixture(name), rules).0
+}
+
+/// The live schema surface, extracted exactly as the workspace scan
+/// extracts it.
+fn live_keys() -> BTreeSet<String> {
+    let sweep = workspace_root().join("crates/scenario/src/sweep.rs");
+    extract_keys(&std::fs::read_to_string(sweep).expect("sweep.rs readable"))
+        .expect("schema extraction")
+}
+
+#[test]
+fn hash_iter_positive_and_negative() {
+    let findings = scan_fixture("hash_iter_pos.rs", &ALL_RULES);
+    assert!(!findings.is_empty(), "positive fixture must trip hash-iter");
+    assert!(findings.iter().all(|f| f.rule == "hash-iter"), "{findings:?}");
+    assert!(scan_fixture("hash_iter_neg.rs", &ALL_RULES).is_empty());
+}
+
+#[test]
+fn wall_clock_positive_and_negative() {
+    let findings = scan_fixture("wall_clock_pos.rs", &ALL_RULES);
+    assert!(findings.len() >= 2, "Instant::now and SystemTime must both trip: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "wall-clock"), "{findings:?}");
+    assert!(scan_fixture("wall_clock_neg.rs", &ALL_RULES).is_empty());
+}
+
+#[test]
+fn unseeded_rng_positive_and_negative() {
+    let findings = scan_fixture("unseeded_rng_pos.rs", &ALL_RULES);
+    assert!(findings.len() >= 2, "thread_rng and from_entropy must both trip: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "unseeded-rng"), "{findings:?}");
+    assert!(scan_fixture("unseeded_rng_neg.rs", &ALL_RULES).is_empty());
+}
+
+#[test]
+fn lossy_cast_positive_and_negative() {
+    let findings = scan_fixture("lossy_cast_pos.rs", &ALL_RULES);
+    assert_eq!(findings.len(), 2, "`as u32` and `as usize` must both trip: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "lossy-cast"), "{findings:?}");
+    // Float targets, try_from, and `use … as …` renames are all clean.
+    assert!(scan_fixture("lossy_cast_neg.rs", &ALL_RULES).is_empty());
+}
+
+#[test]
+fn lossy_cast_only_fires_where_enabled() {
+    // The same source is clean when scanned with a non-lsn rule set.
+    let rules = rules_for_path("crates/scenario/src/runner.rs");
+    assert!(!rules.contains(&Rule::LossyCast));
+    assert!(scan_fixture("lossy_cast_pos.rs", &rules).is_empty());
+}
+
+#[test]
+fn allow_annotations_suppress_and_malformed_allows_are_findings() {
+    let (findings, allows) = scan_rust("allows.rs", &fixture("allows.rs"), &ALL_RULES);
+    // Trailing hash-iter allow and standalone wall-clock allow suppress;
+    // the justification-free lossy-cast allow suppresses nothing and is
+    // itself flagged.
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"bad-allow"), "{findings:?}");
+    assert!(rules.contains(&"lossy-cast"), "malformed allow must not suppress: {findings:?}");
+    assert!(!rules.contains(&"wall-clock"), "{findings:?}");
+    // The second HashMap mention (no annotation) still trips.
+    assert!(rules.contains(&"hash-iter"), "{findings:?}");
+    assert_eq!(findings.iter().filter(|f| f.rule == "hash-iter").count(), 1);
+    assert_eq!(allows.declared(), 2);
+    assert_eq!(allows.used(), 2);
+}
+
+#[test]
+fn schema_accepts_clean_and_rejects_typos() {
+    let keys = live_keys();
+    let mut findings = Vec::new();
+    validate_scenario("scenario_clean.toml", &fixture("scenario_clean.toml"), &keys, &mut findings);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    validate_scenario("scenario_typo.toml", &fixture("scenario_typo.toml"), &keys, &mut findings);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "scenario-schema"));
+    let typo = &findings[0];
+    assert!(typo.message.contains("attack.planes_lots"), "{typo}");
+    assert!(typo.message.contains("did you mean `attack.planes_lost`"), "{typo}");
+    assert!(findings[1].message.contains("made_up.knob"), "{}", findings[1]);
+    assert!(findings[2].message.contains("cannot be a sweep axis"), "{}", findings[2]);
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let report = scan_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; findings:\n{}",
+        report.findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+    // Every allow must be justified AND load-bearing — a stale allow
+    // (declared but suppressing nothing) fails here.
+    assert_eq!(report.allows.declared, report.allows.used, "stale allow annotation");
+    assert!(report.allows.declared <= 4, "allow budget exceeded: {}", report.allows.declared);
+    assert!(report.files_scanned > 50, "scan missed the tree: {}", report.files_scanned);
+    assert!(report.scenarios_checked >= 10, "scan missed scenarios: {}", report.scenarios_checked);
+}
+
+#[test]
+fn workspace_scan_is_deterministic() {
+    let root = workspace_root();
+    let a = scan_workspace(&root).expect("scan");
+    let b = scan_workspace(&root).expect("scan");
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn corrupting_lsn_code_is_caught() {
+    // The acceptance corruption: a hash map introduced into a crates/lsn
+    // hot path must produce findings under that path's rule set.
+    let rules = rules_for_path("crates/lsn/src/percolation.rs");
+    let corrupt = "pub fn bad(n: u64) -> usize {\n    let m = std::collections::HashMap::<u64, \
+                   u64>::new();\n    m.len() + n as usize\n}\n";
+    let (findings, _) = scan_rust("crates/lsn/src/percolation.rs", corrupt, &rules);
+    let rules_hit: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules_hit.contains("hash-iter"), "{findings:?}");
+    assert!(rules_hit.contains("lossy-cast"), "{findings:?}");
+}
+
+#[test]
+fn corrupting_a_scenario_key_is_caught() {
+    // The acceptance corruption: typo one key of a real shipped scenario.
+    let keys = live_keys();
+    let baseline = std::fs::read_to_string(workspace_root().join("scenarios/baseline.toml"))
+        .expect("baseline scenario readable");
+    let corrupt = baseline.replacen("[spares]", "[spare]", 1);
+    assert_ne!(baseline, corrupt, "corruption did not apply");
+    let mut findings = Vec::new();
+    validate_scenario("scenarios/baseline.toml", &corrupt, &keys, &mut findings);
+    assert!(!findings.is_empty(), "typo'd section must be flagged");
+    assert!(findings.iter().all(|f| f.rule == "scenario-schema"));
+}

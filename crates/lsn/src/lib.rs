@@ -48,6 +48,9 @@
 //!   attack against a degraded-network objective.
 //! * [`spares`] — spare provisioning policies (per-plane hot spares vs a
 //!   shared on-demand pool), the paper's "2–10 spares per plane" practice.
+//! * [`cast`] — checked index/count conversions: the sanctioned
+//!   replacements for the `as`-casts the workspace's **lossy-cast** lint
+//!   rule bans in these hot paths.
 //! * [`survivability`] — a discrete-event simulation tying it together:
 //!   failures, replacements, and capacity availability over mission time
 //!   (§5(2): *lighter-weight fault tolerance for low-radiation
@@ -62,6 +65,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cast;
 pub mod disruption;
 pub mod error;
 pub mod failures;

@@ -826,8 +826,9 @@ pub fn optimize_attack(
         starts.push(units);
     }
     for r in 0..config.restarts {
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (crate::cast::count_u64(r) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let mut units: Units = Vec::with_capacity(k);
         let mut taken = vec![false; n_units];
         while units.len() < k {
@@ -853,7 +854,7 @@ pub fn optimize_attack(
         .zip(std::iter::once(greedy_value).chain(start_values))
         .enumerate()
         .map(|(i, (units, value))| {
-            (units, value, seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+            (units, value, seed ^ crate::cast::count_u64(i).wrapping_mul(0xA076_1D64_78BD_642F))
         })
         .collect();
     let auto = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);

@@ -290,7 +290,7 @@ impl<'e, 'a> IncrementalScorer<'e, 'a> {
             Vec::new()
         };
         let n = ev.n_sats();
-        let max_affected = ((n as f64) * ev.repair_threshold).ceil() as usize;
+        let max_affected = crate::cast::f64_to_index(((n as f64) * ev.repair_threshold).ceil());
         let bootstrap = Arc::new(MaskState::bootstrap(n_slots, &ev.all_alive));
         let mut scorer = IncrementalScorer {
             ev,

@@ -101,7 +101,7 @@ impl ClusterStats {
         if self.active == 0 {
             return 0.0;
         }
-        let finite_sq = self.sum_sq - (self.largest as u64).pow(2);
+        let finite_sq = self.sum_sq - crate::cast::count_u64(self.largest).pow(2);
         finite_sq as f64 / self.active as f64
     }
 
@@ -112,7 +112,7 @@ impl ClusterStats {
         if finite_nodes == 0 {
             return 0.0;
         }
-        let finite_sq = self.sum_sq - (self.largest as u64).pow(2);
+        let finite_sq = self.sum_sq - crate::cast::count_u64(self.largest).pow(2);
         finite_sq as f64 / finite_nodes as f64
     }
 }
@@ -212,7 +212,7 @@ impl ClusterTracker {
 
     /// Size of the largest active component.
     pub fn largest_component(&self) -> usize {
-        self.largest as usize
+        crate::cast::count_usize(self.largest)
     }
 
     /// The current cluster statistics.
@@ -220,7 +220,7 @@ impl ClusterTracker {
         ClusterStats {
             active: self.n_active,
             components: self.n_components,
-            largest: self.largest as usize,
+            largest: crate::cast::count_usize(self.largest),
             sum_sq: self.sum_sq,
         }
     }

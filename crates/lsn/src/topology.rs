@@ -538,8 +538,11 @@ impl Topology {
             }
         }
 
-        // Build adjacency (deduplicated, undirected).
-        let mut seen = std::collections::HashSet::new();
+        // Build adjacency (deduplicated, undirected). An ordered set —
+        // never a hash set — so the membership structure itself can
+        // never leak iteration-order nondeterminism into link order
+        // (the hash-iter lint rule bans hash collections here outright).
+        let mut seen = std::collections::BTreeSet::new();
         links.retain(|l| {
             let key =
                 if flat(l.a) < flat(l.b) { (flat(l.a), flat(l.b)) } else { (flat(l.b), flat(l.a)) };
@@ -814,6 +817,29 @@ mod tests {
     fn empty_constellation_rejected() {
         assert!(Constellation::new(Epoch::J2000, vec![]).is_err());
         assert!(Constellation::new(Epoch::J2000, vec![vec![], vec![]]).is_err());
+    }
+
+    /// The legacy builder's dedup pass must be order-stable: the link
+    /// list is a function of the geometry alone, with no duplicate
+    /// undirected pairs and no run-to-run variation (the dedup
+    /// membership set is ordered precisely so it cannot reorder links).
+    #[test]
+    fn plus_grid_at_dedup_is_deterministic() {
+        let c = test_constellation(5, 8);
+        let config = GridTopologyConfig::default();
+        let first = Topology::plus_grid_at(&c, Epoch::J2000, config).unwrap();
+        let offsets = c.plane_offsets();
+        let flat = |id: SatId| offsets[id.plane] + id.slot;
+        let mut pairs = std::collections::BTreeSet::new();
+        for l in &first.links {
+            let key =
+                if flat(l.a) < flat(l.b) { (flat(l.a), flat(l.b)) } else { (flat(l.b), flat(l.a)) };
+            assert!(pairs.insert(key), "duplicate undirected link {l:?} survived dedup");
+        }
+        for _ in 0..3 {
+            let again = Topology::plus_grid_at(&c, Epoch::J2000, config).unwrap();
+            assert_eq!(first.links, again.links, "link order varied between builds");
+        }
     }
 
     #[test]

@@ -234,7 +234,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
+    let rank = crate::cast::f64_to_index((q * sorted.len() as f64).ceil());
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
