@@ -9,7 +9,7 @@ use ssplane_core::evaluate::Fig9Row;
 use ssplane_core::walker_baseline::WalkerBaselineConfig;
 use ssplane_scenario::error::Result;
 use ssplane_scenario::runner::Runner;
-use ssplane_scenario::spec::{DesignKind, ScenarioSpec};
+use ssplane_scenario::spec::ScenarioSpec;
 use ssplane_scenario::sweep::{SweepAxis, SweepSpec};
 use ssplane_scenario::toml::TomlValue;
 
@@ -80,7 +80,7 @@ pub fn data(params: Params) -> Result<Vec<Fig9Point>> {
 /// the total-demand level.
 pub fn sweep_spec(params: &Params) -> SweepSpec {
     let mut base = ScenarioSpec::named("fig9");
-    base.design.kinds = vec![DesignKind::SsPlane, DesignKind::Walker];
+    base.design.kinds = vec!["ss", "wd"];
     base.design.ss = params.ss;
     base.design.wd = params.wd.clone();
     base.radiation.enabled = false;

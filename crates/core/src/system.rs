@@ -18,17 +18,33 @@
 //! * the **satellite geometry** per plane, so the networking stage can
 //!   build ISL topologies for any system, not just the SS design.
 //!
-//! Three designers ship: [`SsDesigner`] (§4.2 greedy cover),
-//! [`WalkerDesigner`] (the demand-aware multi-shell baseline), and
-//! [`RgtDesigner`] (the §2.2 negative result as a design point).
+//! Five designers ship: [`SsDesigner`] (§4.2 greedy cover),
+//! [`WalkerDesigner`] (the demand-aware multi-shell baseline),
+//! [`RgtDesigner`] (the §2.2 negative result as a design point),
+//! [`SlimDesigner`] (plane-slimmed Walker variants per "Your
+//! Mega-Constellations Can Be Slim"), and [`StarlinkDesigner`] (the
+//! deployed Starlink Gen1 shell catalog). [`DESIGNER_REGISTRY`] is the
+//! canonical name/order list consumers resolve against.
 
 use crate::designer::{design_ss_constellation, DesignConfig};
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::rgt_analysis::{design_rgt_constellation, RgtDesignConfig};
-use crate::walker_baseline::{design_walker_constellation, WalkerBaselineConfig};
+use crate::walker_baseline::{design_walker_constellation, WalkerBaselineConfig, WalkerShell};
 use ssplane_astro::kepler::OrbitalElements;
 use ssplane_astro::time::Epoch;
 use ssplane_demand::grid::LatTodGrid;
+
+/// The canonical designer registry: `(name, one-line summary)` in the
+/// fixed order systems execute and serialize in. Report bytes depend on
+/// this order, so new families append — they never reorder the existing
+/// names.
+pub const DESIGNER_REGISTRY: &[(&str, &str)] = &[
+    ("ss", "sun-synchronous SS-plane greedy cover (the paper's design)"),
+    ("wd", "demand-aware multi-shell Walker baseline"),
+    ("rgt", "demand-driven repeat-ground-track design"),
+    ("slim", "plane-slimmed Walker variant (reduced planes per shell)"),
+    ("starlink", "deployed Starlink Gen1 shell catalog"),
+];
 
 /// Inputs shared by every designer besides the demand grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +107,22 @@ pub struct DesignedSystem {
     pub network_order: Vec<usize>,
 }
 
+/// Shell-level metadata of a designed system: one entry per
+/// fluence-evaluation group, in group order. For a multi-shell catalog
+/// (Walker, Starlink) this is the physical shell structure; for the SS
+/// design each plane is its own "shell" at the shared altitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShellMeta {
+    /// Shell altitude \[km\] (from the group's representative elements).
+    pub altitude_km: f64,
+    /// Shell inclination \[deg\].
+    pub inclination_deg: f64,
+    /// Planes tagged with this shell's evaluation-group index.
+    pub planes: usize,
+    /// Satellites in the shell.
+    pub sats: usize,
+}
+
 impl DesignedSystem {
     /// Per-plane satellite elements in network (topology) order.
     pub fn network_planes(&self) -> Vec<Vec<OrbitalElements>> {
@@ -100,6 +132,24 @@ impl DesignedSystem {
     /// Total satellites across planes.
     pub fn total_sats(&self) -> usize {
         self.planes.iter().map(|p| p.n_sats).sum()
+    }
+
+    /// The system's shell structure: one [`ShellMeta`] per evaluation
+    /// group, derived from the group's representative elements and the
+    /// planes tagged with its index — the semantic target of
+    /// `attack.kind = "shell"` (shell `k` destroys exactly the planes of
+    /// `shell_meta()[k]`).
+    pub fn shell_meta(&self) -> Vec<ShellMeta> {
+        self.eval_groups
+            .iter()
+            .enumerate()
+            .map(|(g, (elements, sats))| ShellMeta {
+                altitude_km: elements.altitude_km(),
+                inclination_deg: elements.inclination_deg(),
+                planes: self.planes.iter().filter(|p| p.eval_idx == g).count(),
+                sats: *sats,
+            })
+            .collect()
     }
 }
 
@@ -187,41 +237,51 @@ impl Designer for WalkerDesigner {
 
     fn design(&self, demand: &LatTodGrid, _params: &DesignParams) -> Result<DesignedSystem> {
         let wd = design_walker_constellation(demand, self.config.clone())?;
-        let mut eval_groups = Vec::with_capacity(wd.shells.len());
-        let mut planes: Vec<SystemPlane> = Vec::new();
-        for (s, shell) in wd.shells.iter().enumerate() {
-            let elements =
-                OrbitalElements::circular(shell.altitude_km, shell.inclination, 0.0, 0.0)?;
-            eval_groups.push((elements, shell.n_sats));
-            // The shell's real Walker pattern, one plane per group — the
-            // same geometry `WalkerConstellation::satellites` flattens.
-            for arc in shell.plane_satellites()? {
-                planes.push(SystemPlane { n_sats: arc.len(), eval_idx: s, satellites: arc });
-            }
-        }
-        let total_sats = wd.total_sats();
-        let total_planes = planes.len();
-        let inclination_deg = if total_sats == 0 {
-            0.0
-        } else {
-            wd.shells.iter().map(|s| s.inclination.to_degrees() * s.n_sats as f64).sum::<f64>()
-                / total_sats as f64
-        };
-        let network_order: Vec<usize> = (0..total_planes).collect();
-        Ok(DesignedSystem {
-            summary: DesignSummary {
-                sats: total_sats,
-                planes: total_planes,
-                shells: wd.shells.len(),
-                sats_per_plane: total_sats.checked_div(total_planes).unwrap_or(0),
-                inclination_deg,
-                unserved_demand: 0.0,
-            },
-            eval_groups,
-            planes,
-            network_order,
-        })
+        system_from_shells(&wd.shells)
     }
+}
+
+/// The shared shell-stack assembly of every Walker-shaped family
+/// (Walker baseline, slim variants, the Starlink catalog): one
+/// evaluation group per shell with the shell's circular elements as the
+/// group representative, the shell's real Walker pattern as one plane
+/// per group, satellite-weighted mean inclination, design network
+/// order. Arithmetic is exactly the pre-refactor `WalkerDesigner` body,
+/// so existing `wd` reports stay byte-identical.
+fn system_from_shells(shells: &[WalkerShell]) -> Result<DesignedSystem> {
+    let mut eval_groups = Vec::with_capacity(shells.len());
+    let mut planes: Vec<SystemPlane> = Vec::new();
+    for (s, shell) in shells.iter().enumerate() {
+        let elements = OrbitalElements::circular(shell.altitude_km, shell.inclination, 0.0, 0.0)?;
+        eval_groups.push((elements, shell.n_sats));
+        // The shell's real Walker pattern, one plane per group — the
+        // same geometry `WalkerConstellation::satellites` flattens.
+        for arc in shell.plane_satellites()? {
+            planes.push(SystemPlane { n_sats: arc.len(), eval_idx: s, satellites: arc });
+        }
+    }
+    let total_sats: usize = shells.iter().map(|s| s.n_sats).sum();
+    let total_planes = planes.len();
+    let inclination_deg = if total_sats == 0 {
+        0.0
+    } else {
+        shells.iter().map(|s| s.inclination.to_degrees() * s.n_sats as f64).sum::<f64>()
+            / total_sats as f64
+    };
+    let network_order: Vec<usize> = (0..total_planes).collect();
+    Ok(DesignedSystem {
+        summary: DesignSummary {
+            sats: total_sats,
+            planes: total_planes,
+            shells: shells.len(),
+            sats_per_plane: total_sats.checked_div(total_planes).unwrap_or(0),
+            inclination_deg,
+            unserved_demand: 0.0,
+        },
+        eval_groups,
+        planes,
+        network_order,
+    })
 }
 
 /// The demand-driven repeat-ground-track designer as a [`Designer`] (the
@@ -270,6 +330,126 @@ impl Designer for RgtDesigner {
     }
 }
 
+/// The deployed Starlink Gen1 shell catalog: `(altitude_km,
+/// inclination_deg, planes, sats_per_plane)` per shell, in the FCC
+/// authorization order ("Starlink Constellation: Deployment,
+/// Configuration, and Dynamics" documents the same structure). 4408
+/// satellites across five shells at full scale.
+pub const STARLINK_GEN1_SHELLS: &[(f64, f64, usize, usize)] = &[
+    (550.0, 53.0, 72, 22),
+    (540.0, 53.2, 72, 22),
+    (570.0, 70.0, 36, 20),
+    (560.0, 97.6, 6, 58),
+    (560.0, 97.6, 4, 43),
+];
+
+/// Catalog designer reproducing the deployed Starlink Gen1 shells as a
+/// [`Designer`]. Demand-independent: the catalog *is* the design. One
+/// evaluation group per deployed shell, so fluence and survivability are
+/// computed per shell and `attack.kind = "shell"` destroys exactly one
+/// deployed shell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarlinkDesigner {
+    /// Uniform down-scale of the catalog in `(0, 1]`: each shell keeps
+    /// `max(1, round(planes × scale))` planes of `max(1, round(spp ×
+    /// scale))` satellites, preserving the shell structure at
+    /// test-tractable sizes. `1.0` is the full 4408-satellite catalog.
+    pub scale: f64,
+}
+
+impl Default for StarlinkDesigner {
+    fn default() -> Self {
+        Self { scale: 1.0 }
+    }
+}
+
+impl Designer for StarlinkDesigner {
+    fn name(&self) -> &'static str {
+        "starlink"
+    }
+
+    fn design(&self, _demand: &LatTodGrid, _params: &DesignParams) -> Result<DesignedSystem> {
+        if !(self.scale.is_finite() && self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(CoreError::BadConfig {
+                name: "starlink_scale",
+                constraint: "0 < scale <= 1",
+            });
+        }
+        let shells: Vec<WalkerShell> = STARLINK_GEN1_SHELLS
+            .iter()
+            .map(|&(altitude_km, inclination_deg, planes, spp)| {
+                let planes = ((planes as f64 * self.scale).round() as usize).max(1);
+                let spp = ((spp as f64 * self.scale).round() as usize).max(1);
+                WalkerShell {
+                    inclination: inclination_deg.to_radians(),
+                    altitude_km,
+                    n_sats: planes * spp,
+                    planes,
+                }
+            })
+            .collect();
+        system_from_shells(&shells)
+    }
+}
+
+/// Plane-slimmed Walker variant as a [`Designer`]: runs the demand-aware
+/// Walker baseline, then thins each shell to `clamp(round(planes ×
+/// plane_factor), min_planes, planes)` planes while keeping the per-plane
+/// satellite count — the "Your Mega-Constellations Can Be Slim" recipe of
+/// trading plane count for cost, scored head-to-head on
+/// survivability-per-satellite in the design shootout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlimDesigner {
+    /// The Walker baseline configuration the slimming starts from.
+    pub config: WalkerBaselineConfig,
+    /// Fraction of each shell's planes to keep, in `(0, 1]`.
+    pub plane_factor: f64,
+    /// Floor on planes per shell after slimming (never raises a shell
+    /// above its baseline plane count).
+    pub min_planes: usize,
+}
+
+impl Default for SlimDesigner {
+    fn default() -> Self {
+        Self { config: WalkerBaselineConfig::default(), plane_factor: 0.5, min_planes: 3 }
+    }
+}
+
+impl Designer for SlimDesigner {
+    fn name(&self) -> &'static str {
+        "slim"
+    }
+
+    fn design(&self, demand: &LatTodGrid, _params: &DesignParams) -> Result<DesignedSystem> {
+        if !(self.plane_factor.is_finite() && self.plane_factor > 0.0 && self.plane_factor <= 1.0) {
+            return Err(CoreError::BadConfig {
+                name: "slim_plane_factor",
+                constraint: "0 < factor <= 1",
+            });
+        }
+        if self.min_planes == 0 {
+            return Err(CoreError::BadConfig { name: "slim_min_planes", constraint: ">= 1" });
+        }
+        let wd = design_walker_constellation(demand, self.config.clone())?;
+        let shells: Vec<WalkerShell> = wd
+            .shells
+            .iter()
+            .map(|shell| {
+                let per_plane = (shell.n_sats / shell.planes.max(1)).max(1);
+                let slim_planes = ((shell.planes as f64 * self.plane_factor).round() as usize)
+                    .clamp(self.min_planes.min(shell.planes).max(1), shell.planes.max(1));
+                WalkerShell {
+                    inclination: shell.inclination,
+                    altitude_km: shell.altitude_km,
+                    n_sats: slim_planes * per_plane,
+                    planes: slim_planes,
+                }
+            })
+            .collect();
+        system_from_shells(&shells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,12 +469,14 @@ mod tests {
     }
 
     #[test]
-    fn all_three_designers_produce_consistent_systems() {
+    fn all_registered_designers_produce_consistent_systems() {
         let d = demand();
-        let designers: [&dyn Designer; 3] = [
+        let designers: [&dyn Designer; 5] = [
             &SsDesigner { config: DesignConfig::default() },
             &WalkerDesigner { config: WalkerBaselineConfig::default() },
             &RgtDesigner { config: RgtDesignConfig::default() },
+            &SlimDesigner::default(),
+            &StarlinkDesigner { scale: 0.2 },
         ];
         for designer in designers {
             let sys = designer.design(&d, &params()).unwrap();
@@ -331,5 +513,80 @@ mod tests {
         assert_eq!(SsDesigner { config: DesignConfig::default() }.name(), "ss");
         assert_eq!(WalkerDesigner { config: WalkerBaselineConfig::default() }.name(), "wd");
         assert_eq!(RgtDesigner { config: RgtDesignConfig::default() }.name(), "rgt");
+        assert_eq!(SlimDesigner::default().name(), "slim");
+        assert_eq!(StarlinkDesigner::default().name(), "starlink");
+        let names: Vec<&str> = DESIGNER_REGISTRY.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["ss", "wd", "rgt", "slim", "starlink"]);
+    }
+
+    #[test]
+    fn starlink_catalog_reproduces_deployed_shell_structure() {
+        let sys = StarlinkDesigner::default().design(&demand(), &params()).unwrap();
+        assert_eq!(sys.summary.sats, 4408);
+        assert_eq!(sys.summary.shells, 5);
+        assert_eq!(sys.summary.planes, 72 + 72 + 36 + 6 + 4);
+        let meta = sys.shell_meta();
+        assert_eq!(meta.len(), STARLINK_GEN1_SHELLS.len());
+        for (m, &(alt, inc, planes, spp)) in meta.iter().zip(STARLINK_GEN1_SHELLS) {
+            assert!((m.altitude_km - alt).abs() < 1e-6, "{m:?}");
+            assert!((m.inclination_deg - inc).abs() < 1e-9, "{m:?}");
+            assert_eq!(m.planes, planes, "{m:?}");
+            assert_eq!(m.sats, planes * spp, "{m:?}");
+        }
+        // Shell satellite shares: the semantic `attack.kind = "shell"`
+        // checks against (shell 0 holds 1584/4408 of the constellation).
+        assert_eq!(meta[0].sats, 1584);
+    }
+
+    #[test]
+    fn starlink_scale_shrinks_every_shell_and_rejects_bad_values() {
+        let small = StarlinkDesigner { scale: 0.1 }.design(&demand(), &params()).unwrap();
+        let full = StarlinkDesigner::default().design(&demand(), &params()).unwrap();
+        assert_eq!(small.summary.shells, 5);
+        assert!(small.summary.sats < full.summary.sats);
+        for m in small.shell_meta() {
+            assert!(m.planes >= 1 && m.sats >= 1, "{m:?}");
+        }
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(StarlinkDesigner { scale: bad }.design(&demand(), &params()).is_err());
+        }
+    }
+
+    #[test]
+    fn slim_keeps_shell_structure_with_fewer_sats_than_walker() {
+        let d = demand();
+        let wd = WalkerDesigner { config: WalkerBaselineConfig::default() }
+            .design(&d, &params())
+            .unwrap();
+        let slim = SlimDesigner::default().design(&d, &params()).unwrap();
+        assert_eq!(slim.summary.shells, wd.summary.shells);
+        assert!(slim.summary.sats <= wd.summary.sats);
+        assert!(slim.summary.planes <= wd.summary.planes);
+        for (s, w) in slim.shell_meta().iter().zip(wd.shell_meta()) {
+            assert!(s.planes <= w.planes && s.planes >= 1, "{s:?} vs {w:?}");
+            assert!((s.altitude_km - w.altitude_km).abs() < 1e-9);
+        }
+        // factor = 1 is the identity on the plane structure.
+        let same = SlimDesigner { plane_factor: 1.0, ..SlimDesigner::default() }
+            .design(&d, &params())
+            .unwrap();
+        assert_eq!(same.summary.planes, wd.summary.planes);
+        for bad in [0.0, 2.0, f64::NAN] {
+            let designer = SlimDesigner { plane_factor: bad, ..SlimDesigner::default() };
+            assert!(designer.design(&d, &params()).is_err());
+        }
+        let designer = SlimDesigner { min_planes: 0, ..SlimDesigner::default() };
+        assert!(designer.design(&d, &params()).is_err());
+    }
+
+    #[test]
+    fn shell_meta_matches_eval_groups_and_plane_tags() {
+        let sys = WalkerDesigner { config: WalkerBaselineConfig::default() }
+            .design(&demand(), &params())
+            .unwrap();
+        let meta = sys.shell_meta();
+        assert_eq!(meta.len(), sys.eval_groups.len());
+        assert_eq!(meta.iter().map(|m| m.sats).sum::<usize>(), sys.total_sats());
+        assert_eq!(meta.iter().map(|m| m.planes).sum::<usize>(), sys.planes.len());
     }
 }

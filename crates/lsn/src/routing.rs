@@ -478,13 +478,21 @@ fn serving_scan(
 }
 
 /// A per-snapshot ground-attachment accelerator: precomputes every
-/// satellite's declination and a conservative maximum central angle, so
-/// each query only runs the exact elevation math on the satellites whose
-/// declination band can possibly clear `min_elevation`. A satellite
-/// outside the band has central angle > the band bound >= its own
-/// visibility cap, hence elevation < `min_elevation` — so the pruned
-/// query returns exactly what [`serving_satellite`] returns (candidates
-/// are still evaluated in flat order with the same strict comparison).
+/// satellite's declination and its own conservative maximum central
+/// angle, so each query only runs the exact elevation math on the
+/// satellites whose declination band can possibly clear `min_elevation`.
+/// A satellite outside its band has central angle > its own visibility
+/// cap, hence elevation < `min_elevation` — so the pruned query returns
+/// exactly what [`serving_satellite`] returns (candidates are still
+/// evaluated in flat order with the same strict comparison).
+///
+/// The band is **per satellite**, derived from each satellite's own
+/// altitude: on a multi-shell constellation (a deployed catalog mixing
+/// 540 km and 570 km shells, say) a low-shell satellite is pruned by its
+/// own tighter visibility cap instead of the fleet-wide maximum, and a
+/// mixed-altitude fleet never widens anyone's band. Per-satellite caps
+/// are still conservative, so answers are identical to the single-band
+/// index on single-shell fleets.
 ///
 /// Build one per snapshot when answering many queries (traffic
 /// assignment); for a single lookup the plain scan is cheaper.
@@ -495,37 +503,43 @@ pub struct ServingIndex<'a> {
     /// Per-satellite declination \[rad\], flat order; empty when pruning
     /// is disabled and queries fall back to the full scan.
     declinations: Vec<f64>,
-    /// Conservative band half-width: the largest visibility cap over the
-    /// constellation plus slack for the declination/central-angle bound.
-    band_rad: f64,
+    /// Per-satellite band half-width \[rad\], flat order: the satellite's
+    /// own visibility cap plus slack for the declination/central-angle
+    /// bound. Same length as `declinations`.
+    bands: Vec<f64>,
 }
 
 impl<'a> ServingIndex<'a> {
     /// Builds the index. Pruning needs a meaningful elevation mask
-    /// (`0 < min_elevation < pi/2`) and a finite visibility cap; for
-    /// anything else the index degrades to the exact full scan.
+    /// (`0 < min_elevation < pi/2`) and a finite visibility cap for every
+    /// satellite; for anything else the index degrades to the exact full
+    /// scan.
     pub fn new(snapshot: Snapshot<'a>, min_elevation: f64) -> Self {
         let n = snapshot.total_sats();
         let mut declinations = Vec::with_capacity(n);
-        let mut max_altitude = f64::NEG_INFINITY;
+        let mut bands = Vec::with_capacity(n);
+        let prune = min_elevation > 0.0 && min_elevation < std::f64::consts::FRAC_PI_2;
         for flat in 0..n {
             let r = snapshot.position_flat(flat);
             let norm = r.norm();
             declinations.push((r.z / norm).asin());
-            max_altitude = max_altitude.max(norm - EARTH_RADIUS_KM);
-        }
-        let cap = if min_elevation > 0.0 && min_elevation < std::f64::consts::FRAC_PI_2 {
-            ssplane_astro::coverage::coverage_half_angle(max_altitude, min_elevation).ok()
-        } else {
-            None
-        };
-        match cap {
+            if !prune {
+                continue;
+            }
             // 1e-6 rad of slack absorbs the rounding between the
             // declination-difference bound and the exact central angle.
-            Some(c) => ServingIndex { snapshot, min_elevation, declinations, band_rad: c + 1e-6 },
-            None => {
-                ServingIndex { snapshot, min_elevation, declinations: Vec::new(), band_rad: 0.0 }
+            match ssplane_astro::coverage::coverage_half_angle(
+                norm - EARTH_RADIUS_KM,
+                min_elevation,
+            ) {
+                Ok(cap) => bands.push(cap + 1e-6),
+                Err(_) => break,
             }
+        }
+        if bands.len() == n {
+            ServingIndex { snapshot, min_elevation, declinations, bands }
+        } else {
+            ServingIndex { snapshot, min_elevation, declinations: Vec::new(), bands: Vec::new() }
         }
     }
 
@@ -560,7 +574,7 @@ impl<'a> ServingIndex<'a> {
             // cannot serve at all.
             if !self.snapshot.is_alive_flat(flat)
                 || extra.is_some_and(|m| !m[flat])
-                || (self.declinations[flat] - g_dec).abs() > self.band_rad
+                || (self.declinations[flat] - g_dec).abs() > self.bands[flat]
             {
                 continue;
             }

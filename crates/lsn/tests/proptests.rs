@@ -16,7 +16,7 @@ use ssplane_lsn::optimizer::{AttackObjective, DegradedEvaluator};
 use ssplane_lsn::percolation::{
     keyed_ordering, percolation_sweep, plane_spread_ordering, random_ordering, ClusterTracker,
 };
-use ssplane_lsn::routing::shortest_path;
+use ssplane_lsn::routing::{serving_satellite, shortest_path, ServingIndex};
 use ssplane_lsn::snapshot::SnapshotSeries;
 use ssplane_lsn::spares::spares_for_availability;
 use ssplane_lsn::topology::{line_of_sight, Constellation, GridTopologyConfig, SatId, Topology};
@@ -198,6 +198,63 @@ proptest! {
         let series = SnapshotSeries::build(&c, &[t]).unwrap();
         let snapshot = Topology::plus_grid(&series.snapshot(0), config).unwrap();
         assert_topologies_identical(&legacy, &snapshot);
+    }
+
+    /// Cross-shell ground attachment: the pruned [`ServingIndex`] (whose
+    /// declination bands are now per satellite, from each satellite's own
+    /// altitude) must return exactly what the brute-force
+    /// nearest-satellite scan returns on random multi-shell geometries —
+    /// same winner, same elevation, same lowest-flat-index tie-break —
+    /// both unmasked and under a random alive mask.
+    #[test]
+    fn serving_index_matches_brute_force_across_shells(
+        shells in collection::vec(
+            (450.0f64..1200.0, 40.0f64..98.0, 2usize..5, 3usize..9),
+            2usize..4,
+        ),
+        min_elevation_deg in 5.0f64..40.0,
+        dt in 0.0f64..86_400.0,
+        kill in 0.0f64..0.7,
+        mask_seed in 0u64..10_000,
+        ground in collection::vec((-80.0f64..80.0, -180.0f64..180.0), 4usize..9),
+    ) {
+        // Each shell contributes its own Walker-delta plane block at its
+        // own altitude and inclination; concatenating the plane lists
+        // yields the mixed-altitude constellation the index must span.
+        let mut element_planes: Vec<Vec<OrbitalElements>> = Vec::new();
+        for &(altitude_km, inclination_deg, planes, per_plane) in &shells {
+            let pattern = ssplane_astro::walker::WalkerDelta::new(
+                altitude_km,
+                inclination_deg.to_radians(),
+                planes * per_plane,
+                planes,
+                0,
+            )
+            .unwrap()
+            .generate()
+            .unwrap();
+            element_planes.extend(pattern.chunks(per_plane).map(<[_]>::to_vec));
+        }
+        let c = Constellation::from_planes(Epoch::J2000, element_planes).unwrap();
+        let series = SnapshotSeries::build(&c, &[Epoch::J2000 + dt]).unwrap();
+        let snapshot = series.snapshot(0);
+        let min_elevation = min_elevation_deg.to_radians();
+        let index = ServingIndex::new(snapshot, min_elevation);
+        let mut rng = StdRng::seed_from_u64(mask_seed);
+        let alive: Vec<bool> = (0..c.total_sats()).map(|_| rng.gen::<f64>() >= kill).collect();
+        for &(lat, lon) in &ground {
+            let g = GeoPoint::from_degrees(lat, lon);
+            prop_assert_eq!(
+                index.query(g),
+                serving_satellite(&snapshot, g, min_elevation),
+                "unmasked attachment diverged at ({}, {})", lat, lon
+            );
+            prop_assert_eq!(
+                index.query_masked(g, &alive),
+                serving_satellite(&snapshot.with_alive(&alive), g, min_elevation),
+                "masked attachment diverged at ({}, {})", lat, lon
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!
 //! SOURCE             a scenario TOML file, or a built-in name
 //!                    (default: the built-in 'paper-grid' sweep)
-//! --list             list built-in scenarios and exit
+//! --list             list registered designers and built-in scenarios,
+//!                    then exit
 //! --threads N        worker threads (default: all cores)
 //! --out PATH         write JSON-lines reports to PATH (default: stdout)
 //! --summary          print the per-scenario summary table to stderr
@@ -103,6 +104,10 @@ fn main() -> ExitCode {
     }
 
     if args.list {
+        println!("registered designers (design.kind / design.kinds):");
+        for (name, summary) in ssplane_core::system::DESIGNER_REGISTRY {
+            println!("  {name:<20} {summary}");
+        }
         println!("built-in scenarios:");
         for b in library::BUILTINS {
             let points = library::sweep(b).and_then(|s| s.expand()).map(|v| v.len());

@@ -70,5 +70,5 @@ pub mod toml;
 pub use error::{Result, ScenarioError};
 pub use report::{NamedSystemReport, ScenarioReport, SystemReport};
 pub use runner::{execute_scenario, execute_scenario_timed, Runner, ScenarioTimings, SweepOutcome};
-pub use spec::{DesignKind, ScenarioSpec};
+pub use spec::{resolve_design_kind, ScenarioSpec};
 pub use sweep::SweepSpec;

@@ -61,8 +61,13 @@ pub const BUILTINS: &[Builtin] = &[
     },
     Builtin {
         name: "design-shootout",
-        summary: "SS vs Walker vs RGT: the full designer registry on one demand",
+        summary: "the full designer registry side by side, scored per satellite spent",
         toml: include_str!("../../../scenarios/design-shootout.toml"),
+    },
+    Builtin {
+        name: "design-catalog",
+        summary: "deployed Starlink shells + slim Walker under whole-shell attacks",
+        toml: include_str!("../../../scenarios/design-catalog.toml"),
     },
     Builtin {
         name: "time-resolved",
@@ -136,6 +141,7 @@ mod tests {
             "mega-constellation",
             "walker-network",
             "design-shootout",
+            "design-catalog",
             "time-resolved",
             "disruption",
             "attack-opt",

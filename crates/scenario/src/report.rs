@@ -143,6 +143,36 @@ impl AttackSearchReport {
     }
 }
 
+/// Survivability normalized by the satellites the design spends — the
+/// shootout's efficiency axis: a catalog constellation can post a higher
+/// raw availability than a slim variant while buying each availability
+/// point with far more hardware. Present only with
+/// `survivability.per_satellite = true`, so every scenario without the
+/// key — including all pre-shootout goldens — serializes exactly as
+/// before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerSatelliteReport {
+    /// Designed satellites — the normalization denominator.
+    pub sats: usize,
+    /// Availability bought per thousand designed satellites.
+    pub availability_per_ksat: f64,
+    /// Vacancy slot-days per designed satellite.
+    pub lost_slot_days_per_sat: f64,
+    /// Up-front spares parked per designed satellite.
+    pub spares_per_sat: f64,
+}
+
+impl PerSatelliteReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .uint("sats", self.sats as u64)
+            .num("availability_per_ksat", self.availability_per_ksat)
+            .num("lost_slot_days_per_sat", self.lost_slot_days_per_sat)
+            .num("spares_per_sat", self.spares_per_sat)
+            .build()
+    }
+}
+
 /// Survivability-stage outcome for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SurvivabilityOutcome {
@@ -158,18 +188,24 @@ pub struct SurvivabilityOutcome {
     pub spares_consumed: usize,
     /// Spares the policy parks up front.
     pub initial_spares: usize,
+    /// Per-satellite normalization (only with
+    /// `survivability.per_satellite`).
+    pub per_satellite: Option<PerSatelliteReport>,
 }
 
 impl SurvivabilityOutcome {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .num("availability", self.availability)
             .uint("failures", self.failures as u64)
             .uint("replacements", self.replacements as u64)
             .num("lost_slot_days", self.lost_slot_days)
             .uint("spares_consumed", self.spares_consumed as u64)
-            .uint("initial_spares", self.initial_spares as u64)
-            .build()
+            .uint("initial_spares", self.initial_spares as u64);
+        if let Some(p) = &self.per_satellite {
+            obj = obj.field("per_satellite", p.to_json());
+        }
+        obj.build()
     }
 }
 
@@ -530,8 +566,8 @@ impl SystemReport {
 /// One designed system's results, tagged with its registry name.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NamedSystemReport {
-    /// The designer's registry name (`"ss"`, `"wd"`, `"rgt"`) — also the
-    /// system's JSON key in the report line.
+    /// The designer's registry name (`"ss"`, `"wd"`, `"rgt"`, `"slim"`,
+    /// `"starlink"`) — also the system's JSON key in the report line.
     pub system: String,
     /// The system's per-stage results.
     pub report: SystemReport,
@@ -554,8 +590,9 @@ pub struct ScenarioReport {
     /// Evaluation epoch \[Julian date\] of the radiation stage.
     pub epoch_jd: f64,
     /// Per-system results, always in **registry order** (`ss`, `wd`,
-    /// `rgt`) regardless of how the spec listed its kinds — so the JSON
-    /// bytes are a pure function of the parameter point.
+    /// `rgt`, `slim`, `starlink`) regardless of how the spec listed its
+    /// kinds — so the JSON bytes are a pure function of the parameter
+    /// point.
     pub systems: Vec<NamedSystemReport>,
 }
 

@@ -23,16 +23,18 @@
 use crate::error::{Result, ScenarioError};
 use crate::report::{
     AttackReport, AttackSearchReport, DegradedNetworkReport, DesignReport, FluenceReport,
-    NamedSystemReport, NetworkReport, PercolationModelReport, PercolationReport, ScenarioReport,
-    ServedDemandReport, SurvivabilityOutcome, SystemReport, TimeGridReport,
+    NamedSystemReport, NetworkReport, PerSatelliteReport, PercolationModelReport,
+    PercolationReport, ScenarioReport, ServedDemandReport, SurvivabilityOutcome, SystemReport,
+    TimeGridReport,
 };
-use crate::spec::{AttackKind, AttackUnit, DesignKind, DesignSpec, ScenarioSpec, TrafficModel};
+use crate::spec::{AttackKind, AttackUnit, DesignSpec, ScenarioSpec, TrafficModel};
 use crate::sweep::SweepSpec;
 use ssplane_astro::geo::GeoPoint;
 use ssplane_astro::time::Epoch;
 use ssplane_core::evaluate::{plane_fluence_samples, weighted_median_fluence};
 use ssplane_core::system::{
-    DesignParams, DesignSummary, DesignedSystem, Designer, RgtDesigner, SsDesigner, WalkerDesigner,
+    DesignParams, DesignSummary, DesignedSystem, Designer, RgtDesigner, SlimDesigner, SsDesigner,
+    StarlinkDesigner, WalkerDesigner,
 };
 use ssplane_demand::gravity::{gravity_flows, grid_demand_total, GravityConfig};
 use ssplane_demand::grid::LatTodGrid;
@@ -98,14 +100,48 @@ fn shared_demand_model(seed: u64) -> Arc<DemandModel> {
         .clone()
 }
 
-/// The designer registry: the [`Designer`] a [`DesignKind`] names,
-/// configured from the spec.
-fn designer_for(kind: DesignKind, design: &DesignSpec) -> Box<dyn Designer> {
+/// The designer registry: the [`Designer`] a registry name (an entry of
+/// `ssplane_core::system::DESIGNER_REGISTRY`, as validated by
+/// [`crate::spec::resolve_design_kind`]) selects, configured from the
+/// spec. The fallthrough arm is `ss` — spec validation guarantees every
+/// kind reaching the pipeline is a registry name.
+fn designer_for(kind: &str, design: &DesignSpec) -> Box<dyn Designer> {
     match kind {
-        DesignKind::SsPlane => Box::new(SsDesigner { config: design.ss }),
-        DesignKind::Walker => Box::new(WalkerDesigner { config: design.wd.clone() }),
-        DesignKind::Rgt => Box::new(RgtDesigner { config: design.rgt.clone() }),
+        "wd" => Box::new(WalkerDesigner { config: design.wd.clone() }),
+        "rgt" => Box::new(RgtDesigner { config: design.rgt.clone() }),
+        "slim" => Box::new(SlimDesigner {
+            config: design.wd.clone(),
+            plane_factor: design.slim_plane_factor,
+            min_planes: design.slim_min_planes,
+        }),
+        "starlink" => Box::new(StarlinkDesigner { scale: design.starlink_scale }),
+        _ => Box::new(SsDesigner { config: design.ss }),
     }
+}
+
+/// The optional survivability-per-satellite normalization
+/// (`survivability.per_satellite`): outcome metrics divided by the
+/// *designed* fleet size, so systems of very different scale (a slim
+/// Walker vs the deployed Starlink catalog) compare on efficiency rather
+/// than raw totals. `None` when the switch is off or the design is empty
+/// — the block never changes existing bytes.
+fn per_satellite_block(
+    spec: &ScenarioSpec,
+    design_sats: usize,
+    availability: f64,
+    lost_slot_days: f64,
+    initial_spares: usize,
+) -> Option<PerSatelliteReport> {
+    if !spec.survivability.per_satellite || design_sats == 0 {
+        return None;
+    }
+    let n = design_sats as f64;
+    Some(PerSatelliteReport {
+        sats: design_sats,
+        availability_per_ksat: availability / n * 1000.0,
+        lost_slot_days_per_sat: lost_slot_days / n,
+        spares_per_sat: initial_spares as f64 / n,
+    })
 }
 
 /// Per-stage wall-clock of one scenario — the timing side channel. Kept
@@ -306,6 +342,7 @@ fn system_report(
                 lost_slot_days: 0.0,
                 spares_consumed: 0,
                 initial_spares: 0,
+                per_satellite: per_satellite_block(spec, sys.total_sats(), 0.0, 0.0, 0),
             });
         } else {
             let doses: Vec<DailyFluence> = surviving.iter().map(|&(i, _)| plane_doses[i]).collect();
@@ -324,13 +361,21 @@ fn system_report(
                     spec.survivability.sim_config(spec.seed),
                 )
             })?;
+            let initial_spares = spec.survivability.policy.total_spares(surviving.len());
             report.survivability = Some(SurvivabilityOutcome {
                 availability: sim.availability,
                 failures: sim.failures,
                 replacements: sim.replacements,
                 lost_slot_days: sim.lost_slot_days,
                 spares_consumed: sim.spares_consumed,
-                initial_spares: spec.survivability.policy.total_spares(surviving.len()),
+                initial_spares,
+                per_satellite: per_satellite_block(
+                    spec,
+                    sys.total_sats(),
+                    sim.availability,
+                    sim.lost_slot_days,
+                    initial_spares,
+                ),
             });
         }
     }
@@ -1217,7 +1262,8 @@ impl SweepOutcome {
 
     /// A human-readable aggregate summary (one row per scenario).
     pub fn summary(&self) -> String {
-        const SYSTEMS: [(&str, &str); 3] = [("ss", "SS"), ("wd", "WD"), ("rgt", "RGT")];
+        const SYSTEMS: [(&str, &str); 5] =
+            [("ss", "SS"), ("wd", "WD"), ("rgt", "RGT"), ("slim", "SLIM"), ("starlink", "STAR")];
         let mut out = String::new();
         out.push_str(&format!("{:<52}", "scenario"));
         for (_, label) in SYSTEMS {
@@ -1345,7 +1391,7 @@ mod tests {
         let mut spec = tiny_spec();
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.network.enabled = true;
         spec.network.n_flows = 20;
         spec.network.slots = 2;
@@ -1401,7 +1447,7 @@ mod tests {
         let mut spec = tiny_spec();
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.planes_lost = 2;
         spec.network.enabled = true;
         spec.network.n_flows = 20;
@@ -1426,7 +1472,7 @@ mod tests {
         let mut spec = tiny_spec();
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.kind = AttackKind::Optimized;
         spec.attack.objective = AttackObjective::MaskingThreshold;
         spec.attack.unit = AttackUnit::Planes;
@@ -1490,7 +1536,7 @@ mod tests {
     #[test]
     fn rgt_kind_runs_end_to_end() {
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane, DesignKind::Walker, DesignKind::Rgt];
+        spec.design.kinds = vec!["ss", "wd", "rgt"];
         let report = execute_scenario(&spec).unwrap();
         assert_eq!(
             report.systems.iter().map(|s| s.system.as_str()).collect::<Vec<_>>(),
@@ -1509,9 +1555,9 @@ mod tests {
     #[test]
     fn kinds_order_never_changes_the_bytes() {
         let mut forward = tiny_spec();
-        forward.design.kinds = vec![DesignKind::SsPlane, DesignKind::Walker];
+        forward.design.kinds = vec!["ss", "wd"];
         let mut reversed = tiny_spec();
-        reversed.design.kinds = vec![DesignKind::Walker, DesignKind::SsPlane];
+        reversed.design.kinds = vec!["wd", "ss"];
         let a = execute_scenario(&forward).unwrap().to_json_line();
         let b = execute_scenario(&reversed).unwrap().to_json_line();
         assert_eq!(a, b, "registry order must make kinds ordering irrelevant");
@@ -1520,7 +1566,7 @@ mod tests {
     #[test]
     fn walker_network_stage_runs() {
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::Walker];
+        spec.design.kinds = vec!["wd"];
         spec.survivability.enabled = false;
         spec.radiation.enabled = false;
         spec.network.enabled = true;
@@ -1535,7 +1581,7 @@ mod tests {
     #[test]
     fn multi_slot_time_grid_adds_the_time_resolved_block() {
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         spec.network.enabled = true;
@@ -1574,7 +1620,7 @@ mod tests {
         // the stage rides the already-built per-slot topologies; the
         // route metrics must be exactly what a separate series yields.
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         spec.network.enabled = true;
@@ -1631,7 +1677,7 @@ mod tests {
         let mut spec = tiny_spec();
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         let a = execute_scenario(&spec).unwrap();
         spec.demand.seed = 43;
         let b = execute_scenario(&spec).unwrap();
@@ -1644,7 +1690,7 @@ mod tests {
     #[test]
     fn attack_reduces_capacity_and_is_reported() {
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.planes_lost = 2;
         let report = execute_scenario(&spec).unwrap();
         let ss = report.system("ss").unwrap();
@@ -1661,10 +1707,10 @@ mod tests {
         // the historically strided plane indices.
         use ssplane_lsn::disruption::strided_plane_indices;
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
-        let designer = designer_for(DesignKind::SsPlane, &spec.design);
+        let designer = designer_for("ss", &spec.design);
         let model = shared_demand_model(spec.demand.seed);
         let grid = LatTodGrid::from_model(&model, spec.demand.lat_bins, spec.demand.tod_bins)
             .unwrap()
@@ -1686,7 +1732,7 @@ mod tests {
         // `attack.planes_lost = 0` under the default kind must produce no
         // attack block at all — the golden fixtures' contract.
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.planes_lost = 0;
         let report = execute_scenario(&spec).unwrap();
         let ss = report.system("ss").unwrap();
@@ -1754,7 +1800,7 @@ mod tests {
     fn random_and_band_attacks_run_end_to_end() {
         use crate::spec::AttackKind;
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.kind = AttackKind::RandomSats;
         spec.attack.sats_lost = 25;
         let report = execute_scenario(&spec).unwrap();
@@ -1784,7 +1830,7 @@ mod tests {
     fn shell_attack_and_weibull_process() {
         use crate::spec::{AttackKind, FailureKind};
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::Walker];
+        spec.design.kinds = vec!["wd"];
         spec.attack.kind = AttackKind::Shell;
         spec.attack.shell = 0;
         spec.survivability.failure_kind = FailureKind::Weibull;
@@ -1803,7 +1849,7 @@ mod tests {
     #[test]
     fn with_outages_adds_the_degraded_block() {
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.planes_lost = 2;
         spec.network.enabled = true;
         spec.network.n_flows = 30;
@@ -1853,7 +1899,7 @@ mod tests {
         // Degraded networking from the attack mask alone: radiation and
         // survivability off.
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         spec.attack.planes_lost = 3;
@@ -1874,7 +1920,7 @@ mod tests {
     #[test]
     fn total_wipeout_reports_zero_availability() {
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.planes_lost = 100_000;
         let report = execute_scenario(&spec).unwrap();
         let ss = report.system("ss").unwrap();
@@ -2015,7 +2061,7 @@ mod tests {
     fn optimized_attack_beats_its_fixed_baseline_and_is_deterministic() {
         use crate::spec::{AttackKind, AttackUnit};
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.attack.kind = AttackKind::Optimized;
         spec.attack.unit = AttackUnit::Planes;
         spec.attack.budget = 2;
@@ -2085,7 +2131,7 @@ mod tests {
     fn optimized_satellite_budget_runs_with_random_baseline() {
         use crate::spec::{AttackKind, AttackUnit};
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         spec.attack.kind = AttackKind::Optimized;
@@ -2110,7 +2156,7 @@ mod tests {
     fn gravity_traffic_reports_served_demand_and_degrades_under_attack() {
         use crate::spec::TrafficModel;
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         spec.network.enabled = true;
@@ -2169,7 +2215,7 @@ mod tests {
         // The default traffic model leaves the report byte-identical to
         // the pre-engine engine: no served block anywhere.
         let mut spec = tiny_spec();
-        spec.design.kinds = vec![DesignKind::SsPlane];
+        spec.design.kinds = vec!["ss"];
         spec.radiation.enabled = false;
         spec.survivability.enabled = false;
         spec.network.enabled = true;
@@ -2210,5 +2256,114 @@ mod tests {
         let ss = report.system("ss").unwrap();
         assert!(ss.fluence.is_none());
         assert!(ss.survivability.is_none());
+    }
+
+    #[test]
+    fn shell_attack_on_the_catalog_destroys_exactly_one_shell() {
+        // The multi-shell contract end to end through the scenario
+        // surface: on the deployed-catalog designer, `attack.kind =
+        // "shell"` must destroy exactly the chosen shell's satellites
+        // (alive fraction = 1 − that shell's share), different shell
+        // indices must produce different degraded outcomes, and the
+        // degraded block must be rerun-byte-deterministic.
+        use crate::spec::AttackKind;
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec!["starlink"];
+        // Large enough that the +grid routes flows: shells 0 and 1 are
+        // structural twins (72×22 at 550/540 km), so only live routing
+        // over their distinct geometries can tell their attacks apart.
+        spec.design.starlink_scale = 0.3;
+        spec.radiation.enabled = false;
+        spec.survivability.enabled = false;
+        spec.attack.kind = AttackKind::Shell;
+        spec.network.enabled = true;
+        spec.network.n_flows = 20;
+        spec.network.slots = 2;
+        spec.network.with_outages = true;
+
+        // The catalog's shell structure, from the same designer the
+        // pipeline will run.
+        let designer = designer_for("starlink", &spec.design);
+        let model = shared_demand_model(spec.demand.seed);
+        let grid = LatTodGrid::from_model(&model, spec.demand.lat_bins, spec.demand.tod_bins)
+            .unwrap()
+            .scaled(1.0);
+        let sys = designer.design(&grid, &DesignParams { epoch: spec.radiation.epoch() }).unwrap();
+        let meta = sys.shell_meta();
+        assert_eq!(meta.len(), 5, "the scaled catalog keeps all five deployed shells");
+        let total: usize = meta.iter().map(|m| m.sats).sum();
+
+        let mut lines = Vec::new();
+        for (shell, m) in meta.iter().enumerate() {
+            spec.attack.shell = shell;
+            let report = execute_scenario(&spec).unwrap();
+            let sys_report = report.system("starlink").expect("catalog system present");
+            let attack = sys_report.attack.as_ref().expect("shell attack ran");
+            assert_eq!(attack.sats_lost, m.sats, "shell {shell} loses its own sats");
+            assert_eq!(attack.planes_lost, m.planes, "whole planes of shell {shell}");
+            let share = m.sats as f64 / total as f64;
+            assert!(
+                (attack.capacity_retained - (1.0 - share)).abs() < 1e-12,
+                "alive fraction must be 1 − shell share: {} vs {}",
+                attack.capacity_retained,
+                1.0 - share
+            );
+            let deg =
+                sys_report.network.as_ref().unwrap().degraded.as_ref().expect("with_outages on");
+            assert!((deg.mean_alive_fraction - (1.0 - share)).abs() < 1e-12);
+            // Rerun determinism of the whole line, degraded block included.
+            let line = report.to_json_line();
+            assert_eq!(line, execute_scenario(&spec).unwrap().to_json_line());
+            lines.push(line);
+        }
+        // Different shells are different attacks: no two degraded
+        // outcomes (nor whole report lines) may coincide.
+        for i in 0..lines.len() {
+            for j in i + 1..lines.len() {
+                assert_ne!(lines[i], lines[j], "shells {i} and {j} produced identical bytes");
+            }
+        }
+        // Out-of-range shells error per scenario, exactly as on
+        // single-shell systems.
+        spec.attack.shell = meta.len();
+        assert!(execute_scenario(&spec).is_err());
+    }
+
+    #[test]
+    fn per_satellite_block_is_opt_in_and_normalizes_by_design_sats() {
+        let mut spec = tiny_spec();
+        spec.design.kinds = vec!["ss", "slim"];
+
+        // Off by default: bytes carry no per_satellite key.
+        let plain = execute_scenario(&spec).unwrap();
+        assert!(plain
+            .system("ss")
+            .unwrap()
+            .survivability
+            .as_ref()
+            .unwrap()
+            .per_satellite
+            .is_none());
+        assert!(!plain.to_json_line().contains("per_satellite"));
+
+        spec.survivability.per_satellite = true;
+        let report = execute_scenario(&spec).unwrap();
+        for name in ["ss", "slim"] {
+            let sys = report.system(name).unwrap();
+            let surv = sys.survivability.as_ref().unwrap();
+            let per = surv.per_satellite.as_ref().expect("opt-in block present");
+            assert_eq!(per.sats, sys.design.sats, "denominator is the designed fleet");
+            let n = per.sats as f64;
+            assert!((per.availability_per_ksat - surv.availability / n * 1000.0).abs() < 1e-12);
+            assert!((per.lost_slot_days_per_sat - surv.lost_slot_days / n).abs() < 1e-12);
+            assert!((per.spares_per_sat - surv.initial_spares as f64 / n).abs() < 1e-12);
+        }
+        let ss = report.system("ss").unwrap();
+        let slim = report.system("slim").unwrap();
+        let line = report.to_json_line();
+        assert!(line.contains(r#""per_satellite":{"sats":"#), "{line}");
+        // The switch changes nothing outside the survivability block.
+        assert_eq!(ss.design, plain.system("ss").unwrap().design);
+        assert_eq!(slim.network, plain.system("slim").unwrap().network);
     }
 }

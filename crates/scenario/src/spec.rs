@@ -12,6 +12,7 @@ use crate::error::{Result, ScenarioError};
 use ssplane_astro::time::Epoch;
 use ssplane_core::designer::{BranchRule, DesignConfig};
 use ssplane_core::rgt_analysis::RgtDesignConfig;
+use ssplane_core::system::DESIGNER_REGISTRY;
 use ssplane_core::walker_baseline::{SupplyModel, WalkerBaselineConfig};
 use ssplane_lsn::disruption::{
     AttackModel, DeclinationBand, FailureProcess, LeadingPlanes, RadiationExponential, RandomSats,
@@ -22,55 +23,66 @@ use ssplane_lsn::optimizer::{AttackBudget, AttackObjective, AttackSearchConfig};
 use ssplane_lsn::spares::SparePolicy;
 use ssplane_lsn::survivability::SurvivabilityConfig;
 
-/// One constellation design family the engine can evaluate — the spec's
-/// name for a [`ssplane_core::system::Designer`] registry entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum DesignKind {
-    /// The SS-plane design (§4.2 greedy cover).
-    SsPlane,
-    /// The demand-aware multi-shell Walker baseline.
-    Walker,
-    /// The repeat-ground-track design (the §2.2 negative result as a
-    /// runnable design point).
-    Rgt,
+/// Accepted spellings of each canonical designer name, for specs written
+/// against older tokens (`"walker"` predates the `wd` registry name).
+const DESIGN_KIND_ALIASES: &[(&str, &str)] =
+    &[("ss-plane", "ss"), ("ssplane", "ss"), ("walker", "wd"), ("wd", "wd")];
+
+/// Resolves a `design.kind` token against the [`DESIGNER_REGISTRY`]:
+/// the canonical names themselves plus the historical aliases. Adding a
+/// `Designer` to the core registry makes its name parse here with no
+/// spec edit.
+///
+/// # Errors
+/// [`ScenarioError::BadValue`] listing the registered names, with a
+/// did-you-mean hint when the token is a near miss.
+pub fn resolve_design_kind(s: &str) -> Result<&'static str> {
+    if let Some(&(_, canonical)) = DESIGN_KIND_ALIASES.iter().find(|&&(alias, _)| alias == s) {
+        return Ok(canonical);
+    }
+    if let Some(&(name, _)) = DESIGNER_REGISTRY.iter().find(|&&(name, _)| name == s) {
+        return Ok(name);
+    }
+    let names: Vec<&str> = DESIGNER_REGISTRY.iter().map(|&(n, _)| n).collect();
+    let mut expected = names.join(" | ");
+    let near = names
+        .iter()
+        .map(|&n| (edit_distance(s, n), n))
+        .filter(|&(d, _)| d <= 3)
+        .min()
+        .map(|(_, n)| n);
+    if let Some(hint) = near {
+        expected = format!("{expected} — did you mean `{hint}`?");
+    }
+    Err(ScenarioError::bad_value("design.kind", s, &expected))
 }
 
-/// Every kind, in **registry order** — the order systems execute and
-/// appear in reports, regardless of how a spec lists them.
-pub const REGISTRY_ORDER: [DesignKind; 3] =
-    [DesignKind::SsPlane, DesignKind::Walker, DesignKind::Rgt];
-
-impl DesignKind {
-    /// Canonical config-file token.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            DesignKind::SsPlane => "ss",
-            DesignKind::Walker => "walker",
-            DesignKind::Rgt => "rgt",
-        }
+/// Parses a `design.kind` token into the canonical kinds list it
+/// selects — any registered designer name plus the legacy `"both"`
+/// (= SS + Walker, the pre-`design.kinds` spelling of the paper's
+/// comparisons).
+pub fn parse_design_kinds(s: &str) -> Result<Vec<&'static str>> {
+    if s == "both" {
+        return Ok(vec!["ss", "wd"]);
     }
+    resolve_design_kind(s).map(|k| vec![k])
+}
 
-    /// Parses the config-file token for a single kind.
-    pub fn parse(s: &str) -> Result<Self> {
-        match s {
-            "ss" | "ss-plane" | "ssplane" => Ok(DesignKind::SsPlane),
-            "walker" | "wd" => Ok(DesignKind::Walker),
-            "rgt" => Ok(DesignKind::Rgt),
-            other => Err(ScenarioError::bad_value("design.kind", other, "ss | walker | rgt")),
+/// Plain Levenshtein distance for the did-you-mean hint (designer names
+/// are short; the O(nm) table is fine).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
         }
+        prev = cur;
     }
-
-    /// Parses a `design.kind` token into the kinds list it selects —
-    /// the single kinds plus the legacy `"both"` (= SS + Walker, the
-    /// pre-`design.kinds` spelling of the paper's comparisons).
-    pub fn parse_list(s: &str) -> Result<Vec<Self>> {
-        if s == "both" {
-            return Ok(vec![DesignKind::SsPlane, DesignKind::Walker]);
-        }
-        DesignKind::parse(s)
-            .map(|k| vec![k])
-            .map_err(|_| ScenarioError::bad_value("design.kind", s, "ss | walker | rgt | both"))
-    }
+    prev[b.len()]
 }
 
 /// Parses a [`BranchRule`] config token.
@@ -115,26 +127,39 @@ pub fn parse_supply_model(s: &str) -> Result<SupplyModel> {
 /// produce.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpec {
-    /// Which systems to design. Execution and reporting always follow
-    /// [`REGISTRY_ORDER`] with duplicates collapsed, so the list's order
-    /// never changes the output bytes.
-    pub kinds: Vec<DesignKind>,
+    /// Which systems to design, as canonical [`DESIGNER_REGISTRY`]
+    /// names. Execution and reporting always follow registry order with
+    /// duplicates collapsed, so the list's order never changes the
+    /// output bytes.
+    pub kinds: Vec<&'static str>,
     /// SS-plane designer configuration.
     pub ss: DesignConfig,
     /// Walker-baseline designer configuration.
     pub wd: WalkerBaselineConfig,
     /// RGT designer configuration.
     pub rgt: RgtDesignConfig,
+    /// Fraction of each Walker shell's planes the `slim` designer keeps,
+    /// in `(0, 1]` (`design.slim_plane_factor`).
+    pub slim_plane_factor: f64,
+    /// Plane floor per shell after slimming (`design.slim_min_planes`).
+    pub slim_min_planes: usize,
+    /// Uniform down-scale of the `starlink` catalog in `(0, 1]`
+    /// (`design.starlink_scale`; `1.0` is the full deployed catalog).
+    pub starlink_scale: f64,
 }
 
 impl DesignSpec {
     /// The kinds to execute, in registry order with duplicates collapsed.
-    pub fn ordered_kinds(&self) -> Vec<DesignKind> {
-        REGISTRY_ORDER.into_iter().filter(|k| self.kinds.contains(k)).collect()
+    pub fn ordered_kinds(&self) -> Vec<&'static str> {
+        DESIGNER_REGISTRY
+            .iter()
+            .map(|&(name, _)| name)
+            .filter(|name| self.kinds.contains(name))
+            .collect()
     }
 
     /// Whether `kind` is selected.
-    pub fn includes(&self, kind: DesignKind) -> bool {
+    pub fn includes(&self, kind: &str) -> bool {
         self.kinds.contains(&kind)
     }
 }
@@ -142,10 +167,13 @@ impl DesignSpec {
 impl Default for DesignSpec {
     fn default() -> Self {
         DesignSpec {
-            kinds: vec![DesignKind::SsPlane, DesignKind::Walker],
+            kinds: vec!["ss", "wd"],
             ss: DesignConfig::default(),
             wd: WalkerBaselineConfig::default(),
             rgt: RgtDesignConfig::default(),
+            slim_plane_factor: 0.5,
+            slim_min_planes: 3,
+            starlink_scale: 1.0,
         }
     }
 }
@@ -314,6 +342,11 @@ pub struct SurvivabilitySpec {
     pub horizon_years: f64,
     /// Resupply cadence \[days\].
     pub resupply_days: f64,
+    /// Whether to add the `per_satellite` block to the survivability
+    /// report: the same outcomes normalized by constellation size, the
+    /// design-shootout's survivability-per-satellite score. Off by
+    /// default so pre-existing reports keep their bytes.
+    pub per_satellite: bool,
 }
 
 impl Default for SurvivabilitySpec {
@@ -326,6 +359,7 @@ impl Default for SurvivabilitySpec {
             policy: SparePolicy::PerPlane { spares_per_plane: 3, replacement_days: 3.0 },
             horizon_years: 5.0,
             resupply_days: 180.0,
+            per_satellite: false,
         }
     }
 }
@@ -759,6 +793,26 @@ impl ScenarioSpec {
         if self.design.kinds.is_empty() {
             return Err(ScenarioError::bad_value("design.kinds", "[]", "at least one design kind"));
         }
+        let unit = |x: f64| x.is_finite() && x > 0.0 && x <= 1.0;
+        if self.design.includes("slim") {
+            if !unit(self.design.slim_plane_factor) {
+                return Err(ScenarioError::bad_value(
+                    "design.slim_plane_factor",
+                    &self.design.slim_plane_factor.to_string(),
+                    "a fraction in (0, 1]",
+                ));
+            }
+            if self.design.slim_min_planes == 0 {
+                return Err(ScenarioError::bad_value("design.slim_min_planes", "0", ">= 1"));
+            }
+        }
+        if self.design.includes("starlink") && !unit(self.design.starlink_scale) {
+            return Err(ScenarioError::bad_value(
+                "design.starlink_scale",
+                &self.design.starlink_scale.to_string(),
+                "a fraction in (0, 1]",
+            ));
+        }
         if self.survivability.enabled && !positive(self.survivability.horizon_years) {
             return Err(ScenarioError::bad_value(
                 "survivability.horizon_years",
@@ -873,13 +927,17 @@ mod tests {
 
     #[test]
     fn token_round_trips() {
-        for kind in REGISTRY_ORDER {
-            assert_eq!(DesignKind::parse(kind.as_str()).unwrap(), kind);
-            assert_eq!(DesignKind::parse_list(kind.as_str()).unwrap(), vec![kind]);
+        for &(name, _) in DESIGNER_REGISTRY {
+            assert_eq!(resolve_design_kind(name).unwrap(), name);
+            assert_eq!(parse_design_kinds(name).unwrap(), vec![name]);
         }
+        // Historical aliases still resolve to their canonical names.
+        assert_eq!(resolve_design_kind("walker").unwrap(), "wd");
+        assert_eq!(resolve_design_kind("ss-plane").unwrap(), "ss");
+        assert_eq!(resolve_design_kind("ssplane").unwrap(), "ss");
         assert_eq!(
-            DesignKind::parse_list("both").unwrap(),
-            vec![DesignKind::SsPlane, DesignKind::Walker],
+            parse_design_kinds("both").unwrap(),
+            vec!["ss", "wd"],
             "legacy 'both' keeps meaning the paper's SS-vs-Walker pair"
         );
         for sol in [SolarActivity::Cycle24, SolarActivity::Max, SolarActivity::Min] {
@@ -888,7 +946,13 @@ mod tests {
         for rule in [BranchRule::BestOfBoth, BranchRule::AscendingOnly, BranchRule::Alternate] {
             assert_eq!(parse_branch_rule(branch_rule_str(rule)).unwrap(), rule);
         }
-        assert!(DesignKind::parse("sparkle").is_err());
+        assert!(resolve_design_kind("sparkle").is_err());
+        // Near misses get a did-you-mean hint naming the closest
+        // registered designer.
+        let err = resolve_design_kind("starlnk").unwrap_err().to_string();
+        assert!(err.contains("did you mean `starlink`"), "{err}");
+        let err = resolve_design_kind("slin").unwrap_err().to_string();
+        assert!(err.contains("did you mean `slim`"), "{err}");
     }
 
     #[test]
@@ -906,7 +970,7 @@ mod tests {
         // any designed system's plane geometry.
         let mut spec = ScenarioSpec::named("x");
         spec.network.enabled = true;
-        for kind in REGISTRY_ORDER {
+        for &(kind, _) in DESIGNER_REGISTRY {
             spec.design.kinds = vec![kind];
             spec.validate().unwrap();
         }
@@ -917,11 +981,39 @@ mod tests {
         let mut spec = ScenarioSpec::named("x");
         spec.design.kinds = Vec::new();
         assert!(spec.validate().is_err());
-        spec.design.kinds = vec![DesignKind::Rgt, DesignKind::SsPlane, DesignKind::Rgt];
+        spec.design.kinds = vec!["rgt", "ss", "rgt"];
         spec.validate().unwrap();
-        assert_eq!(spec.design.ordered_kinds(), vec![DesignKind::SsPlane, DesignKind::Rgt]);
-        assert!(spec.design.includes(DesignKind::Rgt));
-        assert!(!spec.design.includes(DesignKind::Walker));
+        assert_eq!(spec.design.ordered_kinds(), vec!["ss", "rgt"]);
+        assert!(spec.design.includes("rgt"));
+        assert!(!spec.design.includes("wd"));
+        spec.design.kinds = vec!["starlink", "slim", "ss"];
+        assert_eq!(spec.design.ordered_kinds(), vec!["ss", "slim", "starlink"]);
+    }
+
+    #[test]
+    fn slim_and_starlink_knobs_validated_when_selected() {
+        let mut spec = ScenarioSpec::named("x");
+        spec.design.kinds = vec!["slim", "starlink"];
+        spec.validate().unwrap();
+        for bad in [0.0, -1.0, 1.5, f64::NAN] {
+            spec.design.slim_plane_factor = bad;
+            assert!(spec.validate().is_err(), "slim_plane_factor {bad}");
+        }
+        spec.design.slim_plane_factor = 0.5;
+        spec.design.slim_min_planes = 0;
+        assert!(spec.validate().is_err());
+        spec.design.slim_min_planes = 3;
+        for bad in [0.0, 2.0, f64::NAN] {
+            spec.design.starlink_scale = bad;
+            assert!(spec.validate().is_err(), "starlink_scale {bad}");
+        }
+        spec.design.starlink_scale = 0.25;
+        spec.validate().unwrap();
+        // Unselected designers do not police their knobs.
+        spec.design.kinds = vec!["ss"];
+        spec.design.starlink_scale = 0.0;
+        spec.design.slim_plane_factor = 0.0;
+        spec.validate().unwrap();
     }
 
     #[test]

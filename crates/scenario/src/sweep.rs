@@ -12,8 +12,9 @@
 
 use crate::error::{Result, ScenarioError};
 use crate::spec::{
-    parse_branch_rule, parse_objective, parse_supply_model, AttackKind, AttackUnit, DesignKind,
-    FailureKind, ScenarioSpec, SolarActivity, TrafficModel,
+    parse_branch_rule, parse_design_kinds, parse_objective, parse_supply_model,
+    resolve_design_kind, AttackKind, AttackUnit, FailureKind, ScenarioSpec, SolarActivity,
+    TrafficModel,
 };
 use crate::toml::TomlValue;
 use ssplane_lsn::spares::SparePolicy;
@@ -214,14 +215,14 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         // `design.kind` is the scalar spelling (kept for back-compat:
         // `"both"` still selects the paper's SS + Walker pair);
         // `design.kinds` is the open list form.
-        "design.kind" => spec.design.kinds = DesignKind::parse_list(need_str(key, value)?)?,
+        "design.kind" => spec.design.kinds = parse_design_kinds(need_str(key, value)?)?,
         "design.kinds" => {
             let arr = value.as_array().ok_or_else(|| {
                 ScenarioError::bad_value(key, &canonical_value(value), "an array of design kinds")
             })?;
             let mut kinds = Vec::with_capacity(arr.len());
             for item in arr {
-                kinds.push(DesignKind::parse(need_str(key, item)?)?);
+                kinds.push(resolve_design_kind(need_str(key, item)?)?);
             }
             if kinds.is_empty() {
                 return Err(ScenarioError::bad_value(key, "[]", "at least one design kind"));
@@ -281,6 +282,9 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
             }
             spec.design.wd.candidate_inclinations_deg = incs;
         }
+        "design.slim_plane_factor" => spec.design.slim_plane_factor = need_f64(key, value)?,
+        "design.slim_min_planes" => spec.design.slim_min_planes = need_usize(key, value)?,
+        "design.starlink_scale" => spec.design.starlink_scale = need_f64(key, value)?,
 
         "demand.total_demand_b" => spec.demand.total_demand_b = need_f64(key, value)?,
         "demand.lat_bins" => spec.demand.lat_bins = need_usize(key, value)?,
@@ -303,6 +307,9 @@ pub fn apply_param(spec: &mut ScenarioSpec, key: &str, value: &TomlValue) -> Res
         }
         "survivability.resupply_days" => {
             spec.survivability.resupply_days = need_f64(key, value)?;
+        }
+        "survivability.per_satellite" => {
+            spec.survivability.per_satellite = need_bool(key, value)?;
         }
         "survivability.failure.kind" => {
             spec.survivability.failure_kind = FailureKind::parse(need_str(key, value)?)?;
@@ -486,23 +493,41 @@ mod tests {
     fn design_kind_and_kinds_paths() {
         let mut spec = ScenarioSpec::named("x");
         apply_param(&mut spec, "design.kind", &TomlValue::Str("rgt".into())).unwrap();
-        assert_eq!(spec.design.kinds, vec![DesignKind::Rgt]);
+        assert_eq!(spec.design.kinds, vec!["rgt"]);
         apply_param(&mut spec, "design.kind", &TomlValue::Str("both".into())).unwrap();
-        assert_eq!(spec.design.kinds, vec![DesignKind::SsPlane, DesignKind::Walker]);
+        assert_eq!(spec.design.kinds, vec!["ss", "wd"]);
+        apply_param(&mut spec, "design.kind", &TomlValue::Str("starlink".into())).unwrap();
+        assert_eq!(spec.design.kinds, vec!["starlink"]);
         let all = TomlValue::Array(vec![
             TomlValue::Str("rgt".into()),
             TomlValue::Str("ss".into()),
             TomlValue::Str("walker".into()),
+            TomlValue::Str("slim".into()),
+            TomlValue::Str("starlink".into()),
         ]);
         apply_param(&mut spec, "design.kinds", &all).unwrap();
-        assert_eq!(
-            spec.design.kinds,
-            vec![DesignKind::Rgt, DesignKind::SsPlane, DesignKind::Walker]
-        );
+        assert_eq!(spec.design.kinds, vec!["rgt", "ss", "wd", "slim", "starlink"]);
         assert!(apply_param(&mut spec, "design.kinds", &TomlValue::Array(vec![])).is_err());
         assert!(
             apply_param(&mut spec, "design.kinds", &TomlValue::Str("ss".into())).is_err(),
             "the list path needs an array (the scalar path is design.kind)"
+        );
+    }
+
+    #[test]
+    fn slim_starlink_and_per_satellite_paths() {
+        let mut spec = ScenarioSpec::named("x");
+        apply_param(&mut spec, "design.slim_plane_factor", &TomlValue::Float(0.4)).unwrap();
+        apply_param(&mut spec, "design.slim_min_planes", &TomlValue::Int(2)).unwrap();
+        apply_param(&mut spec, "design.starlink_scale", &TomlValue::Float(0.25)).unwrap();
+        assert_eq!(spec.design.slim_plane_factor, 0.4);
+        assert_eq!(spec.design.slim_min_planes, 2);
+        assert_eq!(spec.design.starlink_scale, 0.25);
+        apply_param(&mut spec, "survivability.per_satellite", &TomlValue::Bool(true)).unwrap();
+        assert!(spec.survivability.per_satellite);
+        assert!(apply_param(&mut spec, "survivability.per_satellite", &TomlValue::Int(1)).is_err());
+        assert!(
+            apply_param(&mut spec, "design.starlink_scale", &TomlValue::Str("x".into())).is_err()
         );
     }
 
